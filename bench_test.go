@@ -1,0 +1,239 @@
+package mhm2sim
+
+// One benchmark per table/figure of the paper's evaluation section
+// (DESIGN.md §4 is the index). Each benchmark regenerates its figure's
+// series through the same internal/figures harness the cmd/figures tool
+// uses, timing the full regeneration. Reduced ("quick") presets keep the
+// suite runnable in minutes; `go run ./cmd/figures` produces the
+// full-scale versions.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"mhm2sim/internal/cluster"
+	"mhm2sim/internal/figures"
+	"mhm2sim/internal/locassm"
+	"mhm2sim/internal/pipeline"
+)
+
+// benchState shares the expensive pipeline runs and calibrated model
+// across benchmarks.
+type benchState struct {
+	arctic    figures.Setup
+	arcticRes *pipeline.Result
+	wa        figures.Setup
+	waRes     *pipeline.Result
+	model     *cluster.Model
+	f64       float64
+	f2        float64
+}
+
+var (
+	stateOnce sync.Once
+	state     benchState
+	stateErr  error
+)
+
+func getState(b *testing.B) *benchState {
+	b.Helper()
+	stateOnce.Do(func() {
+		if state.arctic, stateErr = figures.QuickSetup("arcticsynth"); stateErr != nil {
+			return
+		}
+		if state.arcticRes, stateErr = state.arctic.Run(false); stateErr != nil {
+			return
+		}
+		if state.wa, stateErr = figures.QuickSetup("WA"); stateErr != nil {
+			return
+		}
+		if state.waRes, stateErr = state.wa.Run(false); stateErr != nil {
+			return
+		}
+		if state.model, state.f64, stateErr = figures.Model(state.waRes, state.wa.Config.Locassm); stateErr != nil {
+			return
+		}
+		state.f2, stateErr = state.model.FitRatio(4.3)
+	})
+	if stateErr != nil {
+		b.Fatal(stateErr)
+	}
+	return &state
+}
+
+// BenchmarkFig2Breakdown regenerates the 64-node WA stage breakdowns
+// (total 2128 s with 34% local assembly → 1495 s with 6%).
+func BenchmarkFig2Breakdown(b *testing.B) {
+	s := getState(b)
+	for i := 0; i < b.N; i++ {
+		out := figures.Fig2(s.model, s.f64)
+		if !strings.Contains(out, "local assembly") {
+			b.Fatal("malformed Fig 2")
+		}
+	}
+}
+
+// BenchmarkFig3Binning regenerates the contig-per-bin distribution across
+// k (bin 1 largest, bin 3 smallest, more candidates at larger k).
+func BenchmarkFig3Binning(b *testing.B) {
+	s := getState(b)
+	for i := 0; i < b.N; i++ {
+		out := figures.Fig3(s.arcticRes.Bins)
+		if !strings.Contains(out, "bin3") {
+			b.Fatal("malformed Fig 3")
+		}
+	}
+}
+
+// benchRoofline shares the kernel re-execution for Figs 8-10.
+var (
+	rooflineOnce sync.Once
+	rooflineRes  figures.RooflineResults
+	rooflineErr  error
+)
+
+func getRoofline(b *testing.B) figures.RooflineResults {
+	b.Helper()
+	s := getState(b)
+	rooflineOnce.Do(func() {
+		rooflineRes, rooflineErr = figures.RunRoofline(
+			s.arcticRes.LAWorkload, s.arctic.Config.Locassm, 2*s.f2)
+	})
+	if rooflineErr != nil {
+		b.Fatal(rooflineErr)
+	}
+	return rooflineRes
+}
+
+// BenchmarkFig8RooflineV1 characterizes the thread-per-table kernel.
+func BenchmarkFig8RooflineV1(b *testing.B) {
+	rf := getRoofline(b)
+	for i := 0; i < b.N; i++ {
+		if rf.V1.WarpGIPS <= 0 || rf.V1.WarpGIPS > rf.V1.PeakGIPS {
+			b.Fatal("v1 GIPS out of range")
+		}
+	}
+}
+
+// BenchmarkFig9RooflineV2 characterizes the warp-per-table kernel; its dot
+// must sit up and to the right of v1's.
+func BenchmarkFig9RooflineV2(b *testing.B) {
+	rf := getRoofline(b)
+	for i := 0; i < b.N; i++ {
+		if rf.V2.WarpGIPS <= rf.V1.WarpGIPS {
+			b.Fatal("v2 not faster than v1")
+		}
+		if rf.V2.IntensityL1 <= rf.V1.IntensityL1 {
+			b.Fatal("v2 intensity not above v1")
+		}
+	}
+}
+
+// BenchmarkFig10InstrBreakdown regenerates the grouped instruction counts
+// (global-memory instructions drop sharply from v1 to v2).
+func BenchmarkFig10InstrBreakdown(b *testing.B) {
+	rf := getRoofline(b)
+	for i := 0; i < b.N; i++ {
+		g1 := rf.V1.GroupBreakdown()["global_memory_inst"]
+		g2 := rf.V2.GroupBreakdown()["global_memory_inst"]
+		if g2 >= g1 {
+			b.Fatal("v2 did not reduce global-memory instructions")
+		}
+	}
+}
+
+// BenchmarkFig12TwoNode regenerates the 2-node arcticsynth comparison
+// (4.3x local assembly, ~12% overall).
+func BenchmarkFig12TwoNode(b *testing.B) {
+	s := getState(b)
+	for i := 0; i < b.N; i++ {
+		out, err := figures.Fig12(s.model, s.arcticRes.Timings)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !strings.Contains(out, "4.3") {
+			b.Fatal("malformed Fig 12")
+		}
+	}
+}
+
+// BenchmarkFig13LocalAssemblyScaling regenerates the local-assembly strong
+// scaling (7.2x at 64 nodes → 2.65x at 1024).
+func BenchmarkFig13LocalAssemblyScaling(b *testing.B) {
+	s := getState(b)
+	for i := 0; i < b.N; i++ {
+		pts := s.model.LAScaling(figures.ScalingNodes, s.f64)
+		if pts[0].Speedup < 6.5 || pts[len(pts)-1].Speedup > 3.2 {
+			b.Fatalf("scaling endpoints off: %.2f / %.2f",
+				pts[0].Speedup, pts[len(pts)-1].Speedup)
+		}
+	}
+}
+
+// BenchmarkFig14PipelineScaling regenerates the whole-pipeline scaling
+// (≈42% at 64 nodes, declining with node count).
+func BenchmarkFig14PipelineScaling(b *testing.B) {
+	s := getState(b)
+	for i := 0; i < b.N; i++ {
+		pts := s.model.PipelineScaling(figures.ScalingNodes, s.f64)
+		if pts[0].SpeedupPct < 35 || pts[0].SpeedupPct > 50 {
+			b.Fatalf("64-node speedup %.1f%% out of range", pts[0].SpeedupPct)
+		}
+	}
+}
+
+// BenchmarkPipelineCPU and BenchmarkPipelineGPU time the end-to-end
+// pipeline itself under both local-assembly implementations (wall time of
+// this repository's code, not model time).
+func BenchmarkPipelineCPU(b *testing.B) {
+	s := getState(b)
+	_, pairs, err := s.arctic.Preset.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.Run(pairs, s.arctic.Config); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineGPU(b *testing.B) {
+	s := getState(b)
+	_, pairs, err := s.arctic.Preset.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := s.arctic.Config
+	cfg.UseGPU = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.Run(pairs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalAssemblyCPU / GPU time the core module standalone on the
+// arcticsynth workload (the paper's standalone comparison).
+func BenchmarkLocalAssemblyCPU(b *testing.B) {
+	s := getState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := locassm.RunCPU(s.arcticRes.LAWorkload, s.arctic.Config.Locassm, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalAssemblyGPUv2(b *testing.B) {
+	s := getState(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.ModelFromWorkload(s.arcticRes.LAWorkload, s.arctic.Config.Locassm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Command mhm2sim runs the full MetaHipMer2-like pipeline (Fig 1) on a
+// synthetic dataset or a FASTQ file and prints the Fig 2-style per-stage
+// breakdown, assembly statistics, and — with -gpu — the GPU local-assembly
+// kernel summary.
+//
+// Usage:
+//
+//	mhm2sim -preset arcticsynth [-gpu] [-rounds 21,33,55] [-out asm.fasta]
+//	mhm2sim -reads reads.fastq [-gpu]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/histo"
+	"mhm2sim/internal/locassm"
+	"mhm2sim/internal/pipeline"
+	"mhm2sim/internal/preprocess"
+	"mhm2sim/internal/quality"
+	"mhm2sim/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mhm2sim: ")
+
+	presetName := flag.String("preset", "arcticsynth", "dataset preset (ignored when -reads is set)")
+	readsPath := flag.String("reads", "", "FASTQ file of paired reads (fwd,rev interleaved)")
+	useGPU := flag.Bool("gpu", false, "use the GPU local-assembly module (simulated V100)")
+	useGPUAln := flag.Bool("gpualn", false, "run the alignment SW kernel on the device (ADEPT role)")
+	roundsFlag := flag.String("rounds", "21,33,55", "comma-separated contigging k values")
+	out := flag.String("out", "", "write contigs+scaffolds FASTA here")
+	workers := flag.Int("workers", 0, "CPU worker goroutines (0 = GOMAXPROCS)")
+	evalQuality := flag.Bool("quality", false, "evaluate the assembly against the preset's truth genomes")
+	checkpoint := flag.String("checkpoint", "", "checkpoint directory (resume completed rounds)")
+	doPreprocess := flag.Bool("preprocess", false, "adapter/quality-trim and filter reads first")
+	dumpLA := flag.String("dump-la", "", "dump the final round's local-assembly workload here (for cmd/locassm)")
+	estInsert := flag.Bool("estimate-insert", true, "infer the library insert size from proper pairs")
+	flag.Parse()
+
+	cfg := pipeline.DefaultConfig()
+	cfg.UseGPU = *useGPU
+	cfg.UseGPUAln = *useGPUAln
+	cfg.Workers = *workers
+	cfg.CheckpointDir = *checkpoint
+	cfg.EstimateInsert = *estInsert
+	if *doPreprocess {
+		pp := preprocess.DefaultConfig()
+		cfg.Preprocess = &pp
+	}
+	cfg.Rounds = nil
+	for _, f := range strings.Split(*roundsFlag, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			log.Fatalf("bad -rounds: %v", err)
+		}
+		cfg.Rounds = append(cfg.Rounds, k)
+	}
+
+	pairs, genomes, err := loadPairs(*readsPath, *presetName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("input: %d read pairs\n", len(pairs))
+
+	res, err := pipeline.Run(pairs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	printBreakdown(res)
+	printAssemblyStats(res)
+	if *doPreprocess {
+		pp := res.Work.Preprocess
+		fmt.Printf("\npreprocessing: %d/%d pairs kept, %d adapter-trimmed, %d quality-trimmed, %d bases removed\n",
+			pp.PairsOut, pp.PairsIn, pp.AdapterTrimmed, pp.QualityTrimmed, pp.BasesRemoved)
+	}
+	if res.Work.EstimatedInsert > 0 {
+		fmt.Printf("estimated library insert size: %d bp\n", res.Work.EstimatedInsert)
+	}
+	if *useGPU {
+		printGPUStats(res)
+	}
+	if *evalQuality {
+		if genomes == nil {
+			log.Fatal("-quality requires a preset (truth genomes unknown for external FASTQ)")
+		}
+		seqs := make([][]byte, len(res.Contigs))
+		for i := range res.Contigs {
+			seqs[i] = res.Contigs[i].Seq
+		}
+		rep, err := quality.Evaluate(seqs, genomes, quality.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nquality vs truth genomes:\n%s", rep)
+	}
+
+	if *dumpLA != "" {
+		if err := locassm.DumpWorkloadFile(*dumpLA, res.LAWorkload); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("dumped local-assembly workload (%d contigs) to %s\n", len(res.LAWorkload), *dumpLA)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pipeline.WriteFASTAOutputs(f, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote assembly to %s\n", *out)
+	}
+}
+
+func loadPairs(readsPath, presetName string) ([]dna.PairedRead, [][]byte, error) {
+	if readsPath == "" {
+		preset, err := synth.PresetByName(presetName)
+		if err != nil {
+			return nil, nil, err
+		}
+		com, pairs, err := preset.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		genomes := make([][]byte, len(com.Genomes))
+		for i := range com.Genomes {
+			genomes[i] = com.Genomes[i].Seq
+		}
+		return pairs, genomes, nil
+	}
+	f, err := os.Open(readsPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	reads, err := dna.ReadFASTQ(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(reads)%2 != 0 {
+		return nil, nil, fmt.Errorf("FASTQ holds %d reads; expected interleaved pairs", len(reads))
+	}
+	pairs := make([]dna.PairedRead, len(reads)/2)
+	for i := range pairs {
+		pairs[i] = dna.PairedRead{Fwd: reads[2*i], Rev: reads[2*i+1]}
+	}
+	return pairs, nil, nil
+}
+
+func printBreakdown(res *pipeline.Result) {
+	total := res.Timings.Total()
+	fmt.Printf("\nstage breakdown (measured wall time, cf. Fig 2):\n")
+	for s := pipeline.Stage(0); s < pipeline.NumStages; s++ {
+		d := res.Timings.Wall[s]
+		fmt.Printf("  %-18s %12v %6.1f%%\n", s, d.Round(1e6), 100*float64(d)/float64(total))
+	}
+	fmt.Printf("  %-18s %12v\n", "TOTAL", total.Round(1e6))
+
+	fmt.Printf("\nlocal-assembly bins per round (cf. Fig 3):\n")
+	for _, b := range res.Bins {
+		t := float64(b.Zero + b.Small + b.Large)
+		fmt.Printf("  k=%-3d bin1=%5d (%4.1f%%)  bin2=%5d (%4.1f%%)  bin3=%5d (%4.1f%%)\n",
+			b.K, b.Zero, 100*float64(b.Zero)/t, b.Small, 100*float64(b.Small)/t,
+			b.Large, 100*float64(b.Large)/t)
+	}
+}
+
+func printAssemblyStats(res *pipeline.Result) {
+	lens := make([]int, 0, len(res.Contigs))
+	var total int
+	for _, c := range res.Contigs {
+		lens = append(lens, len(c.Seq))
+		total += len(c.Seq)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(lens)))
+	n50 := 0
+	run := 0
+	for _, l := range lens {
+		run += l
+		if run >= total/2 {
+			n50 = l
+			break
+		}
+	}
+	longest := 0
+	if len(lens) > 0 {
+		longest = lens[0]
+	}
+	fmt.Printf("\nassembly: %d contigs, %d bases, N50 %d, longest %d; %d scaffolds\n",
+		len(res.Contigs), total, n50, longest, len(res.Scaffolds))
+	fmt.Print(histo.FromValues("contig length distribution:", lens).Render(40))
+}
+
+func printGPUStats(res *pipeline.Result) {
+	fmt.Printf("\nGPU local assembly (simulated V100): model kernel time %v, transfers %v\n",
+		res.Work.GPUKernelTime.Round(1e3), res.Work.GPUTransferTime.Round(1e3))
+	for _, k := range res.Work.GPUKernels {
+		fmt.Printf("  %-26s warps=%6d  instrs=%10d  time=%10v  bound=%s\n",
+			k.Kernel, k.Warps, k.TotalWarpInstrs(), k.Time.Round(1e3), k.Bound)
+	}
+}

@@ -1,0 +1,76 @@
+// Command readgen writes a synthetic metagenome community to FASTQ (and
+// optionally the underlying genomes to FASTA), standing in for the paper's
+// arcticsynth and WA datasets at laptop scale (DESIGN.md §2).
+//
+// Usage:
+//
+//	readgen -preset arcticsynth -out reads.fastq [-genomes genomes.fasta]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("readgen: ")
+
+	presetName := flag.String("preset", "arcticsynth", "dataset preset: arcticsynth or WA")
+	out := flag.String("out", "reads.fastq", "output FASTQ path")
+	genomesOut := flag.String("genomes", "", "optional FASTA path for the hidden genomes")
+	seed := flag.Int64("seed", 0, "override the preset's random seed (0 keeps it)")
+	depth := flag.Float64("depth", 0, "override mean coverage (0 keeps the preset)")
+	flag.Parse()
+
+	preset, err := synth.PresetByName(*presetName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *seed != 0 {
+		preset.Seed = *seed
+	}
+	if *depth != 0 {
+		preset.Reads.Depth = *depth
+	}
+
+	com, pairs, err := preset.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := dna.WriteFASTQ(f, synth.Flatten(pairs)); err != nil {
+		log.Fatal(err)
+	}
+
+	if *genomesOut != "" {
+		gf, err := os.Create(*genomesOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer gf.Close()
+		names := make([]string, len(com.Genomes))
+		seqs := make([][]byte, len(com.Genomes))
+		for i, g := range com.Genomes {
+			names[i] = fmt.Sprintf("%s abundance=%.3f", g.Name, g.Abundance)
+			seqs[i] = g.Seq
+		}
+		if err := dna.WriteFASTA(gf, names, seqs, 80); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("preset %s: %d genomes, %d total bases, %d read pairs (%d reads) -> %s\n",
+		preset.Name, len(com.Genomes), com.TotalBases(), len(pairs), 2*len(pairs), *out)
+	fmt.Printf("scale note: %s\n", preset.ScaleNote)
+}

@@ -1,0 +1,98 @@
+// Future-work example: the paper's conclusion plans to offload more of
+// MetaHipMer to GPUs. This example runs the two prototypes this repository
+// implements on the simulated V100 and verifies both against their CPU
+// references:
+//
+//   - gpucount: the k-mer analysis stage on a device-wide hash table
+//     ("distributed data structures" on the GPU), and
+//   - gpualign: the ADEPT-role batched banded Smith-Waterman kernel the
+//     alignment stage uses ("aln kernel").
+//
+// Run with: go run ./examples/futurework
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mhm2sim/internal/align"
+	"mhm2sim/internal/dbg"
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/gpualign"
+	"mhm2sim/internal/gpucount"
+	"mhm2sim/internal/kmer"
+	"mhm2sim/internal/simt"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2026))
+	genome := make([]byte, 5000)
+	for i := range genome {
+		genome[i] = dna.Alphabet[rng.Intn(4)]
+	}
+	var reads [][]byte
+	for pos := 0; pos+120 <= len(genome); pos += 9 {
+		reads = append(reads, genome[pos:pos+120])
+	}
+	fmt.Printf("input: %d reads of 120 bp\n\n", len(reads))
+
+	// ---- GPU k-mer counting ----
+	k := 21
+	dev := simt.NewDevice(simt.V100())
+	gpuTable, kres, err := gpucount.Count(dev, reads, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpuTable, err := dbg.Count(reads, dbg.Config{K: k, MinCount: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mismatch := 0
+	for _, r := range reads {
+		kmer.ForEach(r, k, func(pos int, km kmer.Kmer) {
+			canon, _ := km.Canonical(k)
+			info, _, ok := cpuTable.Lookup(km)
+			g := gpuTable[canon.W[0]]
+			if !ok || g == nil || g.Count != info.Count {
+				mismatch++
+			}
+		})
+	}
+	fmt.Printf("GPU k-mer analysis (k=%d): %d distinct canonical k-mers\n", k, len(gpuTable))
+	fmt.Printf("  kernel: %d warp instructions, model time %v (%s bound)\n",
+		kres.TotalWarpInstrs(), kres.Time.Round(1e3), kres.Bound)
+	fmt.Printf("  matches the CPU table: %v (%d mismatching occurrences)\n\n", mismatch == 0, mismatch)
+
+	// ---- GPU batched alignment (ADEPT role) ----
+	sc := align.DefaultScoring()
+	band := 8
+	var tasks []gpualign.Task
+	for i := 0; i < 64; i++ {
+		start := rng.Intn(len(genome) - 400)
+		tgt := genome[start : start+400]
+		q := append([]byte(nil), tgt[100:260]...)
+		// A couple of sequencing errors.
+		for _, p := range []int{40, 90} {
+			c, _ := dna.Code(q[p])
+			q[p] = dna.Alphabet[(c+1)&3]
+		}
+		tasks = append(tasks, gpualign.Task{Q: q, T: tgt, Shift: 100})
+	}
+	dev2 := simt.NewDevice(simt.V100())
+	results, ares, err := gpualign.BatchSW(dev2, tasks, band, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agree := 0
+	for i, task := range tasks {
+		want := align.BandedSW(task.Q, task.T, task.Shift, band, sc)
+		if results[i].Score == want.Score {
+			agree++
+		}
+	}
+	fmt.Printf("GPU aln kernel: %d alignments in one launch\n", len(tasks))
+	fmt.Printf("  kernel: %d warp instructions, model time %v (%s bound)\n",
+		ares.TotalWarpInstrs(), ares.Time.Round(1e3), ares.Bound)
+	fmt.Printf("  scores identical to CPU banded SW: %d/%d\n", agree, len(tasks))
+}

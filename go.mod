@@ -1,0 +1,3 @@
+module mhm2sim
+
+go 1.22

@@ -1,0 +1,94 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"mhm2sim/internal/dna"
+)
+
+// Property tests on the banded SW kernel — the invariants the pipeline and
+// the GPU kernel equivalence rely on.
+
+func TestSWScoreNonNegativeAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	sc := DefaultScoring()
+	for trial := 0; trial < 100; trial++ {
+		q := randSeq(rng, 1+rng.Intn(120))
+		tg := randSeq(rng, 1+rng.Intn(200))
+		shift := rng.Intn(200) - 100
+		band := 1 + rng.Intn(12)
+		r := BandedSW(q, tg, shift, band, sc)
+		if r.Score < 0 {
+			t.Fatalf("negative score %d", r.Score)
+		}
+		maxPossible := len(q) * sc.Match
+		if r.Score > maxPossible {
+			t.Fatalf("score %d exceeds %d", r.Score, maxPossible)
+		}
+		// Spans are consistent half-open ranges within bounds.
+		if r.Score > 0 {
+			if r.QStart < 0 || r.QEnd > len(q) || r.QStart >= r.QEnd ||
+				r.TStart < 0 || r.TEnd > len(tg) || r.TStart >= r.TEnd {
+				t.Fatalf("bad spans %d..%d / %d..%d", r.QStart, r.QEnd, r.TStart, r.TEnd)
+			}
+		}
+	}
+}
+
+func TestSWSymmetricUnderExactMatch(t *testing.T) {
+	// Score of a sequence against itself at shift 0 is its full length.
+	rng := rand.New(rand.NewSource(42))
+	sc := DefaultScoring()
+	for trial := 0; trial < 50; trial++ {
+		s := randSeq(rng, 5+rng.Intn(150))
+		r := BandedSW(s, s, 0, 4, sc)
+		if r.Score != len(s) {
+			t.Fatalf("self-alignment score %d, want %d", r.Score, len(s))
+		}
+	}
+}
+
+func TestSWWiderBandNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	sc := DefaultScoring()
+	for trial := 0; trial < 60; trial++ {
+		tg := randSeq(rng, 150)
+		q := append([]byte(nil), tg[20:100]...)
+		// A couple of indels push the path off the main diagonal.
+		if len(q) > 40 {
+			q = append(q[:30], q[32:]...)
+		}
+		shift := 20
+		prev := -1
+		for _, band := range []int{1, 2, 4, 8, 16} {
+			r := BandedSW(q, tg, shift, band, sc)
+			if r.Score < prev {
+				t.Fatalf("band %d score %d below narrower band's %d", band, r.Score, prev)
+			}
+			prev = r.Score
+		}
+	}
+}
+
+func TestSWRevCompSymmetry(t *testing.T) {
+	// Aligning rc(q) against rc(t) with the mirrored shift gives the same
+	// score.
+	rng := rand.New(rand.NewSource(44))
+	sc := DefaultScoring()
+	for trial := 0; trial < 50; trial++ {
+		tg := randSeq(rng, 120)
+		q := append([]byte(nil), tg[30:90]...)
+		for p := 0; p < 3; p++ {
+			i := rng.Intn(len(q))
+			c, _ := dna.Code(q[i])
+			q[i] = dna.Alphabet[(c+1)&3]
+		}
+		band := 6
+		fwd := BandedSW(q, tg, 30, band, sc)
+		rev := BandedSW(dna.RevComp(q), dna.RevComp(tg), len(tg)-len(q)-30, band, sc)
+		if fwd.Score != rev.Score {
+			t.Fatalf("rc symmetry broken: %d vs %d", fwd.Score, rev.Score)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package align implements the pipeline's alignment stage: a seed index
+// over contigs plus banded Smith-Waterman verification (the role ADEPT's
+// GPU kernel plays in MetaHipMer), used to find the candidate reads that
+// local assembly extends contigs with, and to anchor read pairs for
+// scaffolding.
+package align
+
+import "fmt"
+
+// Scoring holds the Smith-Waterman parameters.
+type Scoring struct {
+	Match    int // > 0
+	Mismatch int // < 0
+	Gap      int // < 0, linear gap penalty
+}
+
+// DefaultScoring mirrors the simple scoring MetaHipMer's aligner uses.
+func DefaultScoring() Scoring { return Scoring{Match: 1, Mismatch: -1, Gap: -1} }
+
+// SWResult is a local alignment between a query and a target window.
+type SWResult struct {
+	Score int
+	// Query/Target spans are half-open [start, end).
+	QStart, QEnd int
+	TStart, TEnd int
+	// Cells is the number of DP cells computed (the "aln kernel" work).
+	Cells int64
+}
+
+// BandedSW computes a banded local (Smith-Waterman) alignment between query
+// and target, restricting DP cells to |j − i − shift| ≤ band, where shift
+// aligns the expected diagonal. It returns the best-scoring local
+// alignment with its spans, recovered without a traceback matrix by
+// propagating each cell's local start.
+func BandedSW(query, target []byte, shift, band int, sc Scoring) SWResult {
+	if band < 1 {
+		band = 1
+	}
+	width := 2*band + 1
+
+	type cell struct {
+		score  int
+		qs, ts int // local start of the alignment ending here
+	}
+	prev := make([]cell, width)
+	cur := make([]cell, width)
+
+	best := SWResult{}
+	var cells int64
+
+	for i := 0; i < len(query); i++ {
+		for w := 0; w < width; w++ {
+			cur[w] = cell{}
+		}
+		for w := 0; w < width; w++ {
+			j := i + shift + (w - band)
+			if j < 0 || j >= len(target) {
+				continue
+			}
+			cells++
+
+			// Diagonal predecessor sits at the same w in the previous row.
+			var diag cell
+			if i > 0 {
+				diag = prev[w]
+			}
+			s := sc.Mismatch
+			if query[i] == target[j] {
+				s = sc.Match
+			}
+			bestScore := diag.score + s
+			qs, ts := diag.qs, diag.ts
+			if diag.score == 0 {
+				qs, ts = i, j
+			}
+
+			// Up (gap in target): previous row, w+1.
+			if i > 0 && w+1 < width {
+				if v := prev[w+1].score + sc.Gap; v > bestScore {
+					bestScore, qs, ts = v, prev[w+1].qs, prev[w+1].ts
+				}
+			}
+			// Left (gap in query): same row, w-1.
+			if w-1 >= 0 {
+				if v := cur[w-1].score + sc.Gap; v > bestScore {
+					bestScore, qs, ts = v, cur[w-1].qs, cur[w-1].ts
+				}
+			}
+			if bestScore < 0 {
+				bestScore, qs, ts = 0, i, j
+			}
+			cur[w] = cell{score: bestScore, qs: qs, ts: ts}
+
+			if bestScore > best.Score {
+				best = SWResult{
+					Score:  bestScore,
+					QStart: qs, QEnd: i + 1,
+					TStart: ts, TEnd: j + 1,
+				}
+			}
+		}
+		prev, cur = cur, prev
+	}
+	best.Cells = cells
+	return best
+}
+
+// Validate checks scoring sanity.
+func (s Scoring) Validate() error {
+	if s.Match <= 0 || s.Mismatch >= 0 || s.Gap >= 0 {
+		return fmt.Errorf("align: scoring must have match>0, mismatch<0, gap<0")
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+package dbg
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/kmer"
+)
+
+func cfg(k int) Config { return Config{K: k, MinCount: 2} }
+
+func randGenome(rng *rand.Rand, n int) []byte {
+	g := make([]byte, n)
+	for i := range g {
+		g[i] = dna.Alphabet[rng.Intn(4)]
+	}
+	return g
+}
+
+// tile returns overlapping error-free reads covering g with ~depth x.
+func tile(g []byte, readLen, stride int) [][]byte {
+	var reads [][]byte
+	for pos := 0; pos+readLen <= len(g); pos += stride {
+		reads = append(reads, g[pos:pos+readLen])
+	}
+	return reads
+}
+
+func TestCountBasics(t *testing.T) {
+	seqs := [][]byte{[]byte("ACGTAC")}
+	tab, err := Count(seqs, cfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 windows: ACGT(palindrome), CGTA, GTAC; CGTA and GTAC are
+	// reverse complements of TACG and GTAC... count canonical forms.
+	if tab.Len() != 3 {
+		t.Fatalf("got %d canonical k-mers", tab.Len())
+	}
+	km := kmer.MustFromString("ACGT")
+	info, isSelf, ok := tab.Lookup(km)
+	if !ok || !isSelf {
+		t.Fatal("ACGT not found or not canonical")
+	}
+	if info.Count != 1 {
+		t.Errorf("ACGT count %d", info.Count)
+	}
+}
+
+func TestCountCanonicalMerging(t *testing.T) {
+	// A sequence and its reverse complement must produce identical tables.
+	g := []byte("ACGGTAACCGGTTACGTAGG")
+	t1, _ := Count([][]byte{g}, cfg(5))
+	t2, _ := Count([][]byte{dna.RevComp(g)}, cfg(5))
+	if t1.Len() != t2.Len() {
+		t.Fatalf("table sizes differ: %d vs %d", t1.Len(), t2.Len())
+	}
+	kmer.ForEach(g, 5, func(pos int, km kmer.Kmer) {
+		i1, _, ok1 := t1.Lookup(km)
+		i2, _, ok2 := t2.Lookup(km)
+		if !ok1 || !ok2 {
+			t.Fatalf("k-mer at %d missing", pos)
+		}
+		if i1.Count != i2.Count || i1.Left != i2.Left || i1.Right != i2.Right {
+			t.Fatalf("k-mer at %d differs: %+v vs %+v", pos, i1, i2)
+		}
+	})
+}
+
+func TestCountExtensions(t *testing.T) {
+	// In ACGTAA, the k-mer CGTA has left base A and right base A.
+	tab, err := Count([][]byte{[]byte("ACGTAA")}, cfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	km := kmer.MustFromString("CGTA")
+	info, isSelf, ok := tab.Lookup(km)
+	if !ok {
+		t.Fatal("CGT missing")
+	}
+	right := orientedRight(info, isSelf)
+	left := orientedLeft(info, isSelf)
+	if left[dna.BaseA] != 1 {
+		t.Errorf("left exts %v, want A observed once", left)
+	}
+	if right[dna.BaseA] != 1 {
+		t.Errorf("right exts %v, want A observed once", right)
+	}
+}
+
+func TestFilterSingletons(t *testing.T) {
+	g := []byte("ACGGTAACCGGTTACGTAGGACGGTAACCGGTTACGTAGG"[:30])
+	reads := [][]byte{g, g, []byte("TTTTTGTTTTCTTGTATTTTGTTTGTTTGG")}
+	tab, _ := Count(reads, cfg(21))
+	before := tab.Len()
+	dropped := tab.Filter(2)
+	if dropped == 0 {
+		t.Fatal("expected singleton k-mers to be dropped")
+	}
+	if tab.Len() != before-dropped {
+		t.Error("Len inconsistent after filter")
+	}
+	// Every survivor has count ≥ 2.
+	for _, km := range tab.sortedKmers() {
+		if tab.m[km].Count < 2 {
+			t.Fatal("singleton survived filter")
+		}
+	}
+}
+
+func TestContigsRecoverGenome(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randGenome(rng, 400)
+	reads := tile(g, 60, 7) // deep, error-free coverage
+	c := cfg(21)
+	tab, err := Count(reads, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Filter(2)
+	ctgs := tab.Contigs(c)
+	if len(ctgs) != 1 {
+		t.Fatalf("got %d contigs, want 1 (unambiguous coverage)", len(ctgs))
+	}
+	got := ctgs[0].Seq
+	want := g[:len(g)] // full reconstruction up to read-tiling edges
+	// The contig may be the reverse complement and may lose a few bases at
+	// the genome edges where coverage drops below MinCount.
+	if string(got) > string(dna.RevComp(got)) {
+		got = dna.RevComp(got)
+	}
+	fwd := string(want)
+	rc := string(dna.RevComp(want))
+	if !strings.Contains(fwd, string(got)) && !strings.Contains(rc, string(got)) {
+		t.Fatal("contig is not a substring of the genome")
+	}
+	if len(got) < len(g)-40 {
+		t.Errorf("contig too short: %d of %d", len(got), len(g))
+	}
+	if ctgs[0].Depth < 2 {
+		t.Errorf("depth %f, want ≥ 2", ctgs[0].Depth)
+	}
+}
+
+func TestContigsForkSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	// Shared stem followed by two divergent branches at equal depth: the
+	// graph forks and traversal must stop at the junction.
+	stem := randGenome(rng, 150)
+	brA := append(append([]byte(nil), stem...), randGenome(rng, 120)...)
+	brB := append(append([]byte(nil), stem...), randGenome(rng, 120)...)
+	reads := append(tile(brA, 50, 5), tile(brB, 50, 5)...)
+	c := cfg(21)
+	tab, _ := Count(reads, c)
+	tab.Filter(2)
+	ctgs := tab.Contigs(c)
+	if len(ctgs) < 2 {
+		t.Fatalf("got %d contigs, want the stem and branches separated", len(ctgs))
+	}
+	// No contig may span the junction: stem+branch contigs would contain
+	// stem suffix AND branch prefix beyond k bases.
+	junction := len(stem)
+	for _, ctg := range ctgs {
+		s := string(ctg.Seq)
+		aTail := string(brA[junction : junction+30])
+		stemTail := string(stem[junction-30 : junction])
+		if strings.Contains(s, stemTail+aTail) {
+			t.Error("a contig walked through the fork")
+		}
+	}
+}
+
+func TestContigsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randGenome(rng, 300)
+	reads := tile(g, 50, 6)
+	c := cfg(15)
+	build := func() []Contig {
+		tab, _ := Count(reads, c)
+		tab.Filter(2)
+		return tab.Contigs(c)
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("contig counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Seq, b[i].Seq) {
+			t.Fatalf("contig %d differs across runs", i)
+		}
+	}
+}
+
+func TestContigsMinLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := randGenome(rng, 120)
+	reads := tile(g, 40, 5)
+	c := cfg(21)
+	c.MinCtgLen = 1000 // absurd: nothing passes
+	tab, _ := Count(reads, c)
+	tab.Filter(2)
+	if ctgs := tab.Contigs(c); len(ctgs) != 0 {
+		t.Errorf("MinCtgLen ignored: %d contigs", len(ctgs))
+	}
+}
+
+func TestCountValidation(t *testing.T) {
+	if _, err := Count(nil, Config{K: 2, MinCount: 2}); err == nil {
+		t.Error("k=2 accepted")
+	}
+	if _, err := Count(nil, Config{K: 21, MinCount: 0}); err == nil {
+		t.Error("MinCount=0 accepted")
+	}
+}
+
+func TestUniqueExt(t *testing.T) {
+	if b, ok := uniqueExt(ExtCounts{0, 5, 0, 0}, 2); !ok || b != 1 {
+		t.Error("unique C not detected")
+	}
+	if _, ok := uniqueExt(ExtCounts{3, 5, 0, 0}, 2); ok {
+		t.Error("two viable bases treated as unique")
+	}
+	if _, ok := uniqueExt(ExtCounts{1, 1, 1, 1}, 2); ok {
+		t.Error("all-below-threshold treated as unique")
+	}
+	// Threshold boundary.
+	if b, ok := uniqueExt(ExtCounts{0, 0, 2, 1}, 2); !ok || b != 2 {
+		t.Error("threshold boundary wrong")
+	}
+}
+
+func TestWorkersConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := randGenome(rng, 500)
+	reads := tile(g, 70, 9)
+	c1 := cfg(17)
+	c1.Workers = 1
+	c8 := cfg(17)
+	c8.Workers = 8
+	t1, _ := Count(reads, c1)
+	t8, _ := Count(reads, c8)
+	if t1.Len() != t8.Len() {
+		t.Fatalf("table sizes differ: %d vs %d", t1.Len(), t8.Len())
+	}
+	for _, km := range t1.sortedKmers() {
+		if *t1.m[km] != *t8.m[km] {
+			t.Fatal("worker counts changed table content")
+		}
+	}
+}
+
+func BenchmarkCountK21(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randGenome(rng, 5000)
+	reads := tile(g, 150, 10)
+	c := cfg(21)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Count(reads, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraverse(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := randGenome(rng, 5000)
+	reads := tile(g, 150, 10)
+	c := cfg(21)
+	tab, _ := Count(reads, c)
+	tab.Filter(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Contigs(c)
+	}
+}

@@ -1,0 +1,166 @@
+package dbg
+
+import (
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/kmer"
+)
+
+// Contig is one unambiguous path through the de Bruijn graph.
+type Contig struct {
+	ID    int64
+	Seq   []byte
+	Depth float64 // mean k-mer count along the path
+}
+
+// orientedRight returns the extension counts following the k-mer in the
+// walker's orientation (isSelf = the walker holds the canonical form).
+func orientedRight(info *Info, isSelf bool) ExtCounts {
+	if isSelf {
+		return info.Right
+	}
+	return flip(info.Left)
+}
+
+// orientedLeft is the mirror of orientedRight.
+func orientedLeft(info *Info, isSelf bool) ExtCounts {
+	if isSelf {
+		return info.Left
+	}
+	return flip(info.Right)
+}
+
+// flip complements an extension-count vector (A<->T, C<->G).
+func flip(e ExtCounts) ExtCounts {
+	return ExtCounts{e[3], e[2], e[1], e[0]}
+}
+
+// uniqueExt returns the single base with count ≥ minCount, if exactly one
+// exists.
+func uniqueExt(e ExtCounts, minCount uint32) (byte, bool) {
+	found := -1
+	for b := 0; b < 4; b++ {
+		if e[b] >= minCount {
+			if found >= 0 {
+				return 0, false
+			}
+			found = b
+		}
+	}
+	if found < 0 {
+		return 0, false
+	}
+	return byte(found), true
+}
+
+// Contigs traverses every maximal unambiguously connected path and returns
+// the resulting contigs, deterministically (start k-mers are processed in
+// sorted order). Each k-mer is consumed by at most one contig.
+func (t *Table) Contigs(cfg Config) []Contig {
+	minCtg := cfg.MinCtgLen
+	if minCtg <= 0 {
+		minCtg = 2 * t.K
+	}
+	visited := make(map[kmer.Kmer]bool, len(t.m))
+	var out []Contig
+	var id int64
+
+	for _, start := range t.sortedKmers() {
+		if visited[start] {
+			continue
+		}
+		seq, path := t.walkBothWays(start, cfg.MinCount, visited)
+		var depth float64
+		for _, km := range path {
+			visited[km] = true
+			depth += float64(t.m[km].Count)
+		}
+		if len(seq) < minCtg {
+			continue
+		}
+		depth /= float64(len(path))
+		// Canonical output orientation: the lexicographically smaller of
+		// the sequence and its reverse complement, so results don't depend
+		// on traversal direction.
+		rc := dna.RevComp(seq)
+		if string(rc) < string(seq) {
+			seq = rc
+		}
+		out = append(out, Contig{ID: id, Seq: seq, Depth: depth})
+		id++
+	}
+	return out
+}
+
+// walkBothWays extends from start in both directions and returns the
+// assembled sequence plus the canonical k-mers consumed.
+func (t *Table) walkBothWays(start kmer.Kmer, minCount uint32, visited map[kmer.Kmer]bool) ([]byte, []kmer.Kmer) {
+	k := t.K
+	seq := start.Bytes(k)
+	canonStart, _ := start.Canonical(k)
+	path := []kmer.Kmer{canonStart}
+	onPath := map[kmer.Kmer]bool{canonStart: true}
+
+	// Rightward.
+	cur := start
+	for {
+		next, ok := t.step(cur, minCount)
+		if !ok {
+			break
+		}
+		canon, _ := next.Canonical(k)
+		if visited[canon] || onPath[canon] {
+			break
+		}
+		seq = append(seq, dna.Alphabet[next.Get(k-1)])
+		path = append(path, canon)
+		onPath[canon] = true
+		cur = next
+	}
+
+	// Leftward: walk rightward on the reverse complement, then flip.
+	cur = start.RevComp(k)
+	var leftExt []byte
+	for {
+		next, ok := t.step(cur, minCount)
+		if !ok {
+			break
+		}
+		canon, _ := next.Canonical(k)
+		if visited[canon] || onPath[canon] {
+			break
+		}
+		leftExt = append(leftExt, dna.Alphabet[next.Get(k-1)])
+		path = append(path, canon)
+		onPath[canon] = true
+		cur = next
+	}
+	if len(leftExt) > 0 {
+		full := append(dna.RevComp(leftExt), seq...)
+		seq = full
+	}
+	return seq, path
+}
+
+// step advances one base rightward from cur when the junction is fully
+// unambiguous: cur's right extension is unique, the successor exists, and
+// the successor's unique left extension points back at cur.
+func (t *Table) step(cur kmer.Kmer, minCount uint32) (kmer.Kmer, bool) {
+	info, isSelf, ok := t.Lookup(cur)
+	if !ok {
+		return kmer.Kmer{}, false
+	}
+	b, uniq := uniqueExt(orientedRight(info, isSelf), minCount)
+	if !uniq {
+		return kmer.Kmer{}, false
+	}
+	next := cur.Append(t.K, b)
+	infoN, isSelfN, ok := t.Lookup(next)
+	if !ok {
+		return kmer.Kmer{}, false
+	}
+	back, uniqN := uniqueExt(orientedLeft(infoN, isSelfN), minCount)
+	if !uniqN || back != cur.Get(0) {
+		return kmer.Kmer{}, false
+	}
+	return next, true
+}

@@ -1,0 +1,145 @@
+package dna
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// WriteFASTQ writes reads in 4-line FASTQ format.
+func WriteFASTQ(w io.Writer, reads []Read) error {
+	bw := bufio.NewWriter(w)
+	for i := range reads {
+		r := &reads[i]
+		if _, err := fmt.Fprintf(bw, "@%s\n%s\n+\n%s\n", r.ID, r.Seq, r.Qual); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFASTQ parses 4-line FASTQ records until EOF.
+func ReadFASTQ(r io.Reader) ([]Read, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var reads []Read
+	line := 0
+	for {
+		rec, err := readFASTQRecord(sc, &line)
+		if err == io.EOF {
+			return reads, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		reads = append(reads, rec)
+	}
+}
+
+func readFASTQRecord(sc *bufio.Scanner, line *int) (Read, error) {
+	// Header line.
+	hdr, err := nextLine(sc, line)
+	if err != nil {
+		return Read{}, err
+	}
+	if len(hdr) == 0 || hdr[0] != '@' {
+		return Read{}, fmt.Errorf("dna: fastq line %d: expected '@' header, got %q", *line, hdr)
+	}
+	seq, err := nextLine(sc, line)
+	if err != nil {
+		return Read{}, fmt.Errorf("dna: fastq line %d: truncated record: %v", *line, err)
+	}
+	plus, err := nextLine(sc, line)
+	if err != nil || len(plus) == 0 || plus[0] != '+' {
+		return Read{}, fmt.Errorf("dna: fastq line %d: expected '+' separator", *line)
+	}
+	qual, err := nextLine(sc, line)
+	if err != nil {
+		return Read{}, fmt.Errorf("dna: fastq line %d: truncated record: %v", *line, err)
+	}
+	if len(qual) != len(seq) {
+		return Read{}, fmt.Errorf("dna: fastq line %d: qual len %d != seq len %d", *line, len(qual), len(seq))
+	}
+	id := string(bytes.Fields(hdr[1:])[0])
+	return Read{
+		ID:   id,
+		Seq:  append([]byte(nil), seq...),
+		Qual: append([]byte(nil), qual...),
+	}, nil
+}
+
+func nextLine(sc *bufio.Scanner, line *int) ([]byte, error) {
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	*line++
+	return bytes.TrimRight(sc.Bytes(), "\r"), nil
+}
+
+// WriteFASTA writes sequences in FASTA format with the given line width
+// (or unwrapped when width <= 0). Names and sequences are matched by index.
+func WriteFASTA(w io.Writer, names []string, seqs [][]byte, width int) error {
+	if len(names) != len(seqs) {
+		return fmt.Errorf("dna: fasta: %d names but %d sequences", len(names), len(seqs))
+	}
+	bw := bufio.NewWriter(w)
+	for i, name := range names {
+		if _, err := fmt.Fprintf(bw, ">%s\n", name); err != nil {
+			return err
+		}
+		s := seqs[i]
+		if width <= 0 {
+			width = len(s)
+		}
+		for off := 0; off < len(s); off += width {
+			end := off + width
+			if end > len(s) {
+				end = len(s)
+			}
+			if _, err := bw.Write(s[off:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFASTA parses FASTA records until EOF.
+func ReadFASTA(r io.Reader) (names []string, seqs [][]byte, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var cur []byte
+	flush := func() {
+		if len(names) > len(seqs) {
+			seqs = append(seqs, cur)
+			cur = nil
+		}
+	}
+	for sc.Scan() {
+		line := bytes.TrimRight(sc.Bytes(), "\r")
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '>' {
+			flush()
+			names = append(names, string(bytes.Fields(line[1:])[0]))
+			continue
+		}
+		if len(names) == 0 {
+			return nil, nil, fmt.Errorf("dna: fasta: sequence data before first header")
+		}
+		cur = append(cur, line...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	flush()
+	return names, seqs, nil
+}

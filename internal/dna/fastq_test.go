@@ -1,0 +1,139 @@
+package dna
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func randomReads(rng *rand.Rand, n int) []Read {
+	reads := make([]Read, n)
+	for i := range reads {
+		l := 50 + rng.Intn(101)
+		seq := make([]byte, l)
+		qual := make([]byte, l)
+		for j := range seq {
+			seq[j] = Alphabet[rng.Intn(4)]
+			qual[j] = QualChar(rng.Intn(MaxQual + 1))
+		}
+		reads[i] = Read{ID: "read" + string(rune('A'+i%26)) + "x", Seq: seq, Qual: qual}
+	}
+	return reads
+}
+
+func TestFASTQRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	reads := randomReads(rng, 25)
+	var buf bytes.Buffer
+	if err := WriteFASTQ(&buf, reads); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFASTQ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(reads) {
+		t.Fatalf("round trip: %d reads, want %d", len(back), len(reads))
+	}
+	for i := range reads {
+		if back[i].ID != reads[i].ID ||
+			!bytes.Equal(back[i].Seq, reads[i].Seq) ||
+			!bytes.Equal(back[i].Qual, reads[i].Qual) {
+			t.Fatalf("read %d mismatch after round trip", i)
+		}
+	}
+}
+
+func TestFASTQHeaderComment(t *testing.T) {
+	in := "@r1 extra comment stuff\nACGT\n+\nIIII\n"
+	reads, err := ReadFASTQ(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 1 || reads[0].ID != "r1" {
+		t.Fatalf("got %+v", reads)
+	}
+}
+
+func TestFASTQErrors(t *testing.T) {
+	cases := []string{
+		"ACGT\n+\nIIII\n",      // missing @
+		"@r1\nACGT\nIIII\n+\n", // + not where expected
+		"@r1\nACGT\n+\nII\n",   // qual length mismatch
+		"@r1\nACGT\n+\n",       // truncated
+		"@r1\nACGT\n",          // truncated earlier
+	}
+	for _, in := range cases {
+		if _, err := ReadFASTQ(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestFASTQEmpty(t *testing.T) {
+	reads, err := ReadFASTQ(strings.NewReader(""))
+	if err != nil || len(reads) != 0 {
+		t.Fatalf("empty input: %v, %d reads", err, len(reads))
+	}
+}
+
+func TestFASTQCRLF(t *testing.T) {
+	in := "@r1\r\nACGT\r\n+\r\nIIII\r\n"
+	reads, err := ReadFASTQ(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reads[0].Seq) != "ACGT" {
+		t.Errorf("CRLF not stripped: %q", reads[0].Seq)
+	}
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	names := []string{"ctg1", "ctg2", "ctg3"}
+	seqs := [][]byte{
+		bytes.Repeat([]byte("ACGT"), 40),
+		[]byte("GATTACA"),
+		[]byte(""),
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, names, seqs, 60); err != nil {
+		t.Fatal(err)
+	}
+	backNames, backSeqs, err := ReadFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(backNames) != 3 {
+		t.Fatalf("got %d records", len(backNames))
+	}
+	for i := range names {
+		if backNames[i] != names[i] || !bytes.Equal(backSeqs[i], seqs[i]) {
+			t.Errorf("record %d mismatch: %q/%q", i, backNames[i], backSeqs[i])
+		}
+	}
+}
+
+func TestFASTAWrapping(t *testing.T) {
+	var buf bytes.Buffer
+	seq := bytes.Repeat([]byte("A"), 125)
+	if err := WriteFASTA(&buf, []string{"x"}, [][]byte{seq}, 50); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 { // header + 50 + 50 + 25
+		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+	if len(lines[1]) != 50 || len(lines[3]) != 25 {
+		t.Errorf("bad wrapping: %d/%d", len(lines[1]), len(lines[3]))
+	}
+}
+
+func TestFASTAErrors(t *testing.T) {
+	if _, _, err := ReadFASTA(strings.NewReader("ACGT\n>late\n")); err == nil {
+		t.Error("sequence before header accepted")
+	}
+	if err := WriteFASTA(&bytes.Buffer{}, []string{"a"}, nil, 0); err == nil {
+		t.Error("mismatched names/seqs accepted")
+	}
+}

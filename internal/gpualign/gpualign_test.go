@@ -1,0 +1,177 @@
+package gpualign
+
+import (
+	"math/rand"
+	"testing"
+
+	"mhm2sim/internal/align"
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/simt"
+)
+
+func testDev() *simt.Device {
+	cfg := simt.V100()
+	cfg.GlobalMemBytes = 1 << 26
+	return simt.NewDevice(cfg)
+}
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = dna.Alphabet[rng.Intn(4)]
+	}
+	return s
+}
+
+// reverify checks a GPU result by rerunning the CPU kernel restricted to
+// the reported span: the span must reproduce the reported score.
+func reverify(t *testing.T, task Task, band int, sc align.Scoring, r align.SWResult) {
+	t.Helper()
+	if r.Score == 0 {
+		return
+	}
+	// After slicing to the span, the path starts on diagonal 0 but may
+	// drift up to 2×band from it (the slice's own offset can consume up to
+	// one band of the original corridor).
+	sub := align.BandedSW(task.Q[r.QStart:r.QEnd], task.T[r.TStart:r.TEnd], 0, 2*band, sc)
+	if sub.Score < r.Score {
+		t.Errorf("span re-verification: span yields %d, GPU reported %d", sub.Score, r.Score)
+	}
+}
+
+func TestBatchSWMatchesCPUScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sc := align.DefaultScoring()
+	band := 8
+
+	var tasks []Task
+	// Exact substrings, mismatched copies, indel copies, overhangs, junk.
+	for trial := 0; trial < 30; trial++ {
+		tgt := randSeq(rng, 300)
+		switch trial % 5 {
+		case 0:
+			q := tgt[50 : 50+100]
+			tasks = append(tasks, Task{Q: q, T: tgt, Shift: 50})
+		case 1:
+			q := append([]byte(nil), tgt[80:200]...)
+			for _, p := range []int{10, 40, 90} {
+				c, _ := dna.Code(q[p])
+				q[p] = dna.Alphabet[(c+1)&3]
+			}
+			tasks = append(tasks, Task{Q: q, T: tgt, Shift: 80})
+		case 2:
+			q := append([]byte(nil), tgt[30:90]...)
+			q = append(q, tgt[92:160]...) // 2-base deletion
+			tasks = append(tasks, Task{Q: q, T: tgt, Shift: 30})
+		case 3:
+			q := append(append([]byte(nil), randSeq(rng, 40)...), tgt[260:300]...)
+			tasks = append(tasks, Task{Q: q, T: tgt, Shift: 220})
+		case 4:
+			tasks = append(tasks, Task{Q: randSeq(rng, 80), T: tgt, Shift: 100})
+		}
+	}
+
+	got, res, err := BatchSW(testDev(), tasks, band, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tasks) {
+		t.Fatalf("got %d results", len(got))
+	}
+	for i, task := range tasks {
+		want := align.BandedSW(task.Q, task.T, task.Shift, band, sc)
+		if got[i].Score != want.Score {
+			t.Errorf("task %d: GPU score %d, CPU %d", i, got[i].Score, want.Score)
+			continue
+		}
+		reverify(t, task, band, sc, got[i])
+	}
+	if res.TotalWarpInstrs() == 0 || res.Warps != uint64(len(tasks)) {
+		t.Error("kernel accounting missing")
+	}
+	if res.WarpInstrs[simt.ILdShared] == 0 {
+		t.Error("query staging in shared memory not exercised")
+	}
+	if res.WarpInstrs[simt.IShfl] == 0 {
+		t.Error("shuffle wavefront not exercised")
+	}
+}
+
+func TestBatchSWSpansMatchEnds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sc := align.DefaultScoring()
+	tgt := randSeq(rng, 400)
+	q := tgt[120:250]
+	got, _, err := BatchSW(testDev(), []Task{{Q: q, T: tgt, Shift: 120}}, 6, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got[0]
+	if r.Score != len(q) {
+		t.Fatalf("score %d, want %d", r.Score, len(q))
+	}
+	if r.QStart != 0 || r.QEnd != len(q) || r.TStart != 120 || r.TEnd != 250 {
+		t.Errorf("span %d..%d / %d..%d, want 0..%d / 120..250",
+			r.QStart, r.QEnd, r.TStart, r.TEnd, len(q))
+	}
+}
+
+func TestBatchSWEmptyAndValidation(t *testing.T) {
+	if _, _, err := BatchSW(testDev(), []Task{{}}, 0, align.DefaultScoring()); err == nil {
+		t.Error("band 0 accepted")
+	}
+	if _, _, err := BatchSW(testDev(), []Task{{}}, MaxBand+1, align.DefaultScoring()); err == nil {
+		t.Error("oversized band accepted")
+	}
+	got, _, err := BatchSW(testDev(), nil, 4, align.DefaultScoring())
+	if err != nil || got != nil {
+		t.Error("empty task list mishandled")
+	}
+	// Zero-length sequences score zero.
+	got, _, err = BatchSW(testDev(), []Task{{Q: nil, T: []byte("ACGT"), Shift: 0}}, 4, align.DefaultScoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Score != 0 {
+		t.Error("empty query scored")
+	}
+}
+
+func TestBatchSWManyWarpsParallel(t *testing.T) {
+	// Parallel launch (warps write disjoint outputs) must agree with the
+	// CPU on every task.
+	rng := rand.New(rand.NewSource(3))
+	sc := align.DefaultScoring()
+	var tasks []Task
+	for i := 0; i < 200; i++ {
+		tgt := randSeq(rng, 200)
+		q := tgt[40 : 40+80]
+		tasks = append(tasks, Task{Q: q, T: tgt, Shift: 40})
+	}
+	got, _, err := BatchSW(testDev(), tasks, 8, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range tasks {
+		if got[i].Score != 80 {
+			t.Fatalf("task %d: score %d", i, got[i].Score)
+		}
+		_ = task
+	}
+}
+
+func BenchmarkBatchSW(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	sc := align.DefaultScoring()
+	var tasks []Task
+	for i := 0; i < 256; i++ {
+		tgt := randSeq(rng, 300)
+		tasks = append(tasks, Task{Q: tgt[60:210], T: tgt, Shift: 60})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BatchSW(testDev(), tasks, 8, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+// Package gpucount prototypes the paper's stated future work ("we are
+// moving towards offloading other modules of MetaHipMer to GPUs"): the
+// k-mer analysis stage on the simt device. A device-wide hash table counts
+// canonical k-mers and their left/right extension evidence with the same
+// CAS-claim + linear-probing protocol the local-assembly tables use, and
+// warps map lanes to consecutive k-mers so the sequence loads coalesce.
+//
+// Unlike local assembly's warp-private tables, this table is shared by
+// every warp in the launch — the "distributed data structures" challenge
+// the conclusion names. The simulator executes such kernels sequentially
+// (KernelConfig.Sequential) because its parallel mode requires
+// warp-disjoint writes; the instruction and transaction accounting is
+// unaffected.
+package gpucount
+
+import (
+	"fmt"
+
+	"mhm2sim/internal/dbg"
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/kmer"
+	"mhm2sim/internal/murmur"
+	"mhm2sim/internal/simt"
+)
+
+// Entry layout (48 bytes):
+//
+//	offset 0  u32 state — empty (0) or full (2)
+//	offset 4  u32 count
+//	offset 8  u64 key   — canonical k-mer, packed (kmer.Kmer word 0; k ≤ 32)
+//	offset 16 4×u32 left
+//	offset 32 4×u32 right
+const (
+	entryBytes = 48
+
+	offState = 0
+	offCount = 4
+	offKey   = 8
+	offLeft  = 16
+	offRight = 32
+
+	stateEmpty = 0
+	stateFull  = 2
+
+	hashSeed = 0xc0117e8
+)
+
+// MaxK is the largest supported k (one packed word).
+const MaxK = 32
+
+// Count runs GPU k-mer counting over the sequences and returns the counted
+// table (read back to the host) plus the kernel result. The returned map
+// is keyed by the canonical k-mer's packed word, with values equivalent to
+// dbg's per-k-mer info.
+func Count(dev *simt.Device, seqs [][]byte, k int) (map[uint64]*dbg.Info, simt.KernelResult, error) {
+	if k < 4 || k > MaxK {
+		return nil, simt.KernelResult{}, fmt.Errorf("gpucount: k %d outside [4,%d]", k, MaxK)
+	}
+
+	// Stage reads contiguously (8-byte slack for vector gathers).
+	total := 0
+	offs := make([]int, len(seqs))
+	for i, s := range seqs {
+		offs[i] = total
+		total += len(s)
+	}
+	seqBase, err := dev.Malloc(int64(total + 8))
+	if err != nil {
+		return nil, simt.KernelResult{}, err
+	}
+	for i, s := range seqs {
+		dev.MemcpyHtoD(seqBase+simt.Ptr(offs[i]), s)
+	}
+
+	// Table capacity: 2x the worst-case k-mer count (load factor ≤ 0.5).
+	maxKmers := 0
+	for _, s := range seqs {
+		if len(s) >= k {
+			maxKmers += len(s) - k + 1
+		}
+	}
+	slots := 2*maxKmers + 1
+	tabBase, err := dev.Malloc(int64(slots) * entryBytes)
+	if err != nil {
+		return nil, simt.KernelResult{}, err
+	}
+
+	// Work items: one warp per sequence, grid-strided.
+	warps := len(seqs)
+	if warps > 4096 {
+		warps = 4096
+	}
+	if warps < 1 {
+		warps = 1
+	}
+	// The clear is its own launch: inside the counting kernel a later
+	// warp's clear would wipe earlier warps' inserts.
+	clearRes, err := dev.Launch(simt.KernelConfig{
+		Name:  "kmer_count_clear",
+		Warps: warps,
+	}, func(w *simt.Warp) {
+		clearTable(w, tabBase, slots, warps)
+	})
+	if err != nil {
+		return nil, simt.KernelResult{}, err
+	}
+
+	kern := countKernel(seqs, offs, seqBase, tabBase, uint64(slots), k, warps)
+	res, err := dev.Launch(simt.KernelConfig{
+		Name:       fmt.Sprintf("kmer_count_k%d", k),
+		Warps:      warps,
+		Sequential: true, // shared table: see the package comment
+	}, kern)
+	if err != nil {
+		return nil, simt.KernelResult{}, err
+	}
+	res.Stats.Add(&clearRes.Stats)
+	res.Time += clearRes.Time
+
+	// Read the table back.
+	out := make(map[uint64]*dbg.Info)
+	for s := 0; s < slots; s++ {
+		e := tabBase + simt.Ptr(s*entryBytes)
+		if dev.ReadU32(e+offState) != stateFull {
+			continue
+		}
+		info := &dbg.Info{Count: dev.ReadU32(e + offCount)}
+		for b := 0; b < 4; b++ {
+			info.Left[b] = dev.ReadU32(e + offLeft + simt.Ptr(4*b))
+			info.Right[b] = dev.ReadU32(e + offRight + simt.Ptr(4*b))
+		}
+		out[dev.ReadU64(e+offKey)] = info
+	}
+	return out, res, nil
+}
+
+// clearTable zeroes the table grid-cooperatively (state 0 = empty).
+func clearTable(w *simt.Warp, base simt.Ptr, slots, totalWarps int) {
+	zero := simt.Splat(0)
+	words := slots * entryBytes / 8
+	for first := w.ID * simt.WarpSize; first < words; first += totalWarps * simt.WarpSize {
+		var mask simt.Mask
+		var addrs simt.Vec
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			word := first + lane
+			if word >= words {
+				break
+			}
+			mask |= simt.LaneMask(lane)
+			addrs[lane] = uint64(base) + uint64(word)*8
+		}
+		if mask == 0 {
+			continue
+		}
+		w.StoreGlobal(mask, &addrs, 8, &zero)
+		w.Exec(simt.ICtrl, mask)
+	}
+}
+
+// countKernel maps warps to sequences grid-strided; within a sequence,
+// lanes take consecutive k-mers (coalesced gathers, as in the v2
+// local-assembly kernel).
+func countKernel(seqs [][]byte, offs []int, seqBase, tabBase simt.Ptr, slots uint64, k, totalWarps int) func(w *simt.Warp) {
+	return func(w *simt.Warp) {
+		for si := w.ID; si < len(seqs); si += totalWarps {
+			seq := seqs[si]
+			nk := len(seq) - k + 1
+			if nk <= 0 {
+				continue
+			}
+			for start := 0; start < nk; start += simt.WarpSize {
+				var mask simt.Mask
+				var positions [simt.WarpSize]int
+				for lane := 0; lane < simt.WarpSize && start+lane < nk; lane++ {
+					mask |= simt.LaneMask(lane)
+					positions[lane] = start + lane
+				}
+				countBatch(w, mask, seq, offs[si], positions, seqBase, tabBase, slots, k)
+			}
+		}
+	}
+}
+
+// countBatch processes one warp-width of k-mers from a single read.
+func countBatch(w *simt.Warp, mask simt.Mask, seq []byte, readOff int, positions [simt.WarpSize]int, seqBase, tabBase simt.Ptr, slots uint64, k int) {
+	// Gather the k-mer bytes: ceil((k+1)/8)+1 vector loads cover the k-mer
+	// plus its neighbours for extension evidence.
+	nblk := (k + 7) / 8
+	var words [simt.WarpSize][4]uint64
+	for b := 0; b < nblk; b++ {
+		var addrs simt.Vec
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			addrs[lane] = uint64(seqBase) + uint64(readOff+positions[lane]+8*b)
+		}
+		loaded := w.LoadGlobal(mask, &addrs, 8)
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			words[lane][b] = loaded[lane]
+		}
+	}
+	// Neighbour bases (left of the k-mer, right of it) with bounds checks.
+	var leftMask, rightMask simt.Mask
+	var leftAddrs, rightAddrs simt.Vec
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if !mask.Has(lane) {
+			continue
+		}
+		if positions[lane] > 0 {
+			leftMask |= simt.LaneMask(lane)
+			leftAddrs[lane] = uint64(seqBase) + uint64(readOff+positions[lane]-1)
+		}
+		if positions[lane]+k < len(seq) {
+			rightMask |= simt.LaneMask(lane)
+			rightAddrs[lane] = uint64(seqBase) + uint64(readOff+positions[lane]+k)
+		}
+	}
+	var leftBytes, rightBytes simt.Vec
+	if leftMask != 0 {
+		leftBytes = w.LoadGlobal(leftMask, &leftAddrs, 1)
+	}
+	if rightMask != 0 {
+		rightBytes = w.LoadGlobal(rightMask, &rightAddrs, 1)
+	}
+
+	// Per lane: pack, canonicalize (ACGT only), derive oriented exts.
+	w.ExecN(simt.IInt, mask, 3*nblk+6) // pack + rc + compare arithmetic
+	var keys simt.Vec
+	var valid simt.Mask
+	var lefts, rights [simt.WarpSize]int
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if !mask.Has(lane) {
+			continue
+		}
+		buf := make([]byte, k)
+		okAll := true
+		for i := 0; i < k; i++ {
+			b := byte(words[lane][i/8] >> uint(8*(i%8)))
+			if !dna.IsACGT(b) {
+				okAll = false
+				break
+			}
+			buf[i] = b
+		}
+		if !okAll {
+			continue
+		}
+		km, _ := kmer.FromBytes(buf, k)
+		canon, isSelf := km.Canonical(k)
+		left, right := -1, -1
+		if leftMask.Has(lane) {
+			if c, ok := dna.Code(byte(leftBytes[lane])); ok {
+				left = int(c)
+			}
+		}
+		if rightMask.Has(lane) {
+			if c, ok := dna.Code(byte(rightBytes[lane])); ok {
+				right = int(c)
+			}
+		}
+		if !isSelf {
+			left, right = comp(right), comp(left)
+		}
+		valid |= simt.LaneMask(lane)
+		keys[lane] = canon.W[0]
+		lefts[lane], rights[lane] = left, right
+	}
+	if valid == 0 {
+		return
+	}
+
+	// Hash and insert into the shared table.
+	w.ExecN(simt.IInt, valid, 6)
+	var slotsV simt.Vec
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if valid.Has(lane) {
+			slotsV[lane] = murmur.Hash64Word(keys[lane], uint64(k), hashSeed)
+		}
+	}
+	pending := valid
+	for guard := 0; pending != 0; guard++ {
+		if guard > int(slots) {
+			panic("gpucount: table full")
+		}
+		var stateAddrs, entries simt.Vec
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if pending.Has(lane) {
+				entries[lane] = uint64(tabBase) + (slotsV[lane]%slots)*entryBytes
+				stateAddrs[lane] = entries[lane] + offState
+			}
+		}
+		cmp := simt.Splat(stateEmpty)
+		claimVal := simt.Splat(stateFull)
+		observed := w.AtomicCAS(pending, &stateAddrs, &cmp, &claimVal, 4)
+
+		var claimed, occupied simt.Mask
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if !pending.Has(lane) {
+				continue
+			}
+			if observed[lane] == stateEmpty {
+				claimed |= simt.LaneMask(lane)
+			} else {
+				occupied |= simt.LaneMask(lane)
+			}
+		}
+		// Winners write their key.
+		if claimed != 0 {
+			var keyAddrs simt.Vec
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				keyAddrs[lane] = entries[lane] + offKey
+			}
+			w.StoreGlobal(claimed, &keyAddrs, 8, &keys)
+			w.SyncWarp(pending)
+		}
+		// Occupied: compare stored key.
+		matched := claimed
+		if occupied != 0 {
+			var keyAddrs simt.Vec
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				keyAddrs[lane] = entries[lane] + offKey
+			}
+			stored := w.LoadGlobal(occupied, &keyAddrs, 8)
+			w.Exec(simt.IInt, occupied)
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				if occupied.Has(lane) && stored[lane] == keys[lane] {
+					matched |= simt.LaneMask(lane)
+				}
+			}
+		}
+		if matched != 0 {
+			one := simt.Splat(1)
+			var countAddrs simt.Vec
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				countAddrs[lane] = entries[lane] + offCount
+			}
+			w.AtomicAdd(matched, &countAddrs, &one, 4)
+
+			var lm, rm simt.Mask
+			var la, ra simt.Vec
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				if !matched.Has(lane) {
+					continue
+				}
+				if lefts[lane] >= 0 {
+					lm |= simt.LaneMask(lane)
+					la[lane] = entries[lane] + offLeft + uint64(4*lefts[lane])
+				}
+				if rights[lane] >= 0 {
+					rm |= simt.LaneMask(lane)
+					ra[lane] = entries[lane] + offRight + uint64(4*rights[lane])
+				}
+			}
+			if lm != 0 {
+				w.AtomicAdd(lm, &la, &one, 4)
+			}
+			if rm != 0 {
+				w.AtomicAdd(rm, &ra, &one, 4)
+			}
+		}
+		pending &^= matched
+		if pending != 0 {
+			w.Exec(simt.IInt, pending)
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				if pending.Has(lane) {
+					slotsV[lane]++
+				}
+			}
+		}
+		w.Exec(simt.ICtrl, mask)
+	}
+}
+
+func comp(c int) int {
+	if c < 0 {
+		return -1
+	}
+	return c ^ 3
+}

@@ -1,0 +1,191 @@
+// Package gpuht implements the paper's warp-local k-mer hash table on the
+// simt device (§3.2–3.3): open addressing with linear probing, CAS-claimed
+// slots, match_any-based thread-collision resolution, and pointer-compressed
+// keys — entries store a 4-byte offset into the candidate-reads arena
+// instead of the k-mer bytes themselves (Fig 6), cutting per-key memory by
+// ~k/4 and letting key loads ride the reads already resident in memory.
+//
+// The package also implements the §3.2 sizing policy: one flat allocation
+// holds every per-extension table, with per-table slot counts of
+// maxReadLen × nReads so the load factor never exceeds
+// (l−k+1)/l ≤ (300−21+1)/300 ≈ 0.93.
+package gpuht
+
+import (
+	"fmt"
+
+	"mhm2sim/internal/murmur"
+	"mhm2sim/internal/simt"
+)
+
+// Entry layout (32 bytes, two sectors per four entries):
+//
+//	offset 0  u32  keyOff  — k-mer start offset in the reads arena; Empty if unclaimed
+//	offset 4  u32  count   — occurrences of the k-mer
+//	offset 8  4×u16 extHi  — high-quality counts of the following base (A,C,G,T)
+//	offset 16 4×u16 extLo  — low-quality counts
+//	offset 24 pad
+const (
+	EntryBytes = 32
+
+	offKeyOff = 0
+	offCount  = 4
+	offExtHi  = 8
+	offExtLo  = 16
+
+	// Empty marks an unclaimed slot.
+	Empty = 0xffffffff
+
+	// NoExt marks a k-mer with no following base (suffix of its read).
+	NoExt = 0xff
+
+	// hashSeed seeds murmur for table placement.
+	hashSeed = 0x5eed1ab5
+)
+
+// Ext is the extension object stored per k-mer: occurrence count plus
+// quality-split counts of the base that follows the k-mer (§2.3).
+type Ext struct {
+	Count uint32
+	Hi    [4]uint16
+	Lo    [4]uint16
+}
+
+// Table describes one extension's k-mer hash table inside the flat
+// allocation. Keys are offsets into the reads arena starting at SeqBase.
+type Table struct {
+	Base     simt.Ptr
+	Capacity uint64
+	SeqBase  simt.Ptr
+	K        int
+}
+
+// Bytes returns the device bytes a table of n slots occupies.
+func Bytes(slots int) int64 { return int64(slots) * EntryBytes }
+
+// SlotsPerExtension returns the paper's table size for one contig
+// extension: maxReadLen × nReads slots (§3.2). Sizing by l rather than
+// l−k+1 keeps the load factor at or below (l−k+1)/l.
+func SlotsPerExtension(maxReadLen, nReads int) int {
+	if nReads <= 0 {
+		return 0
+	}
+	return maxReadLen * nReads
+}
+
+// MaxKmers returns the worst-case distinct k-mers for one extension:
+// (l−k+1) × r.
+func MaxKmers(maxReadLen, k, nReads int) int {
+	if maxReadLen < k || nReads <= 0 {
+		return 0
+	}
+	return (maxReadLen - k + 1) * nReads
+}
+
+// LoadFactor returns the worst-case load factor of the §3.2 sizing policy
+// for reads of length l and k-mers of length k: (l−k+1)/l.
+func LoadFactor(l, k int) float64 {
+	if l <= 0 || k <= 0 || k > l {
+		return 0
+	}
+	return float64(l-k+1) / float64(l)
+}
+
+// hashBlocks is the number of 8-byte vector loads needed per key.
+func hashBlocks(k int) int { return (k + 7) / 8 }
+
+// HashKmers gathers each active lane's k-mer bytes with 8-byte vector loads
+// and returns the murmur hash per lane. addrs holds absolute device
+// addresses of the k-mer starts. Consecutive lanes pointing at consecutive
+// k-mers of one read overlap heavily, so these loads coalesce — the v2
+// improvement visible in the roofline (Fig 9).
+//
+// The arena must have at least 7 bytes of slack after any k-mer (the
+// over-read is masked out of the hash).
+func HashKmers(w *simt.Warp, mask simt.Mask, addrs *simt.Vec, k int) simt.Vec {
+	nblk := hashBlocks(k)
+	var words [simt.WarpSize][]uint64
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if mask.Has(lane) {
+			words[lane] = make([]uint64, nblk)
+		}
+	}
+	for b := 0; b < nblk; b++ {
+		var ba simt.Vec
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			ba[lane] = addrs[lane] + uint64(8*b)
+		}
+		loaded := w.LoadGlobal(mask, &ba, 8)
+		// The real kernel stages the key words in per-thread (local
+		// memory) arrays before mixing — the local traffic §4.2 reports.
+		if w.LocalBytesPerLane() >= 8*(b+1) {
+			off := simt.Splat(uint64(8 * b))
+			w.StoreLocal(mask, &off, 8, &loaded)
+			loaded = w.LoadLocal(mask, &off, 8)
+		}
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if mask.Has(lane) {
+				words[lane][b] = loaded[lane]
+			}
+		}
+	}
+	// Mixing arithmetic: ~4 integer ops per block plus finalization.
+	w.ExecN(simt.IInt, mask, 4*nblk+3)
+
+	var out simt.Vec
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if mask.Has(lane) {
+			out[lane] = murmur.Hash64Blocks(words[lane], k, hashSeed)
+		}
+	}
+	return out
+}
+
+// keysEqual compares, per active lane, the k bytes at addrA against the k
+// bytes at addrB using 8-byte vector loads, returning the equality mask.
+func keysEqual(w *simt.Warp, mask simt.Mask, addrA, addrB *simt.Vec, k int) simt.Mask {
+	nblk := hashBlocks(k)
+	eq := mask
+	for b := 0; b < nblk && eq != 0; b++ {
+		var aa, bb simt.Vec
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			aa[lane] = addrA[lane] + uint64(8*b)
+			bb[lane] = addrB[lane] + uint64(8*b)
+		}
+		va := w.LoadGlobal(eq, &aa, 8)
+		vb := w.LoadGlobal(eq, &bb, 8)
+		w.ExecN(simt.IInt, eq, 2) // mask + compare
+		keep := uint64(^uint64(0))
+		if rem := k - 8*b; rem < 8 {
+			keep = ^uint64(0) >> uint(64-8*rem)
+		}
+		var still simt.Mask
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if eq.Has(lane) && va[lane]&keep == vb[lane]&keep {
+				still |= simt.LaneMask(lane)
+			}
+		}
+		eq = still
+	}
+	return eq
+}
+
+// entryAddr returns per-lane entry addresses for the given slots.
+func (t Table) entryAddr(slots *simt.Vec) simt.Vec {
+	var out simt.Vec
+	for lane := range out {
+		out[lane] = uint64(t.Base) + (slots[lane]%t.Capacity)*EntryBytes
+	}
+	return out
+}
+
+// Validate checks table descriptor sanity.
+func (t Table) Validate() error {
+	if t.Capacity == 0 {
+		return fmt.Errorf("gpuht: zero-capacity table")
+	}
+	if t.K < 1 || t.K > 255 {
+		return fmt.Errorf("gpuht: bad k %d", t.K)
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package gpuht
+
+import "mhm2sim/internal/simt"
+
+// LookupLane probes for the k-mer whose bytes start at the absolute device
+// address keyAddr (typically inside the walk buffer), driven by a single
+// lane — the DNA-walk phase runs on one thread per warp (§3.4), with the
+// other 31 lanes predicated off. It returns the extension object and
+// whether the k-mer was found.
+func (t Table) LookupLane(w *simt.Warp, lane int, keyAddr uint64) (Ext, bool) {
+	m := simt.LaneMask(lane)
+	var addrs simt.Vec
+	addrs[lane] = keyAddr
+	hashes := HashKmers(w, m, &addrs, t.K)
+
+	slot := hashes[lane]
+	for probes := uint64(0); probes <= t.Capacity; probes++ {
+		var slots simt.Vec
+		slots[lane] = slot
+		entries := t.entryAddr(&slots)
+
+		var keyAddrVec simt.Vec
+		keyAddrVec[lane] = entries[lane] + offKeyOff
+		stored := w.LoadGlobal(m, &keyAddrVec, 4)
+		w.Exec(simt.IInt, m)
+		if stored[lane] == Empty {
+			return Ext{}, false
+		}
+
+		var storedAddrs simt.Vec
+		storedAddrs[lane] = uint64(t.SeqBase) + stored[lane]
+		if eq := keysEqual(w, m, &storedAddrs, &addrs, t.K); eq.Has(lane) {
+			return t.loadExt(w, lane, entries[lane]), true
+		}
+		slot++
+		w.Exec(simt.ICtrl, m)
+	}
+	return Ext{}, false
+}
+
+// loadExt reads the extension object of one entry from a single lane.
+func (t Table) loadExt(w *simt.Warp, lane int, entry uint64) Ext {
+	m := simt.LaneMask(lane)
+	var a simt.Vec
+
+	a[lane] = entry + offCount
+	count := w.LoadGlobal(m, &a, 4)
+
+	a[lane] = entry + offExtHi
+	hi := w.LoadGlobal(m, &a, 8)
+
+	a[lane] = entry + offExtLo
+	lo := w.LoadGlobal(m, &a, 8)
+
+	var e Ext
+	e.Count = uint32(count[lane])
+	for b := 0; b < 4; b++ {
+		e.Hi[b] = uint16(hi[lane] >> uint(16*b))
+		e.Lo[b] = uint16(lo[lane] >> uint(16*b))
+	}
+	return e
+}
+
+// Visited is the second per-extension table (§3.2): it records the walk
+// offsets of k-mers already visited so cycles terminate the walk
+// (Algorithm 2's loop_exists). Entries are 4-byte offsets into the walk
+// buffer — the same pointer-compression trick as the main table, pointing
+// into the walk buffer instead of the reads arena.
+type Visited struct {
+	Base     simt.Ptr
+	Capacity uint64
+	// BufBase is the walk buffer holding contig tail + appended bases.
+	BufBase simt.Ptr
+	K       int
+}
+
+// VisitedBytes returns the device bytes for a visited table of n slots.
+func VisitedBytes(slots int) int64 { return int64(slots) * 4 }
+
+// InsertLane records the k-mer starting at walk-buffer offset off, driven
+// by a single lane. It returns true if that k-mer was already present —
+// i.e. the walk has entered a cycle.
+func (v Visited) InsertLane(w *simt.Warp, lane int, off uint32) bool {
+	m := simt.LaneMask(lane)
+	var addrs simt.Vec
+	addrs[lane] = uint64(v.BufBase) + uint64(off)
+	hashes := HashKmers(w, m, &addrs, v.K)
+
+	slot := hashes[lane]
+	for probes := uint64(0); ; probes++ {
+		if probes > v.Capacity {
+			panic("gpuht: visited table full — walk longer than planned")
+		}
+		var slotAddr simt.Vec
+		slotAddr[lane] = uint64(v.Base) + (slot%v.Capacity)*4
+
+		var cmp, val simt.Vec
+		cmp[lane] = Empty
+		val[lane] = uint64(off)
+		observed := w.AtomicCAS(m, &slotAddr, &cmp, &val, 4)
+		w.Exec(simt.IInt, m)
+		if observed[lane] == Empty {
+			return false // claimed: first visit
+		}
+		var storedAddrs simt.Vec
+		storedAddrs[lane] = uint64(v.BufBase) + observed[lane]
+		if eq := keysEqual(w, m, &storedAddrs, &addrs, v.K); eq.Has(lane) {
+			return true // same k-mer seen before: cycle
+		}
+		slot++
+		w.Exec(simt.ICtrl, m)
+	}
+}
+
+// ClearEntriesWarp resets a run of hash-table entries using the 32 lanes
+// of a single warp — the per-iteration table reset each warp performs
+// before rebuilding its own table at a shifted k. Only the key field needs
+// a defined value (Empty): the §3.3 protocol has the CAS winner initialize
+// the rest of the entry inside the synchronized block, so the clear is a
+// flat 0xFF memset whose stores coalesce perfectly (consecutive lanes,
+// consecutive 8-byte words) — an option the v1 thread-per-table kernel
+// does not have.
+func ClearEntriesWarp(w *simt.Warp, base simt.Ptr, entries int) {
+	totalWords := entries * EntryBytes / 8
+	ones := simt.Splat(^uint64(0))
+	for first := 0; first < totalWords; first += simt.WarpSize {
+		var mask simt.Mask
+		var addrs simt.Vec
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			word := first + lane
+			if word >= totalWords {
+				break
+			}
+			mask |= simt.LaneMask(lane)
+			addrs[lane] = uint64(base) + uint64(word)*8
+		}
+		if mask == 0 {
+			continue
+		}
+		w.StoreGlobal(mask, &addrs, 8, &ones)
+		w.Exec(simt.ICtrl, mask)
+	}
+}
+
+// ClearEntries resets count/ext words to zero and key fields to Empty for a
+// run of hash-table entries, cooperatively across the launch's warps: warp
+// w handles entries w.ID, w.ID+totalWarps, ... with its 32 lanes striding
+// entry-parallel.
+func ClearEntries(w *simt.Warp, base simt.Ptr, entries, totalWarps int) {
+	clearEntriesStride(w, base, entries, w.ID, totalWarps)
+}
+
+func clearEntriesStride(w *simt.Warp, base simt.Ptr, entries, warpIdx, totalWarps int) {
+	emptyKey := simt.Splat(uint64(Empty)) // keyOff=Empty, count=0 in one u64
+	zero := simt.Splat(0)
+	for first := warpIdx * simt.WarpSize; first < entries; first += totalWarps * simt.WarpSize {
+		var mask simt.Mask
+		var a0, a8, a16, a24 simt.Vec
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			idx := first + lane
+			if idx >= entries {
+				break
+			}
+			mask |= simt.LaneMask(lane)
+			e := uint64(base) + uint64(idx)*EntryBytes
+			a0[lane], a8[lane], a16[lane], a24[lane] = e, e+8, e+16, e+24
+		}
+		if mask == 0 {
+			continue
+		}
+		w.StoreGlobal(mask, &a0, 8, &emptyKey)
+		w.StoreGlobal(mask, &a8, 8, &zero)
+		w.StoreGlobal(mask, &a16, 8, &zero)
+		w.StoreGlobal(mask, &a24, 8, &zero)
+		w.Exec(simt.ICtrl, mask)
+	}
+}
+
+// ClearVisitedWarp resets a run of visited-table slots to Empty using a
+// single warp's lanes.
+func ClearVisitedWarp(w *simt.Warp, base simt.Ptr, slots int) {
+	clearVisitedStride(w, base, slots, 0, 1)
+}
+
+// ClearVisited resets a run of visited-table slots to Empty, warp-
+// cooperatively as in ClearEntries.
+func ClearVisited(w *simt.Warp, base simt.Ptr, slots, totalWarps int) {
+	clearVisitedStride(w, base, slots, w.ID, totalWarps)
+}
+
+func clearVisitedStride(w *simt.Warp, base simt.Ptr, slots, warpIdx, totalWarps int) {
+	empty := simt.Splat(uint64(Empty))
+	for first := warpIdx * simt.WarpSize; first < slots; first += totalWarps * simt.WarpSize {
+		var mask simt.Mask
+		var addrs simt.Vec
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			idx := first + lane
+			if idx >= slots {
+				break
+			}
+			mask |= simt.LaneMask(lane)
+			addrs[lane] = uint64(base) + uint64(idx)*4
+		}
+		if mask == 0 {
+			continue
+		}
+		w.StoreGlobal(mask, &addrs, 4, &empty)
+		w.Exec(simt.ICtrl, mask)
+	}
+}

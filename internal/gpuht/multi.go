@@ -1,0 +1,454 @@
+package gpuht
+
+import (
+	"mhm2sim/internal/murmur"
+	"mhm2sim/internal/simt"
+)
+
+// This file implements the per-lane-table operations used by the v1
+// ("one thread per hash table") kernel of §4.2: every lane of a warp owns
+// a different extension's table and walks its own contig, so lanes issue
+// loads against 32 unrelated memory regions. The divergent transactions
+// and the predication of lanes that finish early are exactly what Figs
+// 8 and 10 measure against the warp-cooperative v2.
+
+// LaneTables describes one k-mer hash table per lane. Lanes may sit at
+// different mer sizes (the §2.3 ladder advances independently per
+// extension).
+type LaneTables struct {
+	Base     [simt.WarpSize]uint64 // device address of each lane's table
+	Capacity [simt.WarpSize]uint64
+	SeqBase  simt.Ptr
+	K        [simt.WarpSize]int
+}
+
+// maxBlocks returns the widest lane's 8-byte block count.
+func maxBlocks(mask simt.Mask, ks *[simt.WarpSize]int) int {
+	n := 0
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if mask.Has(lane) {
+			if b := hashBlocks(ks[lane]); b > n {
+				n = b
+			}
+		}
+	}
+	return n
+}
+
+// HashKmersVar is HashKmers with a per-lane k: lanes gather their own
+// k-mers (divergent loads) and hash them.
+func HashKmersVar(w *simt.Warp, mask simt.Mask, addrs *simt.Vec, ks *[simt.WarpSize]int) simt.Vec {
+	nblk := maxBlocks(mask, ks)
+	var words [simt.WarpSize][]uint64
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if mask.Has(lane) {
+			words[lane] = make([]uint64, hashBlocks(ks[lane]))
+		}
+	}
+	for b := 0; b < nblk; b++ {
+		var bm simt.Mask
+		var ba simt.Vec
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if mask.Has(lane) && b < hashBlocks(ks[lane]) {
+				bm |= simt.LaneMask(lane)
+				ba[lane] = addrs[lane] + uint64(8*b)
+			}
+		}
+		if bm == 0 {
+			continue
+		}
+		loaded := w.LoadGlobal(bm, &ba, 8)
+		if w.LocalBytesPerLane() >= 8*(b+1) {
+			off := simt.Splat(uint64(8 * b))
+			w.StoreLocal(bm, &off, 8, &loaded)
+			loaded = w.LoadLocal(bm, &off, 8)
+		}
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if bm.Has(lane) {
+				words[lane][b] = loaded[lane]
+			}
+		}
+	}
+	w.ExecN(simt.IInt, mask, 4*nblk+3)
+
+	var out simt.Vec
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if mask.Has(lane) {
+			out[lane] = murmur.Hash64Blocks(words[lane], ks[lane], hashSeed)
+		}
+	}
+	return out
+}
+
+// keysEqualVar compares per-lane keys of per-lane lengths.
+func keysEqualVar(w *simt.Warp, mask simt.Mask, addrA, addrB *simt.Vec, ks *[simt.WarpSize]int) simt.Mask {
+	nblk := maxBlocks(mask, ks)
+	eq := mask
+	for b := 0; b < nblk && eq != 0; b++ {
+		var bm simt.Mask
+		var aa, bb simt.Vec
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if eq.Has(lane) && b < hashBlocks(ks[lane]) {
+				bm |= simt.LaneMask(lane)
+				aa[lane] = addrA[lane] + uint64(8*b)
+				bb[lane] = addrB[lane] + uint64(8*b)
+			}
+		}
+		if bm == 0 {
+			break
+		}
+		va := w.LoadGlobal(bm, &aa, 8)
+		vb := w.LoadGlobal(bm, &bb, 8)
+		w.ExecN(simt.IInt, bm, 2)
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if !bm.Has(lane) {
+				continue
+			}
+			keep := ^uint64(0)
+			if rem := ks[lane] - 8*b; rem < 8 {
+				keep = ^uint64(0) >> uint(64-8*rem)
+			}
+			if va[lane]&keep != vb[lane]&keep {
+				eq &^= simt.LaneMask(lane)
+			}
+		}
+	}
+	return eq
+}
+
+// InsertLanes inserts one k-mer per active lane into that lane's own
+// table. Thread collisions cannot occur across tables, so no match_any is
+// needed; hash collisions probe linearly within each lane's table.
+func (t LaneTables) InsertLanes(w *simt.Warp, mask simt.Mask, keyOffs, extBases *simt.Vec, extHiQ simt.Mask) {
+	if mask == 0 {
+		return
+	}
+	var addrs simt.Vec
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		addrs[lane] = uint64(t.SeqBase) + keyOffs[lane]
+	}
+	hashes := HashKmersVar(w, mask, &addrs, &t.K)
+
+	slots := hashes
+	pending := mask
+	guard := uint64(0)
+	for pending != 0 {
+		if guard++; guard > 1<<22 {
+			panic("gpuht: lane-table insert did not converge")
+		}
+		var entries simt.Vec
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if pending.Has(lane) {
+				entries[lane] = t.Base[lane] + (slots[lane]%t.Capacity[lane])*EntryBytes
+			}
+		}
+		cmp := simt.Splat(Empty)
+		observed := w.AtomicCAS(pending, &entries, &cmp, keyOffs, 4)
+
+		var claimed, occupied simt.Mask
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if !pending.Has(lane) {
+				continue
+			}
+			if observed[lane] == Empty {
+				claimed |= simt.LaneMask(lane)
+			} else {
+				occupied |= simt.LaneMask(lane)
+			}
+		}
+		// Claiming lanes initialize their entries (the clear is a 0xFF
+		// memset; see ClearLaneRegions).
+		if claimed != 0 {
+			zero := simt.Splat(0)
+			var a simt.Vec
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				a[lane] = entries[lane] + offCount
+			}
+			w.StoreGlobal(claimed, &a, 4, &zero)
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				a[lane] = entries[lane] + offExtHi
+			}
+			w.StoreGlobal(claimed, &a, 8, &zero)
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				a[lane] = entries[lane] + offExtLo
+			}
+			w.StoreGlobal(claimed, &a, 8, &zero)
+		}
+		matched := claimed
+		if occupied != 0 {
+			var storedAddrs simt.Vec
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				if occupied.Has(lane) {
+					storedAddrs[lane] = uint64(t.SeqBase) + observed[lane]
+				}
+			}
+			matched |= keysEqualVar(w, occupied, &storedAddrs, &addrs, &t.K)
+		}
+		if matched != 0 {
+			t.updateCounts(w, matched, &entries, extBases, extHiQ)
+		}
+		pending &^= matched
+		if pending != 0 {
+			w.Exec(simt.IInt, pending)
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				if pending.Has(lane) {
+					slots[lane]++
+				}
+			}
+		}
+		w.Exec(simt.ICtrl, mask)
+	}
+}
+
+// updateCounts mirrors Table.updateCounts for per-lane entries.
+func (t LaneTables) updateCounts(w *simt.Warp, matched simt.Mask, entries, extBases *simt.Vec, extHiQ simt.Mask) {
+	one := simt.Splat(1)
+	var countAddrs simt.Vec
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		countAddrs[lane] = entries[lane] + offCount
+	}
+	w.AtomicAdd(matched, &countAddrs, &one, 4)
+
+	var hiMask, loMask simt.Mask
+	var extAddrs simt.Vec
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if !matched.Has(lane) || extBases[lane] == NoExt {
+			continue
+		}
+		base := extBases[lane] & 3
+		if extHiQ.Has(lane) {
+			hiMask |= simt.LaneMask(lane)
+			extAddrs[lane] = entries[lane] + offExtHi + 2*base
+		} else {
+			loMask |= simt.LaneMask(lane)
+			extAddrs[lane] = entries[lane] + offExtLo + 2*base
+		}
+	}
+	if hiMask != 0 {
+		w.AtomicAdd(hiMask, &extAddrs, &one, 2)
+	}
+	if loMask != 0 {
+		w.AtomicAdd(loMask, &extAddrs, &one, 2)
+	}
+}
+
+// LookupLanes probes each active lane's own table for the k-mer at that
+// lane's key address, returning per-lane extensions and the found mask.
+func (t LaneTables) LookupLanes(w *simt.Warp, mask simt.Mask, keyAddrs *simt.Vec) ([simt.WarpSize]Ext, simt.Mask) {
+	var exts [simt.WarpSize]Ext
+	var found simt.Mask
+	if mask == 0 {
+		return exts, 0
+	}
+	hashes := HashKmersVar(w, mask, keyAddrs, &t.K)
+
+	slots := hashes
+	pending := mask
+	guard := uint64(0)
+	for pending != 0 {
+		if guard++; guard > 1<<22 {
+			panic("gpuht: lane-table lookup did not converge")
+		}
+		var entries, keyFieldAddrs simt.Vec
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if pending.Has(lane) {
+				entries[lane] = t.Base[lane] + (slots[lane]%t.Capacity[lane])*EntryBytes
+				keyFieldAddrs[lane] = entries[lane] + offKeyOff
+			}
+		}
+		stored := w.LoadGlobal(pending, &keyFieldAddrs, 4)
+		w.Exec(simt.IInt, pending)
+
+		var missing, occupied simt.Mask
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if !pending.Has(lane) {
+				continue
+			}
+			if stored[lane] == Empty {
+				missing |= simt.LaneMask(lane)
+			} else {
+				occupied |= simt.LaneMask(lane)
+			}
+		}
+		pending &^= missing
+
+		if occupied != 0 {
+			var storedAddrs simt.Vec
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				if occupied.Has(lane) {
+					storedAddrs[lane] = uint64(t.SeqBase) + stored[lane]
+				}
+			}
+			eq := keysEqualVar(w, occupied, &storedAddrs, keyAddrs, &t.K)
+			if eq != 0 {
+				// Load extension objects for the matching lanes.
+				var a simt.Vec
+				for lane := 0; lane < simt.WarpSize; lane++ {
+					a[lane] = entries[lane] + offCount
+				}
+				counts := w.LoadGlobal(eq, &a, 4)
+				for lane := 0; lane < simt.WarpSize; lane++ {
+					a[lane] = entries[lane] + offExtHi
+				}
+				his := w.LoadGlobal(eq, &a, 8)
+				for lane := 0; lane < simt.WarpSize; lane++ {
+					a[lane] = entries[lane] + offExtLo
+				}
+				los := w.LoadGlobal(eq, &a, 8)
+				for lane := 0; lane < simt.WarpSize; lane++ {
+					if !eq.Has(lane) {
+						continue
+					}
+					e := &exts[lane]
+					e.Count = uint32(counts[lane])
+					for b := 0; b < 4; b++ {
+						e.Hi[b] = uint16(his[lane] >> uint(16*b))
+						e.Lo[b] = uint16(los[lane] >> uint(16*b))
+					}
+				}
+				found |= eq
+				pending &^= eq
+				occupied &^= eq
+			}
+			// Hash collisions probe on.
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				if occupied.Has(lane) {
+					slots[lane]++
+				}
+			}
+			if occupied != 0 {
+				w.Exec(simt.IInt, occupied)
+			}
+		}
+		w.Exec(simt.ICtrl, mask)
+	}
+	return exts, found
+}
+
+// LaneVisited is the per-lane visited table (cycle detection) for v1.
+type LaneVisited struct {
+	Base     [simt.WarpSize]uint64
+	Capacity [simt.WarpSize]uint64
+	BufBase  [simt.WarpSize]uint64 // each lane's walk buffer
+	K        [simt.WarpSize]int
+}
+
+// InsertLanes records each active lane's current walk k-mer in that lane's
+// visited table, returning the mask of lanes that had already seen theirs
+// (cycles).
+func (v LaneVisited) InsertLanes(w *simt.Warp, mask simt.Mask, offs *simt.Vec) simt.Mask {
+	var seen simt.Mask
+	if mask == 0 {
+		return 0
+	}
+	var addrs simt.Vec
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		addrs[lane] = v.BufBase[lane] + offs[lane]
+	}
+	hashes := HashKmersVar(w, mask, &addrs, &v.K)
+
+	slots := hashes
+	pending := mask
+	guard := uint64(0)
+	for pending != 0 {
+		if guard++; guard > 1<<22 {
+			panic("gpuht: lane visited insert did not converge")
+		}
+		var slotAddrs simt.Vec
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if pending.Has(lane) {
+				slotAddrs[lane] = v.Base[lane] + (slots[lane]%v.Capacity[lane])*4
+			}
+		}
+		cmp := simt.Splat(Empty)
+		observed := w.AtomicCAS(pending, &slotAddrs, &cmp, offs, 4)
+		w.Exec(simt.IInt, pending)
+
+		var claimed, occupied simt.Mask
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if !pending.Has(lane) {
+				continue
+			}
+			if observed[lane] == Empty {
+				claimed |= simt.LaneMask(lane)
+			} else {
+				occupied |= simt.LaneMask(lane)
+			}
+		}
+		pending &^= claimed
+
+		if occupied != 0 {
+			var storedAddrs simt.Vec
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				if occupied.Has(lane) {
+					storedAddrs[lane] = v.BufBase[lane] + observed[lane]
+				}
+			}
+			eq := keysEqualVar(w, occupied, &storedAddrs, &addrs, &v.K)
+			seen |= eq
+			pending &^= eq
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				if pending.Has(lane) && occupied.Has(lane) {
+					slots[lane]++
+				}
+			}
+		}
+		w.Exec(simt.ICtrl, mask)
+	}
+	return seen
+}
+
+// ClearLaneRegions memsets each lane's own hash table to 0xFF (key fields
+// become Empty; claiming lanes initialize the rest), lockstep over word
+// index. Lanes write into 32 unrelated tables, so nothing coalesces — the
+// v1 clear pays ~32 transactions per store instruction where v2 pays 8.
+func ClearLaneRegions(w *simt.Warp, mask simt.Mask, base, capacity *[simt.WarpSize]uint64) {
+	maxWords := uint64(0)
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if wds := capacity[lane] * EntryBytes / 8; mask.Has(lane) && wds > maxWords {
+			maxWords = wds
+		}
+	}
+	ones := simt.Splat(^uint64(0))
+	for s := uint64(0); s < maxWords; s++ {
+		var m simt.Mask
+		var addrs simt.Vec
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if mask.Has(lane) && s < capacity[lane]*EntryBytes/8 {
+				m |= simt.LaneMask(lane)
+				addrs[lane] = base[lane] + s*8
+			}
+		}
+		if m == 0 {
+			continue
+		}
+		w.StoreGlobal(m, &addrs, 8, &ones)
+		w.Exec(simt.ICtrl, m)
+	}
+}
+
+// ClearLaneVisited resets per-lane visited slots to Empty, lockstep.
+func ClearLaneVisited(w *simt.Warp, mask simt.Mask, base, capacity *[simt.WarpSize]uint64) {
+	maxCap := uint64(0)
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if mask.Has(lane) && capacity[lane] > maxCap {
+			maxCap = capacity[lane]
+		}
+	}
+	empty := simt.Splat(uint64(Empty))
+	for s := uint64(0); s < maxCap; s++ {
+		var m simt.Mask
+		var addrs simt.Vec
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if mask.Has(lane) && s < capacity[lane] {
+				m |= simt.LaneMask(lane)
+				addrs[lane] = base[lane] + s*4
+			}
+		}
+		if m == 0 {
+			continue
+		}
+		w.StoreGlobal(m, &addrs, 4, &empty)
+		w.Exec(simt.ICtrl, m)
+	}
+}

@@ -1,0 +1,201 @@
+// Package kmer implements fixed-capacity packed k-mers for k ≤ 128, the
+// unit of work for k-mer analysis, de Bruijn graph construction, and the
+// local-assembly hash tables.
+//
+// A Kmer packs bases two bits each into four uint64 words, ordered so that
+// numeric word comparison equals lexicographic base comparison (base 0 sits
+// in the top bits of word 0). That makes canonicalization — picking the
+// lexicographically smaller of a k-mer and its reverse complement — a plain
+// word compare.
+package kmer
+
+import (
+	"fmt"
+
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/murmur"
+)
+
+// MaxK is the largest supported k-mer length.
+const MaxK = 128
+
+// Words is the number of uint64 words backing a Kmer.
+const Words = MaxK / 32
+
+// Kmer is a packed DNA string of up to MaxK bases. The zero Kmer is the
+// all-'A' string (of whatever length the caller tracks); lengths are carried
+// alongside k-mers, not inside them, since every container in the assembler
+// holds k-mers of a single length.
+type Kmer struct {
+	W [Words]uint64
+}
+
+// Get returns the 2-bit code of base i.
+func (k Kmer) Get(i int) byte {
+	return byte(k.W[i>>5]>>(62-2*(uint(i)&31))) & 3
+}
+
+// set stores the 2-bit code c at base i (no bounds checks beyond the array).
+func (k *Kmer) set(i int, c byte) {
+	sh := 62 - 2*(uint(i)&31)
+	w := &k.W[i>>5]
+	*w = *w&^(3<<sh) | uint64(c)<<sh
+}
+
+// FromBytes packs the first k bases of seq. It reports ok=false if seq is
+// shorter than k or contains an ambiguous base in the window.
+func FromBytes(seq []byte, k int) (Kmer, bool) {
+	var km Kmer
+	if k < 1 || k > MaxK || len(seq) < k {
+		return km, false
+	}
+	for i := 0; i < k; i++ {
+		c, valid := dna.Code(seq[i])
+		if !valid {
+			return Kmer{}, false
+		}
+		km.set(i, c)
+	}
+	return km, true
+}
+
+// MustFromString packs a string, panicking on invalid input; intended for
+// tests and examples.
+func MustFromString(s string) Kmer {
+	km, ok := FromBytes([]byte(s), len(s))
+	if !ok {
+		panic(fmt.Sprintf("kmer: invalid k-mer %q", s))
+	}
+	return km
+}
+
+// Bytes unpacks the k-mer into ASCII bases.
+func (k Kmer) Bytes(klen int) []byte {
+	out := make([]byte, klen)
+	for i := 0; i < klen; i++ {
+		out[i] = dna.Alphabet[k.Get(i)]
+	}
+	return out
+}
+
+// String unpacks assuming the caller's length; provided via Sprint helper.
+func (k Kmer) String(klen int) string { return string(k.Bytes(klen)) }
+
+// Append drops the first base and appends code c at position klen-1,
+// producing the next k-mer of a rightward walk.
+func (k Kmer) Append(klen int, c byte) Kmer {
+	var out Kmer
+	for j := 0; j < Words; j++ {
+		out.W[j] = k.W[j] << 2
+		if j+1 < Words {
+			out.W[j] |= k.W[j+1] >> 62
+		}
+	}
+	out.set(klen-1, c)
+	out.clearTail(klen)
+	return out
+}
+
+// Prepend drops the last base and prepends code c at position 0, producing
+// the next k-mer of a leftward walk.
+func (k Kmer) Prepend(klen int, c byte) Kmer {
+	var out Kmer
+	for j := Words - 1; j >= 0; j-- {
+		out.W[j] = k.W[j] >> 2
+		if j > 0 {
+			out.W[j] |= k.W[j-1] << 62
+		}
+	}
+	out.set(0, c)
+	out.clearTail(klen)
+	return out
+}
+
+// clearTail zeroes every bit beyond base klen-1 so that equality and
+// comparison are well defined.
+func (k *Kmer) clearTail(klen int) {
+	if klen >= MaxK {
+		return
+	}
+	word := klen >> 5
+	rem := uint(klen) & 31
+	if rem != 0 {
+		k.W[word] &= ^uint64(0) << (64 - 2*rem)
+		word++
+	}
+	for ; word < Words; word++ {
+		k.W[word] = 0
+	}
+}
+
+// RevComp returns the reverse complement at length klen.
+func (k Kmer) RevComp(klen int) Kmer {
+	var out Kmer
+	for i := 0; i < klen; i++ {
+		out.set(klen-1-i, k.Get(i)^3) // 2-bit complement is XOR 3 (A<->T, C<->G)
+	}
+	return out
+}
+
+// Less reports lexicographic order (valid because of the packing layout).
+func (k Kmer) Less(o Kmer) bool {
+	for j := 0; j < Words; j++ {
+		if k.W[j] != o.W[j] {
+			return k.W[j] < o.W[j]
+		}
+	}
+	return false
+}
+
+// Canonical returns the lexicographically smaller of k and its reverse
+// complement, plus whether k itself was already canonical.
+func (k Kmer) Canonical(klen int) (Kmer, bool) {
+	rc := k.RevComp(klen)
+	if rc.Less(k) {
+		return rc, false
+	}
+	return k, true
+}
+
+// Hash returns the MurmurHash2 of the packed representation. Only the words
+// covering klen bases participate, so equal k-mers hash equally regardless
+// of history.
+func (k Kmer) Hash(seed uint64) uint64 {
+	h := seed
+	for j := 0; j < Words; j += 2 {
+		h = murmur.Hash64Word(k.W[j], k.W[j+1], h)
+	}
+	return h
+}
+
+// ForEach calls fn for every valid k-mer window of seq, skipping windows
+// that contain ambiguous bases. pos is the window's start offset in seq.
+func ForEach(seq []byte, k int, fn func(pos int, km Kmer)) {
+	if k < 1 || k > MaxK || len(seq) < k {
+		return
+	}
+	var km Kmer
+	valid := 0 // number of consecutive valid bases ending at i
+	for i := 0; i < len(seq); i++ {
+		c, ok := dna.Code(seq[i])
+		if !ok {
+			valid = 0
+			km = Kmer{}
+			continue
+		}
+		km = km.Append(k, c)
+		if valid < k {
+			valid++
+		}
+		if valid >= k {
+			fn(i-k+1, km)
+		}
+	}
+}
+
+// Count returns the number of valid k-mer windows in seq.
+func Count(seq []byte, k int) int {
+	n := 0
+	ForEach(seq, k, func(int, Kmer) { n++ })
+	return n
+}

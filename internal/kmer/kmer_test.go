@@ -1,0 +1,237 @@
+package kmer
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mhm2sim/internal/dna"
+)
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = dna.Alphabet[rng.Intn(4)]
+	}
+	return s
+}
+
+func TestFromBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []int{1, 2, 21, 31, 32, 33, 63, 64, 65, 96, 127, 128} {
+		seq := randSeq(rng, k)
+		km, ok := FromBytes(seq, k)
+		if !ok {
+			t.Fatalf("k=%d: FromBytes failed", k)
+		}
+		if got := km.String(k); got != string(seq) {
+			t.Errorf("k=%d: round trip %q != %q", k, got, seq)
+		}
+	}
+}
+
+func TestFromBytesRejects(t *testing.T) {
+	if _, ok := FromBytes([]byte("ACGN"), 4); ok {
+		t.Error("accepted ambiguous base")
+	}
+	if _, ok := FromBytes([]byte("ACG"), 4); ok {
+		t.Error("accepted short sequence")
+	}
+	if _, ok := FromBytes(randSeq(rand.New(rand.NewSource(1)), 200), MaxK+1); ok {
+		t.Error("accepted k > MaxK")
+	}
+	if _, ok := FromBytes([]byte("ACG"), 0); ok {
+		t.Error("accepted k = 0")
+	}
+}
+
+func TestAppendMatchesString(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, k := range []int{2, 21, 32, 33, 64, 65, 128} {
+		seq := randSeq(rng, k+40)
+		km, _ := FromBytes(seq, k)
+		for i := k; i < len(seq); i++ {
+			c, _ := dna.Code(seq[i])
+			km = km.Append(k, c)
+			want := string(seq[i-k+1 : i+1])
+			if got := km.String(k); got != want {
+				t.Fatalf("k=%d step %d: %q != %q", k, i, got, want)
+			}
+		}
+	}
+}
+
+func TestPrependMatchesString(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range []int{2, 21, 33, 64, 96} {
+		seq := randSeq(rng, k+20)
+		km, _ := FromBytes(seq[20:], k)
+		for i := 19; i >= 0; i-- {
+			c, _ := dna.Code(seq[i])
+			km = km.Prepend(k, c)
+			want := string(seq[i : i+k])
+			if got := km.String(k); got != want {
+				t.Fatalf("k=%d step %d: %q != %q", k, i, got, want)
+			}
+		}
+	}
+}
+
+func TestRevCompMatchesDNA(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, k := range []int{1, 21, 32, 55, 99, 128} {
+		seq := randSeq(rng, k)
+		km, _ := FromBytes(seq, k)
+		want := string(dna.RevComp(seq))
+		if got := km.RevComp(k).String(k); got != want {
+			t.Errorf("k=%d: revcomp %q != %q", k, got, want)
+		}
+	}
+}
+
+func TestRevCompInvolution(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := len(raw)
+		if k > MaxK {
+			k = MaxK
+		}
+		seq := make([]byte, k)
+		for i := range seq {
+			seq[i] = dna.Alphabet[raw[i]%4]
+		}
+		km, _ := FromBytes(seq, k)
+		return km.RevComp(k).RevComp(k) == km
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLessMatchesLexicographic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(MaxK)
+		a, b := randSeq(rng, k), randSeq(rng, k)
+		ka, _ := FromBytes(a, k)
+		kb, _ := FromBytes(b, k)
+		want := string(a) < string(b)
+		if got := ka.Less(kb); got != want {
+			t.Fatalf("k=%d: Less(%q,%q)=%v want %v", k, a, b, got, want)
+		}
+	}
+}
+
+func TestCanonicalProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(64)
+		seq := randSeq(rng, k)
+		km, _ := FromBytes(seq, k)
+		canon, isSelf := km.Canonical(k)
+		rcCanon, _ := km.RevComp(k).Canonical(k)
+		if canon != rcCanon {
+			t.Fatalf("k=%d %q: canonical not invariant under revcomp", k, seq)
+		}
+		if isSelf && canon != km {
+			t.Fatalf("isSelf=true but canon differs")
+		}
+		if canon.RevComp(k).Less(canon) {
+			t.Fatalf("canonical form is not minimal")
+		}
+	}
+}
+
+func TestHashEqualityAndSpread(t *testing.T) {
+	a := MustFromString("ACGTACGTACGTACGTACGTA")
+	b := MustFromString("ACGTACGTACGTACGTACGTA")
+	if a.Hash(1) != b.Hash(1) {
+		t.Error("equal k-mers hash differently")
+	}
+	c := MustFromString("ACGTACGTACGTACGTACGTC")
+	if a.Hash(1) == c.Hash(1) {
+		t.Error("suspicious collision between distinct k-mers")
+	}
+	if a.Hash(1) == a.Hash(2) {
+		t.Error("seed ignored")
+	}
+}
+
+func TestForEachWindows(t *testing.T) {
+	seq := []byte("ACGTACGTAC")
+	k := 4
+	var got []string
+	ForEach(seq, k, func(pos int, km Kmer) {
+		if want := string(seq[pos : pos+k]); km.String(k) != want {
+			t.Fatalf("pos %d: %q != %q", pos, km.String(k), want)
+		}
+		got = append(got, km.String(k))
+	})
+	if len(got) != len(seq)-k+1 {
+		t.Fatalf("got %d windows, want %d", len(got), len(seq)-k+1)
+	}
+}
+
+func TestForEachSkipsAmbiguous(t *testing.T) {
+	seq := []byte("ACGTNACGTA")
+	var got []string
+	ForEach(seq, 4, func(pos int, km Kmer) {
+		got = append(got, km.String(4))
+	})
+	want := []string{"ACGT", "ACGT", "CGTA"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("got %v want %v", got, want)
+	}
+	if Count(seq, 4) != 3 {
+		t.Errorf("Count = %d, want 3", Count(seq, 4))
+	}
+}
+
+func TestForEachShortInput(t *testing.T) {
+	if Count([]byte("ACG"), 4) != 0 {
+		t.Error("short input should yield no windows")
+	}
+	if Count(nil, 4) != 0 {
+		t.Error("nil input should yield no windows")
+	}
+}
+
+func TestClearTailIsolation(t *testing.T) {
+	// Two k-mers with the same klen prefix but built through different
+	// histories must be equal.
+	long := MustFromString("ACGTACGTACGTACGTACGTACGTACGTACGTACGT")
+	k := 8
+	var a Kmer
+	for i := 0; i < k; i++ {
+		a = a.Append(k, long.Get(i))
+	}
+	b, _ := FromBytes([]byte("ACGTACGT"), k)
+	if a != b {
+		t.Errorf("histories leak into representation: %q vs %q", a.String(k), b.String(k))
+	}
+}
+
+func BenchmarkAppendK21(b *testing.B) {
+	km := MustFromString("ACGTACGTACGTACGTACGTA")
+	for i := 0; i < b.N; i++ {
+		km = km.Append(21, byte(i)&3)
+	}
+}
+
+func BenchmarkForEachK21Read150(b *testing.B) {
+	seq := randSeq(rand.New(rand.NewSource(9)), 150)
+	b.SetBytes(150)
+	for i := 0; i < b.N; i++ {
+		ForEach(seq, 21, func(int, Kmer) {})
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	km := MustFromString("ACGTACGTACGTACGTACGTA")
+	for i := 0; i < b.N; i++ {
+		_ = km.Hash(uint64(i))
+	}
+}

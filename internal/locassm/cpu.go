@@ -1,0 +1,195 @@
+package locassm
+
+import (
+	"runtime"
+	"sync"
+
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/gpuht"
+)
+
+// WorkCounts tallies the algorithmic work of a local-assembly run; the
+// cluster model converts these counts into Summit-CPU time.
+type WorkCounts struct {
+	TableBuilds   int64 // hash-table constructions (one per mer size tried per side)
+	KmersInserted int64 // Algorithm 1 insertions
+	Lookups       int64 // Algorithm 2 hash probes
+	WalkSteps     int64 // accepted extension steps
+}
+
+// Add accumulates o into w.
+func (w *WorkCounts) Add(o WorkCounts) {
+	w.TableBuilds += o.TableBuilds
+	w.KmersInserted += o.KmersInserted
+	w.Lookups += o.Lookups
+	w.WalkSteps += o.WalkSteps
+}
+
+// CPUResult is the outcome of a CPU local-assembly run.
+type CPUResult struct {
+	Results []Result
+	Counts  WorkCounts
+}
+
+// RunCPU locally assembles every contig on the host, using the reference
+// implementation of Algorithms 1 and 2, fanned out over `workers`
+// goroutines (MetaHipMer uses every core on the node, §4.4). Results are
+// returned in input order.
+func RunCPU(ctgs []*CtgWithReads, cfg Config, workers int) (*CPUResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &CPUResult{Results: make([]Result, len(ctgs))}
+	counts := make([]WorkCounts, workers)
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for wk := 0; wk < workers; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			for i := range next {
+				res.Results[i] = extendContigCPU(ctgs[i], &cfg, &counts[wk])
+			}
+		}(wk)
+	}
+	for i := range ctgs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i := range counts {
+		res.Counts.Add(counts[i])
+	}
+	return res, nil
+}
+
+// extendContigCPU runs both side extensions for one contig.
+func extendContigCPU(c *CtgWithReads, cfg *Config, wc *WorkCounts) Result {
+	r := Result{ID: c.ID}
+
+	if len(c.RightReads) > 0 {
+		ext, state, iters := extendSideCPU(c.Seq, c.RightReads, cfg, wc)
+		r.RightExt, r.RightState = ext, state
+		r.Iters += iters
+	}
+	if len(c.LeftReads) > 0 {
+		// Left extension reuses the rightward walker on the reverse
+		// complement, then flips the walked bases back (§2.3: the same
+		// algorithm is repeated for both sides).
+		rcSeq := dna.RevComp(c.Seq)
+		rcReads := make([]dna.Read, len(c.LeftReads))
+		for i := range c.LeftReads {
+			rcReads[i] = c.LeftReads[i].RevComp()
+		}
+		ext, state, iters := extendSideCPU(rcSeq, rcReads, cfg, wc)
+		r.LeftExt, r.LeftState = dna.RevComp(ext), state
+		r.Iters += iters
+	}
+	return r
+}
+
+// extendSideCPU is the reference rightward extension: the §2.3 loop of
+// build-table / walk / shift-k, growing the contig across iterations.
+func extendSideCPU(ctg []byte, reads []dna.Read, cfg *Config, wc *WorkCounts) ([]byte, WalkState, int) {
+	// The walk buffer starts as the contig tail (long enough for the
+	// largest mer) and accumulates extensions.
+	tailLen := len(ctg)
+	if tailLen > cfg.MaxMer {
+		tailLen = cfg.MaxMer
+	}
+	buf := append([]byte(nil), ctg[len(ctg)-tailLen:]...)
+
+	mer := cfg.StartMer
+	if mer > tailLen {
+		mer = tailLen
+	}
+	if mer < cfg.MinMer {
+		return nil, WalkDeadEnd, 0
+	}
+
+	state := WalkDeadEnd
+	shift := 0
+	iters := 0
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		iters++
+		table := buildTableCPU(reads, mer, cfg.QualCutoff, wc)
+		var steps int64
+		state, steps = walkCPU(&buf, tailLen, table, mer, cfg, wc)
+		wc.WalkSteps += steps
+
+		next, nextShift, done := nextMer(cfg, mer, shift, state)
+		if done {
+			break
+		}
+		if next > len(buf) { // mer cannot exceed the walk buffer
+			break
+		}
+		mer, shift = next, nextShift
+	}
+	return buf[tailLen:], state, iters
+}
+
+// buildTableCPU is Algorithm 1 with a Go map: key = k-mer string, value =
+// extension object with quality-split counts of the following base.
+func buildTableCPU(reads []dna.Read, k, qualCutoff int, wc *WorkCounts) map[string]gpuht.Ext {
+	wc.TableBuilds++
+	table := make(map[string]gpuht.Ext)
+	for ri := range reads {
+		seq, qual := reads[ri].Seq, reads[ri].Qual
+		for i := 0; i+k <= len(seq); i++ {
+			wc.KmersInserted++
+			key := string(seq[i : i+k])
+			e := table[key]
+			e.Count++
+			if i+k < len(seq) {
+				c, ok := dna.Code(seq[i+k])
+				if ok {
+					if dna.QualScore(qual[i+k]) >= qualCutoff {
+						e.Hi[c]++
+					} else {
+						e.Lo[c]++
+					}
+				}
+			}
+			table[key] = e
+		}
+	}
+	return table
+}
+
+// walkCPU is Algorithm 2: slice the mer off the buffer end, look it up,
+// append the decided base, repeat. The visited set implements loop_exists.
+func walkCPU(buf *[]byte, tailLen int, table map[string]gpuht.Ext, mer int, cfg *Config, wc *WorkCounts) (WalkState, int64) {
+	visited := make(map[string]bool)
+	steps := int64(0)
+	for {
+		if len(*buf)-tailLen >= cfg.MaxWalkLen {
+			return WalkMaxLen, steps
+		}
+		cur := string((*buf)[len(*buf)-mer:])
+		if visited[cur] {
+			return WalkLoop, steps
+		}
+		visited[cur] = true
+
+		wc.Lookups++
+		e, ok := table[cur]
+		if !ok {
+			return WalkDeadEnd, steps
+		}
+		base, st := DecideExt(e, cfg.MinViableScore)
+		switch st {
+		case StepEnd:
+			return WalkDeadEnd, steps
+		case StepFork:
+			return WalkFork, steps
+		}
+		*buf = append(*buf, dna.Alphabet[base])
+		steps++
+	}
+}

@@ -1,0 +1,175 @@
+package locassm
+
+import (
+	"fmt"
+	"time"
+
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/simt"
+)
+
+// GPUConfig configures the GPU local-assembly driver.
+type GPUConfig struct {
+	Config
+	// WarpPerTable selects the v2 kernel (one warp builds one hash table,
+	// §3.3); false selects the v1 single-thread-per-table kernel.
+	WarpPerTable bool
+	// MemBudget caps a batch's device footprint in bytes; 0 uses 85% of
+	// the device's capacity (leaving room for the runtime, as the real
+	// driver must).
+	MemBudget int64
+	// SmallLimit is the §3.1 bin-2/bin-3 boundary (0 = DefaultSmallLimit).
+	SmallLimit int
+}
+
+// GPUResult is the outcome of a GPU local-assembly run.
+type GPUResult struct {
+	Results []Result
+
+	// Kernels holds one entry per kernel launch (left/right × batches),
+	// the input to the roofline analysis.
+	Kernels []simt.KernelResult
+
+	// Modeled time components.
+	KernelTime   time.Duration
+	TransferTime time.Duration
+	// Batches is the number of batches staged per side.
+	Batches int
+}
+
+// TotalTime is the modeled GPU wall-clock: kernels plus PCIe transfers
+// (launch overhead is inside each kernel's time).
+func (r *GPUResult) TotalTime() time.Duration { return r.KernelTime + r.TransferTime }
+
+// Driver owns a device and runs local assembly on it, performing the
+// CPU-side data packing, batch planning, kernel launches, and result
+// unpacking of Fig 11's driver function.
+type Driver struct {
+	Dev *simt.Device
+	Cfg GPUConfig
+}
+
+// NewDriver creates a driver for the device.
+func NewDriver(dev *simt.Device, cfg GPUConfig) (*Driver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MemBudget == 0 {
+		cfg.MemBudget = dev.Cfg.GlobalMemBytes * 85 / 100
+	}
+	return &Driver{Dev: dev, Cfg: cfg}, nil
+}
+
+// Run locally assembles the given contigs on the GPU. Contigs with no
+// candidate reads pass through untouched (bin 1 is never offloaded). The
+// returned results are in input order and bit-identical to RunCPU's.
+func (d *Driver) Run(ctgs []*CtgWithReads) (*GPUResult, error) {
+	res := &GPUResult{Results: make([]Result, len(ctgs))}
+	for i, c := range ctgs {
+		res.Results[i].ID = c.ID
+	}
+
+	for _, left := range []bool{false, true} {
+		items := buildSideItems(ctgs, &d.Cfg.Config, left)
+		if len(items) == 0 {
+			continue
+		}
+		batches, err := packBatches(items, &d.Cfg.Config, d.Cfg.MemBudget)
+		if err != nil {
+			return nil, err
+		}
+		res.Batches += len(batches)
+		for _, batch := range batches {
+			if err := d.runBatch(batch, left, res); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// runBatch stages one batch, launches the extension kernel, and unpacks
+// the outputs.
+func (d *Driver) runBatch(batch *batchPlan, left bool, res *GPUResult) error {
+	dev := d.Dev
+	dev.FreeAll()
+
+	total := batch.totalBytes()
+	if total > dev.Cfg.GlobalMemBytes {
+		return fmt.Errorf("locassm: batch of %d bytes exceeds device capacity", total)
+	}
+	var bases batchDev
+	var err error
+	alloc := func(n int64) simt.Ptr {
+		var p simt.Ptr
+		if err == nil {
+			p, err = dev.Malloc(n)
+		}
+		return p
+	}
+	bases.seqBase = alloc(batch.seqArena)
+	bases.qualBase = alloc(batch.qualArena)
+	bases.tables = alloc(batch.tableArena)
+	bases.visited = alloc(batch.visArena)
+	bases.walks = alloc(batch.walkArena)
+	bases.outs = alloc(batch.outArena)
+	if err != nil {
+		return err
+	}
+
+	// Host-side data packing (Fig 11): reads, qualities, walk-buffer tails.
+	for _, p := range batch.items {
+		for ri := range p.item.reads {
+			dev.MemcpyHtoD(bases.seqBase+simt.Ptr(p.readOffs[ri]), p.item.reads[ri].Seq)
+			dev.MemcpyHtoD(bases.qualBase+simt.Ptr(p.readOffs[ri]), p.item.reads[ri].Qual)
+		}
+		dev.MemcpyHtoD(bases.walks+simt.Ptr(p.walkOff), p.item.tail)
+	}
+
+	side := "right"
+	if left {
+		side = "left"
+	}
+	version, warps := "v1", (len(batch.items)+simt.WarpSize-1)/simt.WarpSize
+	kern := extensionKernelV1(batch, bases, &d.Cfg.Config)
+	if d.Cfg.WarpPerTable {
+		// v2: one warp per extension.
+		version, warps = "v2", len(batch.items)
+		kern = extensionKernelV2(batch, bases, &d.Cfg.Config)
+	}
+	kres, err := dev.Launch(simt.KernelConfig{
+		Name:              fmt.Sprintf("locassm_%s_ext_%s", side, version),
+		Warps:             warps,
+		LocalBytesPerLane: localBytesPerLane(&d.Cfg.Config),
+	}, kern)
+	if err != nil {
+		return err
+	}
+
+	// Unpack: extension bytes and terminal states.
+	for _, p := range batch.items {
+		out := make([]byte, 6)
+		dev.MemcpyDtoH(out, bases.outs+simt.Ptr(p.outOff))
+		extLen := int(uint32(out[0]) | uint32(out[1])<<8 | uint32(out[2])<<16 | uint32(out[3])<<24)
+		state := WalkState(out[4])
+		iters := int(out[5])
+
+		ext := make([]byte, extLen)
+		if extLen > 0 {
+			dev.MemcpyDtoH(ext, bases.walks+simt.Ptr(p.walkOff)+simt.Ptr(len(p.item.tail)))
+		}
+		r := &res.Results[p.item.ctgIdx]
+		r.Iters += iters
+		if left {
+			r.LeftExt, r.LeftState = dna.RevComp(ext), state
+		} else {
+			r.RightExt, r.RightState = ext, state
+		}
+	}
+
+	h2d, d2h := dev.Traffic()
+	res.TransferTime += dev.TransferTime(h2d) + dev.TransferTime(d2h)
+	res.KernelTime += kres.Time
+	res.Kernels = append(res.Kernels, kres)
+	return nil
+}

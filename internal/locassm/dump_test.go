@@ -1,0 +1,92 @@
+package locassm
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDumpLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(500))
+	ctgs := randomWorkload(rng, 12)
+
+	var buf bytes.Buffer
+	if err := DumpWorkload(&buf, ctgs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ctgs) {
+		t.Fatalf("got %d contigs, want %d", len(back), len(ctgs))
+	}
+	for i := range ctgs {
+		if back[i].ID != ctgs[i].ID || !bytes.Equal(back[i].Seq, ctgs[i].Seq) {
+			t.Fatalf("contig %d differs", i)
+		}
+		if len(back[i].LeftReads) != len(ctgs[i].LeftReads) ||
+			len(back[i].RightReads) != len(ctgs[i].RightReads) {
+			t.Fatalf("contig %d read counts differ", i)
+		}
+		for j := range ctgs[i].RightReads {
+			if !bytes.Equal(back[i].RightReads[j].Seq, ctgs[i].RightReads[j].Seq) ||
+				!bytes.Equal(back[i].RightReads[j].Qual, ctgs[i].RightReads[j].Qual) {
+				t.Fatalf("contig %d read %d differs", i, j)
+			}
+		}
+	}
+
+	// A loaded workload must assemble identically.
+	cfg := testConfig()
+	a, err := RunCPU(ctgs, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCPU(back, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Results {
+		if !bytes.Equal(a.Results[i].RightExt, b.Results[i].RightExt) {
+			t.Fatalf("contig %d: loaded workload assembles differently", i)
+		}
+	}
+}
+
+func TestDumpLoadFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	ctgs := randomWorkload(rng, 5)
+	path := filepath.Join(t.TempDir(), "workload.dump")
+	if err := DumpWorkloadFile(path, ctgs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadWorkloadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ctgs) {
+		t.Fatalf("got %d contigs", len(back))
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadWorkload(strings.NewReader("not a dump at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+	var buf bytes.Buffer
+	if err := DumpWorkload(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated dump.
+	full := buf.Bytes()
+	if _, err := LoadWorkload(bytes.NewReader(full[:3])); err == nil {
+		t.Error("truncated dump accepted")
+	}
+	back, err := LoadWorkload(bytes.NewReader(full))
+	if err != nil || len(back) != 0 {
+		t.Errorf("empty dump mishandled: %v %d", err, len(back))
+	}
+}

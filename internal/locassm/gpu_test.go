@@ -1,0 +1,259 @@
+package locassm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mhm2sim/internal/simt"
+)
+
+func testDev() *simt.Device {
+	cfg := simt.V100()
+	cfg.GlobalMemBytes = 1 << 28 // 256 MiB logical for tests
+	return simt.NewDevice(cfg)
+}
+
+func newTestDriver(t *testing.T, warpPerTable bool, budget int64) *Driver {
+	t.Helper()
+	d, err := NewDriver(testDev(), GPUConfig{
+		Config:       testConfig(),
+		WarpPerTable: warpPerTable,
+		MemBudget:    budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// assertSameResults compares CPU and GPU outputs contig by contig.
+func assertSameResults(t *testing.T, label string, ctgs []*CtgWithReads, cpu *CPUResult, gpu *GPUResult) {
+	t.Helper()
+	if len(cpu.Results) != len(gpu.Results) {
+		t.Fatalf("%s: result count %d vs %d", label, len(cpu.Results), len(gpu.Results))
+	}
+	for i := range ctgs {
+		cr, gr := &cpu.Results[i], &gpu.Results[i]
+		if !bytes.Equal(cr.RightExt, gr.RightExt) {
+			t.Errorf("%s: ctg %d right ext differs:\n cpu %s (%s)\n gpu %s (%s)",
+				label, ctgs[i].ID, cr.RightExt, cr.RightState, gr.RightExt, gr.RightState)
+		}
+		if !bytes.Equal(cr.LeftExt, gr.LeftExt) {
+			t.Errorf("%s: ctg %d left ext differs:\n cpu %s (%s)\n gpu %s (%s)",
+				label, ctgs[i].ID, cr.LeftExt, cr.LeftState, gr.LeftExt, gr.LeftState)
+		}
+		if len(cr.RightExt) > 0 && cr.RightState != gr.RightState {
+			t.Errorf("%s: ctg %d right state %s vs %s", label, ctgs[i].ID, cr.RightState, gr.RightState)
+		}
+		if len(cr.LeftExt) > 0 && cr.LeftState != gr.LeftState {
+			t.Errorf("%s: ctg %d left state %s vs %s", label, ctgs[i].ID, cr.LeftState, gr.LeftState)
+		}
+		if cr.Iters != gr.Iters {
+			t.Errorf("%s: ctg %d iters %d vs %d", label, ctgs[i].ID, cr.Iters, gr.Iters)
+		}
+	}
+}
+
+// randomWorkload builds a mixed workload: covered contigs, forks, repeats,
+// no-read contigs, short contigs.
+func randomWorkload(rng *rand.Rand, n int) []*CtgWithReads {
+	var ctgs []*CtgWithReads
+	for i := 0; i < n; i++ {
+		switch i % 5 {
+		case 0, 1, 2:
+			c, _ := makeCovered(rng, int64(i), 500+rng.Intn(300), 150+rng.Intn(50),
+				330+rng.Intn(60), 60+rng.Intn(40), 8+rng.Intn(10))
+			ctgs = append(ctgs, c)
+		case 3:
+			ctgs = append(ctgs, &CtgWithReads{ID: int64(i), Seq: []byte("ACGTACGTACGTACGTACGTACGTACGT")})
+		case 4:
+			// Noisy low-coverage contig: a couple of random reads that may
+			// or may not overlap the end.
+			c, _ := makeCovered(rng, int64(i), 400, 150, 250, 50, 40)
+			if len(c.RightReads) > 2 {
+				c.RightReads = c.RightReads[:2]
+			}
+			c.LeftReads = nil
+			ctgs = append(ctgs, c)
+		}
+	}
+	return ctgs
+}
+
+func TestGPUMatchesCPUV2(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		ctgs := randomWorkload(rng, 15)
+		cpu, err := RunCPU(ctgs, testConfig(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpu, err := newTestDriver(t, true, 0).Run(ctgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResults(t, fmt.Sprintf("seed %d", seed), ctgs, cpu, gpu)
+	}
+}
+
+func TestGPUMatchesCPUV1(t *testing.T) {
+	rng := rand.New(rand.NewSource(2000))
+	ctgs := randomWorkload(rng, 10)
+	cpu, err := RunCPU(ctgs, testConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := newTestDriver(t, false, 0).Run(ctgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "v1", ctgs, cpu, gpu)
+}
+
+func TestGPUMultiBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3000))
+	ctgs := randomWorkload(rng, 12)
+
+	one, err := newTestDriver(t, true, 0).Run(ctgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tight budget forces several batches per side.
+	small := newTestDriver(t, true, 1<<18)
+	many, err := small.Run(ctgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Batches <= one.Batches {
+		t.Fatalf("expected more batches under tight budget: %d vs %d", many.Batches, one.Batches)
+	}
+	for i := range ctgs {
+		if !bytes.Equal(one.Results[i].RightExt, many.Results[i].RightExt) ||
+			!bytes.Equal(one.Results[i].LeftExt, many.Results[i].LeftExt) {
+			t.Fatalf("ctg %d: batching changed the result", i)
+		}
+	}
+}
+
+func TestGPUBudgetTooSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(4000))
+	ctgs := randomWorkload(rng, 3)
+	d := newTestDriver(t, true, 1<<10) // 1 KiB: nothing fits
+	if _, err := d.Run(ctgs); err == nil {
+		t.Error("expected an error when one item exceeds the budget")
+	}
+}
+
+func TestGPUForkAndLoopStates(t *testing.T) {
+	cfg := testConfig()
+	// Reuse the CPU tests' fork and loop scenarios through the GPU path.
+	rng := rand.New(rand.NewSource(5))
+	stem := make([]byte, 60)
+	for i := range stem {
+		stem[i] = "ACGT"[rng.Intn(4)]
+	}
+	brA := append(append([]byte(nil), stem...), []byte("AACCGGTTACGTACGTACGTAGGTTC")...)
+	brC := append(append([]byte(nil), stem...), []byte("CGTTGGAACTTGGCCAATTGGCATGA")...)
+	fork := &CtgWithReads{ID: 1, Seq: append([]byte(nil), stem...)}
+	for pos := 20; pos+40 <= len(brA); pos += 5 {
+		fork.RightReads = append(fork.RightReads, readFromString(string(brA[pos:pos+40])))
+		fork.RightReads = append(fork.RightReads, readFromString(string(brC[pos:pos+40])))
+	}
+
+	repeat := bytes.Repeat([]byte("ACGGTTCAAG"), 12)
+	loop := &CtgWithReads{ID: 2, Seq: repeat[:40]}
+	for pos := 10; pos+50 <= len(repeat); pos += 5 {
+		loop.RightReads = append(loop.RightReads, readFromString(string(repeat[pos:pos+50])))
+	}
+
+	ctgs := []*CtgWithReads{fork, loop}
+	cpu, err := RunCPU(ctgs, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := newTestDriver(t, true, 0).Run(ctgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "states", ctgs, cpu, gpu)
+	if gpu.Results[0].RightState != WalkFork {
+		t.Errorf("fork contig: state %s", gpu.Results[0].RightState)
+	}
+	if gpu.Results[1].RightState != WalkLoop {
+		t.Errorf("loop contig: state %s", gpu.Results[1].RightState)
+	}
+}
+
+func TestGPUCollectsKernelStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(6000))
+	ctgs := randomWorkload(rng, 8)
+	gpu, err := newTestDriver(t, true, 0).Run(ctgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gpu.Kernels) == 0 {
+		t.Fatal("no kernel results recorded")
+	}
+	var warps uint64
+	for _, k := range gpu.Kernels {
+		warps += k.Warps
+		if k.TotalWarpInstrs() == 0 {
+			t.Errorf("kernel %s recorded no instructions", k.Kernel)
+		}
+		if k.Time <= 0 {
+			t.Errorf("kernel %s has non-positive model time", k.Kernel)
+		}
+	}
+	if warps == 0 {
+		t.Error("no warps ran")
+	}
+	if gpu.TotalTime() <= 0 {
+		t.Error("total model time not positive")
+	}
+	if gpu.TransferTime <= 0 {
+		t.Error("transfer time not accounted")
+	}
+}
+
+func TestGPUV2FewerGlobalInstrsThanV1(t *testing.T) {
+	rng := rand.New(rand.NewSource(7000))
+	ctgs := randomWorkload(rng, 10)
+	v2, err := newTestDriver(t, true, 0).Run(ctgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := newTestDriver(t, false, 0).Run(ctgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g1, g2, w1, w2 uint64
+	for _, k := range v1.Kernels {
+		g, _ := k.MemWarpInstrs()
+		g1 += g
+		w1 += k.TotalWarpInstrs()
+	}
+	for _, k := range v2.Kernels {
+		g, _ := k.MemWarpInstrs()
+		g2 += g
+		w2 += k.TotalWarpInstrs()
+	}
+	if g2 >= g1 {
+		t.Errorf("v2 global-memory warp instructions %d not below v1 %d (Fig 10)", g2, g1)
+	}
+	if w2 >= w1 {
+		t.Errorf("v2 total warp instructions %d not below v1 %d", w2, w1)
+	}
+	if v2.KernelTime >= v1.KernelTime {
+		t.Errorf("v2 model time %v not below v1 %v", v2.KernelTime, v1.KernelTime)
+	}
+}
+
+func TestDriverRejectsBadConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxIters = 0
+	if _, err := NewDriver(testDev(), GPUConfig{Config: cfg}); err == nil {
+		t.Error("bad config accepted")
+	}
+}

@@ -1,0 +1,227 @@
+package locassm
+
+import (
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/gpuht"
+	"mhm2sim/internal/simt"
+)
+
+// batchDev holds the device base addresses of one staged batch's arenas.
+type batchDev struct {
+	seqBase  simt.Ptr
+	qualBase simt.Ptr
+	tables   simt.Ptr
+	visited  simt.Ptr
+	walks    simt.Ptr
+	outs     simt.Ptr
+}
+
+// kernelOut is the per-item output record layout: extLen u32 @0, state u8
+// @4, iters u8 @5 (16-byte stride).
+const outStride = 16
+
+// walkScratch is the lane-local offset of the walk's per-thread sequence
+// mirror (below it sits the hash-staging scratch used by gpuht).
+const walkScratch = 64
+
+// localBytesPerLane sizes each lane's private local memory: hash staging
+// plus the walk mirror.
+func localBytesPerLane(cfg *Config) int {
+	return walkScratch + cfg.MaxMer + cfg.MaxWalkLen + 16
+}
+
+// extensionKernelV2 returns the per-warp kernel body for a batch of the
+// warp-per-table kernel (§3.3, Fig 5): warp w.ID owns item w.ID and runs
+// the full §2.3 loop — clear tables, build the k-mer table from the
+// candidate reads warp-cooperatively (Algorithm 1), mer-walk on lane 0
+// (Algorithm 2), broadcast the walk state to the warp, shift k, repeat.
+func extensionKernelV2(plan *batchPlan, dev batchDev, cfg *Config) func(w *simt.Warp) {
+	return func(w *simt.Warp) {
+		p := plan.items[w.ID]
+		tailLen := len(p.item.tail)
+		walkBase := dev.walks + simt.Ptr(p.walkOff)
+		outBase := dev.outs + simt.Ptr(p.outOff)
+
+		mer := cfg.StartMer
+		if mer > tailLen {
+			mer = tailLen
+		}
+		lane0 := simt.LaneMask(0)
+		if mer < cfg.MinMer {
+			// Write a complete zero record: the arena may hold stale bytes
+			// from an earlier batch.
+			var a, v simt.Vec
+			a[0] = uint64(outBase)
+			w.StoreGlobal(lane0, &a, 4, &v)
+			a[0] = uint64(outBase) + 4
+			w.StoreGlobal(lane0, &a, 2, &v)
+			return
+		}
+
+		extLen := 0
+		shift := 0
+		state := WalkDeadEnd
+		iters := 0
+		for iter := 0; iter < cfg.MaxIters; iter++ {
+			iters++
+			table := gpuht.Table{
+				Base:     dev.tables + simt.Ptr(p.tableOff),
+				Capacity: uint64(p.tableSlots),
+				SeqBase:  dev.seqBase,
+				K:        mer,
+			}
+			vis := gpuht.Visited{
+				Base:     dev.visited + simt.Ptr(p.visitedOff),
+				Capacity: uint64(p.visitedSlots),
+				BufBase:  walkBase,
+				K:        mer,
+			}
+			gpuht.ClearEntriesWarp(w, table.Base, p.tableSlots)
+			gpuht.ClearVisitedWarp(w, vis.Base, p.visitedSlots)
+
+			buildTableV2(w, table, p, dev, cfg)
+			w.SyncWarp(simt.FullMask)
+
+			state = walkLane0(w, table, vis, walkBase, tailLen, &extLen, mer, cfg)
+
+			// Lane 0 broadcasts the walk state so the warp agrees on
+			// whether to rebuild at a shifted k (§3.4).
+			var stVec simt.Vec
+			stVec[0] = uint64(state)
+			w.Shfl(simt.FullMask, &stVec, 0)
+			w.Exec(simt.ICtrl, simt.FullMask)
+
+			next, nextShift, done := nextMer(cfg, mer, shift, state)
+			if done || next > tailLen+extLen {
+				break
+			}
+			mer, shift = next, nextShift
+		}
+
+		// Lane 0 writes the output record.
+		var a, v simt.Vec
+		a[0] = uint64(outBase)
+		v[0] = uint64(extLen)
+		w.StoreGlobal(lane0, &a, 4, &v)
+		a[0] = uint64(outBase) + 4
+		v[0] = uint64(state)
+		w.StoreGlobal(lane0, &a, 1, &v)
+		a[0] = uint64(outBase) + 5
+		v[0] = uint64(iters)
+		w.StoreGlobal(lane0, &a, 1, &v)
+	}
+}
+
+// buildTableV2 implements Algorithm 1 warp-cooperatively: the warp's lanes
+// map to contiguous k-mers of each candidate read (Fig 7) so the key
+// gathers coalesce, and all 32 threads participate in table construction
+// (Fig 5).
+func buildTableV2(w *simt.Warp, table gpuht.Table, p *itemPlan, dev batchDev, cfg *Config) {
+	k := table.K
+	for ri := range p.item.reads {
+		rlen := len(p.item.reads[ri].Seq)
+		nk := rlen - k + 1
+		if nk <= 0 {
+			continue
+		}
+		readOff := uint64(p.readOffs[ri])
+		for start := 0; start < nk; start += simt.WarpSize {
+			var mask simt.Mask
+			var keyOffs simt.Vec
+			for lane := 0; lane < simt.WarpSize && start+lane < nk; lane++ {
+				mask |= simt.LaneMask(lane)
+				keyOffs[lane] = readOff + uint64(start+lane)
+			}
+			extBases, hiq := loadExtEvidence(w, mask, &keyOffs, k, rlen, readOff, dev, cfg)
+			table.InsertBatch(w, mask, &keyOffs, &extBases, hiq)
+			w.Exec(simt.ICtrl, simt.FullMask)
+		}
+	}
+}
+
+// loadExtEvidence loads, for each active lane's k-mer, the following base
+// and its quality from the device arenas, returning the 2-bit extension
+// codes (NoExt for read-suffix k-mers or ambiguous bases) and the
+// high-quality lane mask.
+func loadExtEvidence(w *simt.Warp, mask simt.Mask, keyOffs *simt.Vec, k, rlen int, readOff uint64, dev batchDev, cfg *Config) (simt.Vec, simt.Mask) {
+	extBases := simt.Splat(uint64(gpuht.NoExt))
+	var hiq simt.Mask
+
+	var hasExt simt.Mask
+	var seqAddrs, qualAddrs simt.Vec
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if !mask.Has(lane) {
+			continue
+		}
+		pos := keyOffs[lane] - readOff // k-mer offset within the read
+		if int(pos)+k < rlen {
+			hasExt |= simt.LaneMask(lane)
+			seqAddrs[lane] = uint64(dev.seqBase) + keyOffs[lane] + uint64(k)
+			qualAddrs[lane] = uint64(dev.qualBase) + keyOffs[lane] + uint64(k)
+		}
+	}
+	w.Exec(simt.IInt, mask) // bounds computation
+	if hasExt == 0 {
+		return extBases, hiq
+	}
+	baseBytes := w.LoadGlobal(hasExt, &seqAddrs, 1)
+	qualBytes := w.LoadGlobal(hasExt, &qualAddrs, 1)
+	w.ExecN(simt.IInt, hasExt, 2) // code conversion + quality compare
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if !hasExt.Has(lane) {
+			continue
+		}
+		c, ok := dna.Code(byte(baseBytes[lane]))
+		if !ok {
+			continue
+		}
+		extBases[lane] = uint64(c)
+		if dna.QualScore(byte(qualBytes[lane])) >= cfg.QualCutoff {
+			hiq |= simt.LaneMask(lane)
+		}
+	}
+	return extBases, hiq
+}
+
+// walkLane0 is Algorithm 2 on the device: lane 0 walks while the rest of
+// the warp is predicated off (Fig 5), appending accepted bases to the walk
+// buffer in global memory. It mirrors walkCPU step for step.
+func walkLane0(w *simt.Warp, table gpuht.Table, vis gpuht.Visited, walkBase simt.Ptr, tailLen int, extLen *int, mer int, cfg *Config) WalkState {
+	lane0 := simt.LaneMask(0)
+	for {
+		w.Exec(simt.ICtrl, lane0)
+		if *extLen >= cfg.MaxWalkLen {
+			return WalkMaxLen
+		}
+		curOff := uint32(tailLen + *extLen - mer)
+		if vis.InsertLane(w, 0, curOff) {
+			return WalkLoop
+		}
+		// The walk keeps its growing sequence in a per-thread buffer; the
+		// current mer is read from there each step (local-memory traffic,
+		// §4.2) before the global-table probes.
+		for b := 0; b < (mer+7)/8; b++ {
+			off := simt.Splat(uint64(walkScratch + int(curOff) + 8*b))
+			w.LoadLocal(lane0, &off, 8)
+		}
+		e, ok := table.LookupLane(w, 0, uint64(walkBase)+uint64(curOff))
+		w.ExecN(simt.IInt, lane0, 8) // extension decision arithmetic
+		if !ok {
+			return WalkDeadEnd
+		}
+		base, st := DecideExt(e, cfg.MinViableScore)
+		switch st {
+		case StepEnd:
+			return WalkDeadEnd
+		case StepFork:
+			return WalkFork
+		}
+		var a, v simt.Vec
+		a[0] = uint64(walkBase) + uint64(tailLen+*extLen)
+		v[0] = uint64(dna.Alphabet[base])
+		w.StoreGlobal(lane0, &a, 1, &v)
+		lo := simt.Splat(uint64(walkScratch + tailLen + *extLen))
+		w.StoreLocal(lane0, &lo, 1, &v)
+		*extLen++
+	}
+}

@@ -1,0 +1,224 @@
+// Package locassm implements the paper's primary contribution: the local
+// assembly module of MetaHipMer (§2.3), in two interchangeable forms —
+// a CPU reference implementation of Algorithms 1 and 2 with the dynamic
+// k up/down-shifting state machine, and a GPU implementation on the simt
+// device using warp-local hash tables (v1: one thread per table, v2: one
+// warp per table), contig binning (§3.1), and the flat-memory batch planner
+// (§3.2).
+//
+// The two implementations compute bit-identical extensions: both share
+// DecideExt and the shift state machine, both count extension evidence the
+// same way, and both bound walks identically. That equivalence is the
+// package's central correctness property and is enforced by tests.
+package locassm
+
+import (
+	"fmt"
+
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/gpuht"
+)
+
+// CtgWithReads is one unit of local-assembly work: a contig and the
+// candidate reads that aligned to each of its ends, oriented along the
+// contig (exactly what MetaHipMer's alignment stage hands to local
+// assembly).
+type CtgWithReads struct {
+	ID    int64
+	Seq   []byte
+	Depth float64
+	// LeftReads align over the left (5') contig end; RightReads over the
+	// right (3') end. Both are stored in contig orientation.
+	LeftReads  []dna.Read
+	RightReads []dna.Read
+}
+
+// NumReads returns the total candidate reads for the contig (the §3.1
+// binning key).
+func (c *CtgWithReads) NumReads() int { return len(c.LeftReads) + len(c.RightReads) }
+
+// Result is the outcome of locally assembling one contig.
+type Result struct {
+	ID int64
+	// LeftExt and RightExt are the bases added beyond each end, in contig
+	// orientation (LeftExt immediately precedes the original sequence).
+	LeftExt  []byte
+	RightExt []byte
+	// LeftState/RightState are the terminal walk states.
+	LeftState  WalkState
+	RightState WalkState
+	// Iters counts hash-table (re)builds across both sides.
+	Iters int
+}
+
+// ExtendedSeq assembles the final contig sequence.
+func (r *Result) ExtendedSeq(orig []byte) []byte {
+	out := make([]byte, 0, len(r.LeftExt)+len(orig)+len(r.RightExt))
+	out = append(out, r.LeftExt...)
+	out = append(out, orig...)
+	return append(out, r.RightExt...)
+}
+
+// Config holds the local-assembly parameters. The mer-size ladder is the
+// §2.3 dynamic-k mechanism: walks start at StartMer; a fork up-shifts by
+// MerStep, a dead end down-shifts, and the process terminates on a fork
+// after a down-shift or a dead end after an up-shift.
+type Config struct {
+	MinMer   int // smallest mer size (21 — "shortest k-mer length for reasonable accuracy", §3.2)
+	MaxMer   int // largest mer size
+	StartMer int // first mer size tried
+	MerStep  int // up/down-shift amount
+
+	MaxWalkLen int // walk step cap ("up to 300 steps", §4.2)
+	MaxIters   int // cap on rebuilds per side (safety net)
+
+	// QualCutoff splits extension evidence into high/low quality counts.
+	QualCutoff int
+	// MinViableScore is the minimum weighted score (2·hi + lo) for a base
+	// to count as a viable extension.
+	MinViableScore int
+
+	// MaxReadLen bounds candidate read length (paper: short reads ≤ 300).
+	MaxReadLen int
+}
+
+// DefaultConfig mirrors the MetaHipMer local-assembly settings at our
+// scale.
+func DefaultConfig() Config {
+	return Config{
+		MinMer:         21,
+		MaxMer:         33,
+		StartMer:       27,
+		MerStep:        4,
+		MaxWalkLen:     300,
+		MaxIters:       10,
+		QualCutoff:     dna.QualCutoff,
+		MinViableScore: 2,
+		MaxReadLen:     300,
+	}
+}
+
+// Validate checks config sanity.
+func (c *Config) Validate() error {
+	if c.MinMer < 4 || c.MaxMer < c.MinMer || c.MaxMer > 128 {
+		return fmt.Errorf("locassm: bad mer range [%d,%d]", c.MinMer, c.MaxMer)
+	}
+	if c.StartMer < c.MinMer || c.StartMer > c.MaxMer {
+		return fmt.Errorf("locassm: start mer %d outside [%d,%d]", c.StartMer, c.MinMer, c.MaxMer)
+	}
+	if c.MerStep < 1 {
+		return fmt.Errorf("locassm: mer step %d < 1", c.MerStep)
+	}
+	if c.MaxWalkLen < 1 || c.MaxIters < 1 {
+		return fmt.Errorf("locassm: bad walk/iteration caps")
+	}
+	if c.MaxReadLen < c.MaxMer || c.MaxReadLen > 300 {
+		return fmt.Errorf("locassm: MaxReadLen %d outside [%d,300]", c.MaxReadLen, c.MaxMer)
+	}
+	return nil
+}
+
+// WalkState is the terminal condition of one mer-walk.
+type WalkState byte
+
+const (
+	// WalkDeadEnd: no viable extension base (Algorithm 2's "end").
+	WalkDeadEnd WalkState = iota
+	// WalkFork: ambiguous extension (two viable bases).
+	WalkFork
+	// WalkLoop: the walk revisited a k-mer (loop_exists).
+	WalkLoop
+	// WalkMaxLen: the walk reached MaxWalkLen extensions.
+	WalkMaxLen
+)
+
+// String names the walk state.
+func (s WalkState) String() string {
+	switch s {
+	case WalkDeadEnd:
+		return "dead-end"
+	case WalkFork:
+		return "fork"
+	case WalkLoop:
+		return "loop"
+	case WalkMaxLen:
+		return "max-len"
+	}
+	return "unknown"
+}
+
+// StepState is the per-step decision of DecideExt.
+type StepState byte
+
+const (
+	StepExtend StepState = iota
+	StepFork
+	StepEnd
+)
+
+// DecideExt chooses the extension base from an extension object, with
+// MetaHipMer-style quality-weighted voting: each base scores
+// 2·(high-quality votes) + (low-quality votes).
+//
+//   - If no base reaches MinViableScore with at least one high-quality
+//     vote, the walk hits a dead end.
+//   - If a second base is viable and scores more than half the best, the
+//     evidence is ambiguous: fork.
+//   - Otherwise the walk extends with the best base (ties on score fork).
+//
+// Both the CPU reference and the GPU kernels call exactly this function,
+// which is what makes their walks comparable bit-for-bit.
+func DecideExt(e gpuht.Ext, minViable int) (byte, StepState) {
+	var score [4]int
+	for b := 0; b < 4; b++ {
+		score[b] = 2*int(e.Hi[b]) + int(e.Lo[b])
+	}
+	best, second := 0, -1
+	for b := 1; b < 4; b++ {
+		if score[b] > score[best] {
+			second = best
+			best = b
+		} else if second < 0 || score[b] > score[second] {
+			second = b
+		}
+	}
+	viable := func(b int) bool {
+		return b >= 0 && e.Hi[b] >= 1 && score[b] >= minViable
+	}
+	if !viable(best) {
+		return 0, StepEnd
+	}
+	if viable(second) && 2*score[second] > score[best] {
+		return 0, StepFork
+	}
+	return byte(best), StepExtend
+}
+
+// nextMer advances the mer-size state machine after a walk. prevShift is
+// -1/0/+1 for the previous shift direction. It returns the next mer size
+// and shift, or done=true when the §2.3 termination condition holds.
+func nextMer(cfg *Config, mer, prevShift int, state WalkState) (nextMerLen, shift int, done bool) {
+	switch state {
+	case WalkFork:
+		if prevShift == -1 {
+			return mer, prevShift, true // fork after down-shift
+		}
+		next := mer + cfg.MerStep
+		if next > cfg.MaxMer {
+			return mer, prevShift, true
+		}
+		return next, +1, false
+	case WalkDeadEnd:
+		if prevShift == +1 {
+			return mer, prevShift, true // dead end after up-shift
+		}
+		next := mer - cfg.MerStep
+		if next < cfg.MinMer {
+			return mer, prevShift, true
+		}
+		return next, -1, false
+	default:
+		// Loop or max-length walks terminate the extension outright.
+		return mer, prevShift, true
+	}
+}

@@ -1,0 +1,187 @@
+package locassm
+
+import (
+	"testing"
+
+	"mhm2sim/internal/gpuht"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mod := func(f func(*Config)) Config {
+		c := DefaultConfig()
+		f(&c)
+		return c
+	}
+	cases := []Config{
+		mod(func(c *Config) { c.MinMer = 2 }),
+		mod(func(c *Config) { c.MaxMer = c.MinMer - 1 }),
+		mod(func(c *Config) { c.MaxMer = 200 }),
+		mod(func(c *Config) { c.StartMer = c.MaxMer + 1 }),
+		mod(func(c *Config) { c.StartMer = c.MinMer - 1 }),
+		mod(func(c *Config) { c.MerStep = 0 }),
+		mod(func(c *Config) { c.MaxWalkLen = 0 }),
+		mod(func(c *Config) { c.MaxIters = 0 }),
+		mod(func(c *Config) { c.MaxReadLen = 10 }),
+		mod(func(c *Config) { c.MaxReadLen = 500 }),
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func ext(hi, lo [4]uint16) gpuht.Ext {
+	return gpuht.Ext{Count: 1, Hi: hi, Lo: lo}
+}
+
+func TestDecideExtUnanimous(t *testing.T) {
+	base, st := DecideExt(ext([4]uint16{0, 5, 0, 0}, [4]uint16{}), 2)
+	if st != StepExtend || base != 1 {
+		t.Errorf("got base=%d st=%d, want C extend", base, st)
+	}
+}
+
+func TestDecideExtDeadEnd(t *testing.T) {
+	if _, st := DecideExt(gpuht.Ext{}, 2); st != StepEnd {
+		t.Errorf("empty evidence: st=%d, want end", st)
+	}
+	// Low-quality-only evidence never extends (needs ≥1 hi vote).
+	if _, st := DecideExt(ext([4]uint16{}, [4]uint16{9, 0, 0, 0}), 2); st != StepEnd {
+		t.Errorf("lo-only evidence: st=%d, want end", st)
+	}
+	// A single hi vote scores 2 which meets minViable=2.
+	if _, st := DecideExt(ext([4]uint16{1, 0, 0, 0}, [4]uint16{}), 2); st != StepExtend {
+		t.Errorf("single hi vote: st=%d, want extend", st)
+	}
+	// ...but not minViable=3.
+	if _, st := DecideExt(ext([4]uint16{1, 0, 0, 0}, [4]uint16{}), 3); st != StepEnd {
+		t.Errorf("single hi vote under strict threshold: st=%d, want end", st)
+	}
+}
+
+func TestDecideExtFork(t *testing.T) {
+	// Equal support for two bases: fork.
+	if _, st := DecideExt(ext([4]uint16{5, 5, 0, 0}, [4]uint16{}), 2); st != StepFork {
+		t.Errorf("tie: st=%d, want fork", st)
+	}
+	// Runner-up just over half of best: fork.
+	if _, st := DecideExt(ext([4]uint16{8, 5, 0, 0}, [4]uint16{}), 2); st != StepFork {
+		t.Errorf("close second: st=%d, want fork", st)
+	}
+	// Dominant best (second ≤ half): extend.
+	base, st := DecideExt(ext([4]uint16{8, 2, 0, 0}, [4]uint16{}), 2)
+	if st != StepExtend || base != 0 {
+		t.Errorf("dominant best: base=%d st=%d, want A extend", base, st)
+	}
+	// A non-viable runner-up (no hi votes) cannot cause a fork.
+	base, st = DecideExt(ext([4]uint16{3, 0, 0, 0}, [4]uint16{0, 5, 0, 0}), 2)
+	if st != StepExtend || base != 0 {
+		t.Errorf("lo-only runner-up: base=%d st=%d, want A extend", base, st)
+	}
+}
+
+func TestDecideExtQualityWeighting(t *testing.T) {
+	// 2·hi + lo: hi votes count double.
+	base, st := DecideExt(ext([4]uint16{0, 4, 0, 1}, [4]uint16{0, 0, 0, 3}), 2)
+	// C scores 8, T scores 2+3=5 -> 2*5 > 8: fork.
+	if st != StepFork {
+		t.Errorf("quality-weighted close call: base=%d st=%d, want fork", base, st)
+	}
+}
+
+func TestNextMerStateMachine(t *testing.T) {
+	cfg := DefaultConfig() // 21..33 step 4, start 27
+
+	// Fork from a fresh walk: up-shift.
+	next, shift, done := nextMer(&cfg, 27, 0, WalkFork)
+	if done || next != 31 || shift != +1 {
+		t.Errorf("fork: got %d,%d,%v", next, shift, done)
+	}
+	// Dead end from fresh: down-shift.
+	next, shift, done = nextMer(&cfg, 27, 0, WalkDeadEnd)
+	if done || next != 23 || shift != -1 {
+		t.Errorf("dead end: got %d,%d,%v", next, shift, done)
+	}
+	// Fork right after a down-shift: terminate (§2.3).
+	if _, _, done = nextMer(&cfg, 23, -1, WalkFork); !done {
+		t.Error("fork after down-shift should terminate")
+	}
+	// Dead end right after an up-shift: terminate.
+	if _, _, done = nextMer(&cfg, 31, +1, WalkDeadEnd); !done {
+		t.Error("dead end after up-shift should terminate")
+	}
+	// Ladder exhaustion terminates.
+	if _, _, done = nextMer(&cfg, 33, +1, WalkFork); !done {
+		t.Error("up-shift beyond MaxMer should terminate")
+	}
+	if _, _, done = nextMer(&cfg, 21, -1, WalkDeadEnd); !done {
+		t.Error("down-shift below MinMer should terminate")
+	}
+	// Loops and max-length walks always terminate.
+	if _, _, done = nextMer(&cfg, 27, 0, WalkLoop); !done {
+		t.Error("loop should terminate")
+	}
+	if _, _, done = nextMer(&cfg, 27, 0, WalkMaxLen); !done {
+		t.Error("max-len should terminate")
+	}
+}
+
+func TestWalkStateString(t *testing.T) {
+	for s, want := range map[WalkState]string{
+		WalkDeadEnd: "dead-end", WalkFork: "fork", WalkLoop: "loop",
+		WalkMaxLen: "max-len", WalkState(99): "unknown",
+	} {
+		if s.String() != want {
+			t.Errorf("state %d: %q", s, s.String())
+		}
+	}
+}
+
+func TestMakeBins(t *testing.T) {
+	mk := func(n int) *CtgWithReads {
+		c := &CtgWithReads{Seq: []byte("ACGT")}
+		for i := 0; i < n; i++ {
+			c.RightReads = append(c.RightReads, readFromString("ACGTACGT"))
+		}
+		return c
+	}
+	ctgs := []*CtgWithReads{mk(0), mk(0), mk(1), mk(9), mk(10), mk(500)}
+	b := MakeBins(ctgs, 0)
+	if len(b.Zero) != 2 || len(b.Small) != 2 || len(b.Large) != 2 {
+		t.Fatalf("bins %d/%d/%d, want 2/2/2", len(b.Zero), len(b.Small), len(b.Large))
+	}
+	z, s, l := b.Fractions()
+	if z != 2.0/6 || s != 2.0/6 || l != 2.0/6 {
+		t.Errorf("fractions %g/%g/%g", z, s, l)
+	}
+	if b.Total() != 6 {
+		t.Errorf("total %d", b.Total())
+	}
+	// Custom boundary.
+	b = MakeBins(ctgs, 2)
+	if len(b.Small) != 1 || len(b.Large) != 3 {
+		t.Errorf("custom limit bins %d/%d", len(b.Small), len(b.Large))
+	}
+	// Empty input.
+	b = MakeBins(nil, 0)
+	z, s, l = b.Fractions()
+	if z != 0 || s != 0 || l != 0 {
+		t.Error("empty fractions should be zero")
+	}
+}
+
+func TestResultExtendedSeq(t *testing.T) {
+	r := Result{LeftExt: []byte("AA"), RightExt: []byte("TT")}
+	got := r.ExtendedSeq([]byte("CGCG"))
+	if string(got) != "AACGCGTT" {
+		t.Errorf("ExtendedSeq = %q", got)
+	}
+}

@@ -1,0 +1,130 @@
+package locassm
+
+import (
+	"time"
+
+	"mhm2sim/internal/simt"
+)
+
+// This file implements the §4.3 / Fig 11 integration schedule: after
+// binning, the third bin (contigs with the most candidate reads) is
+// offloaded to the GPU first — launched from a separate thread so control
+// returns to the CPU — while the CPU works through bin 2. When the GPU
+// returns, whatever remains of bin 2 is offloaded too. Bin 3 goes first
+// because GPUs fare better with more work per launch (latency hiding).
+
+// CPUTimeModel estimates how long a node's CPU implementation needs for
+// the given work counts; the overlap scheduler uses it to decide how much
+// of bin 2 the CPU finishes while the GPU processes bin 3.
+type CPUTimeModel func(WorkCounts) time.Duration
+
+// DefaultCPUTime returns a simple per-operation cost model for `workers`
+// cores (55 ns per insert, 80 ns per lookup — the same constants the
+// cluster model starts from before calibration).
+func DefaultCPUTime(workers int) CPUTimeModel {
+	if workers < 1 {
+		workers = 1
+	}
+	return func(wc WorkCounts) time.Duration {
+		ns := float64(wc.KmersInserted)*55 + float64(wc.Lookups)*80 +
+			float64(wc.WalkSteps)*10 + float64(wc.TableBuilds)*3000
+		return time.Duration(ns / float64(workers))
+	}
+}
+
+// OverlapResult is the outcome of the Fig 11 schedule.
+type OverlapResult struct {
+	Results []Result
+
+	// GPU merges the bin-3 run and the bin-2 remainder run.
+	GPU *GPUResult
+	// CPUCounts is the work the CPU did on bin 2 during the overlap.
+	CPUCounts WorkCounts
+	// CPUContigs counts bin-2 contigs the CPU finished before the GPU
+	// returned; the rest of bin 2 was offloaded.
+	CPUContigs int
+	// ModelTime is the schedule's modeled wall time:
+	// max(GPU bin-3, CPU bin-2 overlap) + GPU bin-2 remainder.
+	ModelTime time.Duration
+}
+
+// RunOverlapped executes local assembly with the Fig 11 schedule. Results
+// are bit-identical to Run/RunCPU (the schedule only changes who computes
+// what); cpuTime decides the CPU/GPU split of bin 2 (nil uses
+// DefaultCPUTime for the driver's worker count... callers should pass the
+// model they calibrate elsewhere).
+func (d *Driver) RunOverlapped(ctgs []*CtgWithReads, cpuTime CPUTimeModel, cpuWorkers int) (*OverlapResult, error) {
+	if cpuTime == nil {
+		cpuTime = DefaultCPUTime(cpuWorkers)
+	}
+	bins := MakeBins(ctgs, d.Cfg.SmallLimit)
+
+	out := &OverlapResult{Results: make([]Result, len(ctgs))}
+	index := make(map[*CtgWithReads]int, len(ctgs))
+	for i, c := range ctgs {
+		index[c] = i
+		out.Results[i].ID = c.ID
+	}
+	place := func(set []*CtgWithReads, results []Result) {
+		for i, c := range set {
+			out.Results[index[c]] = results[i]
+		}
+	}
+
+	// Bin 3 goes to the GPU first (launched on its own thread in the real
+	// driver; here its model time defines the overlap window).
+	gpu3, err := d.Run(bins.Large)
+	if err != nil {
+		return nil, err
+	}
+	place(bins.Large, gpu3.Results)
+	window := gpu3.TotalTime()
+
+	// The CPU walks bin 2 until the window is spent.
+	cpuDone := 0
+	for cpuDone < len(bins.Small) {
+		one, err := RunCPU(bins.Small[cpuDone:cpuDone+1], d.Cfg.Config, cpuWorkers)
+		if err != nil {
+			return nil, err
+		}
+		next := out.CPUCounts
+		next.Add(one.Counts)
+		if cpuTime(next) > window && cpuDone > 0 {
+			break
+		}
+		out.CPUCounts = next
+		place(bins.Small[cpuDone:cpuDone+1], one.Results)
+		cpuDone++
+		if cpuTime(out.CPUCounts) > window {
+			break
+		}
+	}
+	out.CPUContigs = cpuDone
+
+	// GPU takes the bin-2 remainder when it returns.
+	rest := bins.Small[cpuDone:]
+	gpuRest := &GPUResult{}
+	if len(rest) > 0 {
+		gpuRest, err = d.Run(rest)
+		if err != nil {
+			return nil, err
+		}
+		place(rest, gpuRest.Results)
+	}
+
+	// Merge GPU accounting.
+	merged := *gpu3
+	merged.Results = nil
+	merged.Kernels = append(append([]simt.KernelResult{}, gpu3.Kernels...), gpuRest.Kernels...)
+	merged.KernelTime += gpuRest.KernelTime
+	merged.TransferTime += gpuRest.TransferTime
+	merged.Batches += gpuRest.Batches
+	out.GPU = &merged
+
+	cpuSpan := cpuTime(out.CPUCounts)
+	if cpuSpan < window {
+		cpuSpan = window
+	}
+	out.ModelTime = cpuSpan + gpuRest.TotalTime()
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package locassm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// overlapWorkload builds a mix that populates all three bins.
+func overlapWorkload(t *testing.T) []*CtgWithReads {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4242))
+	var ctgs []*CtgWithReads
+	for i := 0; i < 30; i++ {
+		switch i % 3 {
+		case 0: // bin 1: no reads
+			c, _ := makeCovered(rng, int64(i), 500, 150, 350, 70, 12)
+			c.LeftReads, c.RightReads = nil, nil
+			ctgs = append(ctgs, c)
+		case 1: // bin 2: few reads
+			c, _ := makeCovered(rng, int64(i), 500, 150, 350, 70, 60)
+			c.LeftReads = nil
+			if len(c.RightReads) > 4 {
+				c.RightReads = c.RightReads[:4]
+			}
+			ctgs = append(ctgs, c)
+		case 2: // bin 3: many reads
+			c, _ := makeCovered(rng, int64(i), 600, 150, 380, 70, 6)
+			ctgs = append(ctgs, c)
+		}
+	}
+	return ctgs
+}
+
+func TestRunOverlappedMatchesPlainRun(t *testing.T) {
+	ctgs := overlapWorkload(t)
+	drv := newTestDriver(t, true, 0)
+
+	plain, err := drv.Run(ctgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := drv.RunOverlapped(ctgs, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ctgs {
+		if !bytes.Equal(plain.Results[i].LeftExt, ov.Results[i].LeftExt) ||
+			!bytes.Equal(plain.Results[i].RightExt, ov.Results[i].RightExt) {
+			t.Fatalf("ctg %d: overlapped schedule changed the result", i)
+		}
+	}
+}
+
+func TestRunOverlappedSplitsBin2(t *testing.T) {
+	ctgs := overlapWorkload(t)
+	drv := newTestDriver(t, true, 0)
+
+	// A slow CPU model: almost nothing finishes in the window, so nearly
+	// all of bin 2 goes to the GPU.
+	slow := func(wc WorkCounts) time.Duration {
+		return time.Duration(wc.KmersInserted) * time.Millisecond
+	}
+	ovSlow, err := drv.RunOverlapped(ctgs, slow, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fast CPU model: the CPU clears all of bin 2 inside the window.
+	fast := func(WorkCounts) time.Duration { return 0 }
+	ovFast, err := drv.RunOverlapped(ctgs, fast, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := MakeBins(ctgs, 0)
+	if ovFast.CPUContigs != len(bins.Small) {
+		t.Errorf("fast CPU finished %d of %d bin-2 contigs", ovFast.CPUContigs, len(bins.Small))
+	}
+	if ovSlow.CPUContigs >= ovFast.CPUContigs {
+		t.Errorf("slow CPU finished %d, fast %d — split not responsive to the model",
+			ovSlow.CPUContigs, ovFast.CPUContigs)
+	}
+	// Results identical regardless of the split.
+	for i := range ctgs {
+		if !bytes.Equal(ovSlow.Results[i].RightExt, ovFast.Results[i].RightExt) {
+			t.Fatalf("ctg %d: split changed the result", i)
+		}
+	}
+}
+
+func TestRunOverlappedAccounting(t *testing.T) {
+	ctgs := overlapWorkload(t)
+	drv := newTestDriver(t, true, 0)
+	ov, err := drv.RunOverlapped(ctgs, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.GPU == nil || len(ov.GPU.Kernels) == 0 {
+		t.Fatal("GPU accounting missing")
+	}
+	if ov.ModelTime <= 0 {
+		t.Error("model time not positive")
+	}
+	// The overlap window is at least the bin-3 GPU time, so the total is
+	// at least that too.
+	if ov.ModelTime < ov.GPU.KernelTime/2 {
+		t.Error("model time implausibly small")
+	}
+}
+
+func TestDefaultCPUTime(t *testing.T) {
+	m1 := DefaultCPUTime(1)
+	m4 := DefaultCPUTime(4)
+	wc := WorkCounts{KmersInserted: 1_000_000, Lookups: 1000, WalkSteps: 1000, TableBuilds: 10}
+	if m1(wc) <= 0 {
+		t.Fatal("zero time for real work")
+	}
+	if m4(wc)*4 != m1(wc) {
+		t.Errorf("worker scaling wrong: %v vs %v", m4(wc)*4, m1(wc))
+	}
+	if DefaultCPUTime(0)(wc) != m1(wc) {
+		t.Error("workers<1 should clamp to 1")
+	}
+}

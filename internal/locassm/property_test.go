@@ -1,0 +1,131 @@
+package locassm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mhm2sim/internal/gpuht"
+)
+
+// Property tests on the extension-decision function, which both the CPU
+// reference and the GPU kernels share — its invariants are what make walks
+// deterministic and biologically sensible.
+
+func score(e gpuht.Ext, b int) int { return 2*int(e.Hi[b]) + int(e.Lo[b]) }
+
+func TestDecideExtReturnsArgmax(t *testing.T) {
+	f := func(hi, lo [4]uint16) bool {
+		e := gpuht.Ext{Hi: clamp4(hi), Lo: clamp4(lo)}
+		base, st := DecideExt(e, 2)
+		if st != StepExtend {
+			return true
+		}
+		for b := 0; b < 4; b++ {
+			if score(e, b) > score(e, int(base)) {
+				return false // extended with a non-maximal base
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecideExtNeverExtendsWithoutHiVote(t *testing.T) {
+	f := func(hi, lo [4]uint16) bool {
+		e := gpuht.Ext{Hi: clamp4(hi), Lo: clamp4(lo)}
+		base, st := DecideExt(e, 2)
+		if st == StepExtend && e.Hi[base] == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecideExtMoreEvidenceNeverKillsExtension(t *testing.T) {
+	// Adding high-quality votes to the already-winning base must not turn
+	// an extension into a dead end (it can't create ambiguity either).
+	f := func(hi, lo [4]uint16, extra uint8) bool {
+		e := gpuht.Ext{Hi: clamp4(hi), Lo: clamp4(lo)}
+		base, st := DecideExt(e, 2)
+		if st != StepExtend {
+			return true
+		}
+		boosted := e
+		boosted.Hi[base] += uint16(extra % 100)
+		b2, st2 := DecideExt(boosted, 2)
+		return st2 == StepExtend && b2 == base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecideExtPermutationEquivariant(t *testing.T) {
+	// Relabeling the bases permutes the decision but never changes the
+	// step state.
+	perm := [4]int{2, 0, 3, 1}
+	f := func(hi, lo [4]uint16) bool {
+		e := gpuht.Ext{Hi: clamp4(hi), Lo: clamp4(lo)}
+		var pe gpuht.Ext
+		for b := 0; b < 4; b++ {
+			pe.Hi[perm[b]] = e.Hi[b]
+			pe.Lo[perm[b]] = e.Lo[b]
+		}
+		base, st := DecideExt(e, 2)
+		pbase, pst := DecideExt(pe, 2)
+		if st != pst {
+			return false
+		}
+		if st == StepExtend && int(pbase) != perm[base] {
+			// Ties between equal scores may resolve differently under
+			// permutation — but equal top scores fork, so an Extend result
+			// implies a strict winner and must map exactly.
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextMerAlwaysTerminates(t *testing.T) {
+	// From any starting state, repeatedly applying nextMer with arbitrary
+	// walk outcomes reaches done within the ladder's breadth.
+	cfg := DefaultConfig()
+	f := func(outcomes []uint8) bool {
+		mer, shift := cfg.StartMer, 0
+		steps := 0
+		for _, o := range outcomes {
+			state := WalkState(o % 4)
+			next, nextShift, done := nextMer(&cfg, mer, shift, state)
+			if done {
+				return true
+			}
+			mer, shift = next, nextShift
+			if mer < cfg.MinMer || mer > cfg.MaxMer {
+				return false // ladder escaped its bounds
+			}
+			if steps++; steps > 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clamp4 bounds counts so score arithmetic stays far from overflow.
+func clamp4(v [4]uint16) [4]uint16 {
+	for i := range v {
+		v[i] %= 1000
+	}
+	return v
+}

@@ -1,0 +1,227 @@
+package locassm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mhm2sim/internal/dna"
+)
+
+// readFromString builds a uniformly high-quality read.
+func readFromString(s string) dna.Read {
+	q := make([]byte, len(s))
+	for i := range q {
+		q[i] = dna.QualChar(35)
+	}
+	return dna.Read{ID: "t", Seq: []byte(s), Qual: q}
+}
+
+// testConfig uses small mers so short synthetic reads exercise the ladder.
+func testConfig() Config {
+	return Config{
+		MinMer:         11,
+		MaxMer:         19,
+		StartMer:       15,
+		MerStep:        4,
+		MaxWalkLen:     300,
+		MaxIters:       10,
+		QualCutoff:     dna.QualCutoff,
+		MinViableScore: 2,
+		MaxReadLen:     150,
+	}
+}
+
+// makeCovered builds a contig that is a window of a hidden genome, plus
+// reads tiling past both ends, so local assembly can extend it in both
+// directions. Returns the workload item and the genome for verification.
+func makeCovered(rng *rand.Rand, id int64, genomeLen, ctgStart, ctgEnd, readLen, stride int) (*CtgWithReads, []byte) {
+	genome := make([]byte, genomeLen)
+	for i := range genome {
+		genome[i] = dna.Alphabet[rng.Intn(4)]
+	}
+	c := &CtgWithReads{
+		ID:  id,
+		Seq: append([]byte(nil), genome[ctgStart:ctgEnd]...),
+	}
+	// Right reads tile from inside the contig end out past it.
+	for pos := ctgEnd - readLen + stride; pos+readLen <= genomeLen; pos += stride {
+		if pos < 0 {
+			continue
+		}
+		c.RightReads = append(c.RightReads, readFromString(string(genome[pos:pos+readLen])))
+	}
+	// Left reads tile leftward from inside the contig start.
+	for pos := ctgStart - stride; pos >= 0; pos -= stride {
+		end := pos + readLen
+		if end > genomeLen {
+			continue
+		}
+		c.LeftReads = append(c.LeftReads, readFromString(string(genome[pos:end])))
+	}
+	return c, genome
+}
+
+func TestCPUExtendsIntoGenome(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	cfg := testConfig()
+	c, genome := makeCovered(rng, 1, 700, 250, 450, 80, 10)
+
+	res, err := RunCPU([]*CtgWithReads{c}, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Results[0]
+	if len(r.RightExt) < 50 {
+		t.Fatalf("right extension too short: %d bases (state %s)", len(r.RightExt), r.RightState)
+	}
+	if len(r.LeftExt) < 50 {
+		t.Fatalf("left extension too short: %d bases (state %s)", len(r.LeftExt), r.LeftState)
+	}
+	// Extensions must continue the hidden genome exactly (reads are
+	// error-free and unambiguous).
+	wantRight := genome[450 : 450+len(r.RightExt)]
+	if !bytes.Equal(r.RightExt, wantRight) {
+		t.Errorf("right extension diverges from genome:\n got %s\nwant %s", r.RightExt, wantRight)
+	}
+	wantLeft := genome[250-len(r.LeftExt) : 250]
+	if !bytes.Equal(r.LeftExt, wantLeft) {
+		t.Errorf("left extension diverges from genome:\n got %s\nwant %s", r.LeftExt, wantLeft)
+	}
+	if res.Counts.KmersInserted == 0 || res.Counts.TableBuilds == 0 || res.Counts.Lookups == 0 {
+		t.Error("work counters not collected")
+	}
+}
+
+func TestCPUNoReadsNoExtension(t *testing.T) {
+	cfg := testConfig()
+	c := &CtgWithReads{ID: 9, Seq: []byte("ACGTACGTACGTACGTACGTACGT")}
+	res, err := RunCPU([]*CtgWithReads{c}, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Results[0]
+	if len(r.LeftExt) != 0 || len(r.RightExt) != 0 || r.Iters != 0 {
+		t.Errorf("no-read contig was modified: %+v", r)
+	}
+}
+
+func TestCPUShortContigSkipped(t *testing.T) {
+	cfg := testConfig()
+	c := &CtgWithReads{ID: 2, Seq: []byte("ACGTACG")} // shorter than MinMer
+	c.RightReads = append(c.RightReads, readFromString("ACGTACGTACGTACGTACGT"))
+	res, err := RunCPU([]*CtgWithReads{c}, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results[0].RightExt) != 0 {
+		t.Error("contig shorter than MinMer was extended")
+	}
+}
+
+func TestCPUForkStopsWalk(t *testing.T) {
+	cfg := testConfig()
+	rng := rand.New(rand.NewSource(5))
+	stem := make([]byte, 60)
+	for i := range stem {
+		stem[i] = dna.Alphabet[rng.Intn(4)]
+	}
+	// Two equally supported continuations that differ immediately.
+	brA := append(append([]byte(nil), stem...), []byte("AACCGGTTACGTACGTACGTAGGTTC")...)
+	brC := append(append([]byte(nil), stem...), []byte("CGTTGGAACTTGGCCAATTGGCATGA")...)
+	c := &CtgWithReads{ID: 3, Seq: append([]byte(nil), stem...)}
+	for pos := 20; pos+40 <= len(brA); pos += 5 {
+		c.RightReads = append(c.RightReads, readFromString(string(brA[pos:pos+40])))
+		c.RightReads = append(c.RightReads, readFromString(string(brC[pos:pos+40])))
+	}
+	res, err := RunCPU([]*CtgWithReads{c}, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Results[0]
+	if r.RightState != WalkFork {
+		t.Errorf("state %s, want fork", r.RightState)
+	}
+	if len(r.RightExt) != 0 {
+		t.Errorf("fork at the junction should not extend, got %d bases", len(r.RightExt))
+	}
+	if r.Iters < 2 {
+		t.Errorf("fork should trigger up-shift retries, iters=%d", r.Iters)
+	}
+}
+
+func TestCPULoopDetection(t *testing.T) {
+	cfg := testConfig()
+	// A 10-periodic region: walking it revisits k-mers after 10 steps.
+	unit := "ACGGTTCAAG"
+	repeat := bytes.Repeat([]byte(unit), 12)
+	c := &CtgWithReads{ID: 4, Seq: repeat[:40]}
+	for pos := 10; pos+50 <= len(repeat); pos += 5 {
+		c.RightReads = append(c.RightReads, readFromString(string(repeat[pos:pos+50])))
+	}
+	res, err := RunCPU([]*CtgWithReads{c}, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Results[0]
+	if r.RightState != WalkLoop {
+		t.Errorf("state %s, want loop", r.RightState)
+	}
+	if len(r.RightExt) > len(unit) {
+		t.Errorf("loop walk advanced %d bases, more than one period", len(r.RightExt))
+	}
+}
+
+func TestCPUMaxWalkLen(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxWalkLen = 25
+	rng := rand.New(rand.NewSource(6))
+	c, _ := makeCovered(rng, 5, 700, 100, 300, 80, 10)
+	c.LeftReads = nil
+	res, err := RunCPU([]*CtgWithReads{c}, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Results[0]
+	if r.RightState != WalkMaxLen {
+		t.Errorf("state %s, want max-len", r.RightState)
+	}
+	if len(r.RightExt) != 25 {
+		t.Errorf("extension %d bases, want exactly MaxWalkLen=25", len(r.RightExt))
+	}
+}
+
+func TestCPUWorkersConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := testConfig()
+	var ctgs []*CtgWithReads
+	for i := 0; i < 12; i++ {
+		c, _ := makeCovered(rng, int64(i), 600, 200, 380, 70, 15)
+		ctgs = append(ctgs, c)
+	}
+	r1, err := RunCPU(ctgs, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := RunCPU(ctgs, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ctgs {
+		if !bytes.Equal(r1.Results[i].RightExt, r8.Results[i].RightExt) ||
+			!bytes.Equal(r1.Results[i].LeftExt, r8.Results[i].LeftExt) {
+			t.Fatalf("contig %d: results differ across worker counts", i)
+		}
+	}
+	if r1.Counts != r8.Counts {
+		t.Errorf("work counts differ: %+v vs %+v", r1.Counts, r8.Counts)
+	}
+}
+
+func TestRunCPURejectsBadConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.MerStep = 0
+	if _, err := RunCPU(nil, cfg, 1); err == nil {
+		t.Error("bad config accepted")
+	}
+}

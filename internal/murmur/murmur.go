@@ -1,0 +1,162 @@
+// Package murmur implements MurmurHash2, the non-cryptographic hash
+// function by Austin Appleby that MetaHipMer's local assembly uses to place
+// k-mers into its warp-local hash tables (SC '21 paper, §3.3).
+//
+// Two variants are provided: Hash64A, the canonical 64-bit MurmurHash2
+// ("MurmurHash64A") used for hash-table placement, and Hash32, the original
+// 32-bit variant, kept for completeness and for smaller tables.
+package murmur
+
+// Hash64A computes the 64-bit MurmurHash2 ("MurmurHash64A") of data with the
+// given seed. It is a faithful port of Appleby's reference implementation
+// for little-endian machines.
+func Hash64A(data []byte, seed uint64) uint64 {
+	const (
+		m = 0xc6a4a7935bd1e995
+		r = 47
+	)
+	h := seed ^ uint64(len(data))*m
+
+	n := len(data) / 8 * 8
+	for i := 0; i < n; i += 8 {
+		k := uint64(data[i]) | uint64(data[i+1])<<8 | uint64(data[i+2])<<16 |
+			uint64(data[i+3])<<24 | uint64(data[i+4])<<32 | uint64(data[i+5])<<40 |
+			uint64(data[i+6])<<48 | uint64(data[i+7])<<56
+
+		k *= m
+		k ^= k >> r
+		k *= m
+
+		h ^= k
+		h *= m
+	}
+
+	tail := data[n:]
+	switch len(tail) {
+	case 7:
+		h ^= uint64(tail[6]) << 48
+		fallthrough
+	case 6:
+		h ^= uint64(tail[5]) << 40
+		fallthrough
+	case 5:
+		h ^= uint64(tail[4]) << 32
+		fallthrough
+	case 4:
+		h ^= uint64(tail[3]) << 24
+		fallthrough
+	case 3:
+		h ^= uint64(tail[2]) << 16
+		fallthrough
+	case 2:
+		h ^= uint64(tail[1]) << 8
+		fallthrough
+	case 1:
+		h ^= uint64(tail[0])
+		h *= m
+	}
+
+	h ^= h >> r
+	h *= m
+	h ^= h >> r
+	return h
+}
+
+// Hash64Word hashes a pair of uint64 words (e.g. a packed k-mer) without
+// materializing a byte slice. It is equivalent to Hash64A over the 16-byte
+// little-endian encoding of (w0, w1).
+func Hash64Word(w0, w1 uint64, seed uint64) uint64 {
+	const (
+		m uint64 = 0xc6a4a7935bd1e995
+		r        = 47
+	)
+	var n uint64 = 16 // bytes hashed
+	h := seed ^ n*m
+
+	for _, k := range [2]uint64{w0, w1} {
+		k *= m
+		k ^= k >> r
+		k *= m
+		h ^= k
+		h *= m
+	}
+
+	h ^= h >> r
+	h *= m
+	h ^= h >> r
+	return h
+}
+
+// Hash64Blocks computes Hash64A over the first n bytes of a buffer that the
+// caller has already gathered as little-endian uint64 blocks (as a GPU
+// kernel does with 8-byte vector loads). Bytes of the final partial block
+// beyond n are ignored, so callers may over-read up to 7 bytes. The result
+// is identical to Hash64A over the same n bytes.
+func Hash64Blocks(blocks []uint64, n int, seed uint64) uint64 {
+	const (
+		m = 0xc6a4a7935bd1e995
+		r = 47
+	)
+	if n < 0 || (n+7)/8 > len(blocks) {
+		panic("murmur: Hash64Blocks: n out of range")
+	}
+	h := seed ^ uint64(n)*m
+
+	full := n / 8
+	for i := 0; i < full; i++ {
+		k := blocks[i]
+		k *= m
+		k ^= k >> r
+		k *= m
+		h ^= k
+		h *= m
+	}
+
+	if rem := n & 7; rem != 0 {
+		tail := blocks[full] & (^uint64(0) >> uint(64-8*rem))
+		h ^= tail
+		h *= m
+	}
+
+	h ^= h >> r
+	h *= m
+	h ^= h >> r
+	return h
+}
+
+// Hash32 computes the original 32-bit MurmurHash2 of data with the given
+// seed, ported from Appleby's reference implementation.
+func Hash32(data []byte, seed uint32) uint32 {
+	const (
+		m = 0x5bd1e995
+		r = 24
+	)
+	h := seed ^ uint32(len(data))
+
+	i := 0
+	for ; len(data)-i >= 4; i += 4 {
+		k := uint32(data[i]) | uint32(data[i+1])<<8 | uint32(data[i+2])<<16 | uint32(data[i+3])<<24
+		k *= m
+		k ^= k >> r
+		k *= m
+		h *= m
+		h ^= k
+	}
+
+	switch len(data) - i {
+	case 3:
+		h ^= uint32(data[i+2]) << 16
+		fallthrough
+	case 2:
+		h ^= uint32(data[i+1]) << 8
+		fallthrough
+	case 1:
+		h ^= uint32(data[i])
+		h *= m
+	}
+
+	h ^= h >> 13
+	h *= m
+	h ^= h >> 15
+	return h
+}

@@ -1,0 +1,68 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestGPUAlignmentMatchesCPU verifies the ADEPT-role kernel end to end:
+// running the alignment stage's SW verification on the device must leave
+// the assembly unchanged (scores are exact, so candidate sets are).
+func TestGPUAlignmentMatchesCPU(t *testing.T) {
+	pairs := buildPairs(t)
+
+	cfg := testPipelineConfig()
+	cfg.Rounds = []int{21}
+	cpuRes, err := Run(pairs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gcfg := cfg
+	gcfg.UseGPUAln = true
+	gpuRes, err := Run(pairs, gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(cpuRes.Contigs) != len(gpuRes.Contigs) {
+		t.Fatalf("contig counts differ: %d vs %d", len(cpuRes.Contigs), len(gpuRes.Contigs))
+	}
+	diff := 0
+	for i := range cpuRes.Contigs {
+		if !bytes.Equal(cpuRes.Contigs[i].Seq, gpuRes.Contigs[i].Seq) {
+			diff++
+		}
+	}
+	// Scores are exact; span tie-breaks can differ in rare cases, but the
+	// assemblies must be essentially identical.
+	if diff > len(cpuRes.Contigs)/50 {
+		t.Errorf("%d of %d contigs differ between CPU and GPU alignment", diff, len(cpuRes.Contigs))
+	}
+	if len(gpuRes.Work.AlnGPUKernels) == 0 || gpuRes.Work.AlnGPUKernelTime <= 0 {
+		t.Error("aln kernel accounting missing")
+	}
+	if gpuRes.Timings.Wall[StageAlnKernel] <= 0 {
+		t.Error("aln kernel stage time missing")
+	}
+}
+
+// TestFullGPUPipeline runs both GPU modules together (alignment + local
+// assembly), the configuration closest to the paper's GPU MetaHipMer2.
+func TestFullGPUPipeline(t *testing.T) {
+	pairs := buildPairs(t)
+	cfg := testPipelineConfig()
+	cfg.Rounds = []int{21}
+	cfg.UseGPU = true
+	cfg.UseGPUAln = true
+	res, err := Run(pairs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Contigs) == 0 || len(res.Scaffolds) == 0 {
+		t.Fatal("full-GPU pipeline produced no assembly")
+	}
+	if len(res.Work.GPUKernels) == 0 || len(res.Work.AlnGPUKernels) == 0 {
+		t.Error("kernel accounting incomplete")
+	}
+}

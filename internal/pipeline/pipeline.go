@@ -1,0 +1,189 @@
+// Package pipeline wires the substrates into a MetaHipMer2-like assembler
+// (Fig 1): merge reads → iterate over k {k-mer analysis → contig generation
+// → alignment → local assembly} → scaffolding → file I/O, with per-stage
+// timing in exactly the categories of the paper's Fig 2 breakdowns and a
+// work record the cluster model scales to Summit runs.
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"mhm2sim/internal/locassm"
+	"mhm2sim/internal/scaffold"
+	"mhm2sim/internal/simt"
+
+	"mhm2sim/internal/align"
+	"mhm2sim/internal/dbg"
+	"mhm2sim/internal/preprocess"
+)
+
+// Stage indexes the Fig 2 breakdown categories.
+type Stage int
+
+const (
+	StageMergeReads Stage = iota
+	StageKmerAnalysis
+	StageContigGen
+	StageAlignment // alignment stage minus the SW kernel
+	StageAlnKernel // time inside banded Smith-Waterman
+	StageLocalAssembly
+	StageScaffolding
+	StageFileIO
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"merge reads", "k-mer analysis", "contig generation", "alignment",
+	"aln kernel", "local assembly", "scaffolding", "file I/O",
+}
+
+// String names the stage as in Fig 2's legend.
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// Timings records measured wall time per stage.
+type Timings struct {
+	Wall [NumStages]time.Duration
+}
+
+// Add accumulates d into the stage.
+func (t *Timings) Add(s Stage, d time.Duration) { t.Wall[s] += d }
+
+// Total sums all stages.
+func (t *Timings) Total() time.Duration {
+	var sum time.Duration
+	for _, d := range t.Wall {
+		sum += d
+	}
+	return sum
+}
+
+// WorkRecord counts the scalable work of one pipeline run; the cluster
+// model multiplies these by per-unit Summit costs (see internal/cluster).
+type WorkRecord struct {
+	InputReads       int
+	InputBases       int64
+	MergedReads      int
+	KmerOccurrences  int64 // k-mer insertions across all rounds
+	DistinctKmers    int64
+	ContigsGenerated int
+	ContigBases      int64
+	ReadsAligned     int64
+	AlnCells         int64 // Smith-Waterman DP cells
+	CandidateCtgs    int   // contigs entering local assembly (last round)
+	Locassm          locassm.WorkCounts
+	GPUKernels       []simt.KernelResult
+	GPUKernelTime    time.Duration
+	GPUTransferTime  time.Duration
+	AlnGPUKernels    []simt.KernelResult
+	AlnGPUKernelTime time.Duration
+	ScaffoldPairs    int64
+	IOBytes          int64
+	Preprocess       preprocess.Stats
+	// EstimatedInsert is the inferred library insert size (0 when
+	// estimation was off or had too few observations).
+	EstimatedInsert int
+}
+
+// RoundBins records the §3.1 bin distribution for one k round (Fig 3).
+type RoundBins struct {
+	K                  int
+	Zero, Small, Large int
+}
+
+// Config assembles the sub-configurations.
+type Config struct {
+	// Rounds lists the contigging k values, smallest first (MetaHipMer
+	// iterates k = 21, 33, 55, 77, 99 on 150 bp data).
+	Rounds []int
+	// MinCount is the k-mer error-filter threshold.
+	MinCount uint32
+	Align    align.Config
+	Locassm  locassm.Config
+	Scaffold scaffold.Config
+	// EndZone is how close to a contig end an alignment must come for the
+	// read to become a local-assembly candidate (0: read length + 50).
+	EndZone int
+	Workers int
+
+	// Preprocess enables read preparation (adapter/quality trimming and
+	// filtering) before merging; nil disables it.
+	Preprocess *preprocess.Config
+
+	// EstimateInsert infers the library insert size from proper pairs
+	// during scaffolding instead of trusting Scaffold.InsertMean.
+	EstimateInsert bool
+
+	// CheckpointDir, when set, saves each round's contigs and lets a
+	// rerun resume from the latest completed round (MetaHipMer2's
+	// --checkpoint).
+	CheckpointDir string
+
+	// UseGPU switches local assembly to the GPU driver.
+	UseGPU bool
+	// UseGPUAln runs the alignment stage's banded-SW verification on the
+	// device (the ADEPT role, internal/gpualign) instead of the CPU.
+	UseGPUAln bool
+	// GPU configures the device driver when UseGPU is set.
+	GPU locassm.GPUConfig
+	// Device runs the GPU local assembly (nil: a fresh V100 per run).
+	Device *simt.Device
+}
+
+// DefaultConfig returns a scaled-down MetaHipMer-like configuration
+// suitable for synthetic communities with 150 bp reads.
+func DefaultConfig() Config {
+	la := locassm.DefaultConfig()
+	return Config{
+		Rounds:   []int{21, 33, 55},
+		MinCount: 2,
+		Align:    align.DefaultConfig(),
+		Locassm:  la,
+		Scaffold: scaffold.DefaultConfig(),
+		Workers:  0,
+		GPU:      locassm.GPUConfig{Config: la, WarpPerTable: true},
+	}
+}
+
+// Validate checks config consistency.
+func (c *Config) Validate() error {
+	if len(c.Rounds) == 0 {
+		return fmt.Errorf("pipeline: no k rounds configured")
+	}
+	prev := 0
+	for _, k := range c.Rounds {
+		if k <= prev {
+			return fmt.Errorf("pipeline: rounds must be strictly increasing, got %v", c.Rounds)
+		}
+		prev = k
+	}
+	if c.MinCount < 1 {
+		return fmt.Errorf("pipeline: MinCount must be ≥ 1")
+	}
+	if err := c.Align.Validate(); err != nil {
+		return err
+	}
+	if err := c.Locassm.Validate(); err != nil {
+		return err
+	}
+	return c.Scaffold.Validate()
+}
+
+// Result is a completed pipeline run.
+type Result struct {
+	Contigs   []dbg.Contig
+	Scaffolds []scaffold.Scaffold
+	Timings   Timings
+	Work      WorkRecord
+	Bins      []RoundBins
+	// LAWorkload snapshots the final round's local-assembly input (contigs
+	// before extension, with their candidate reads) — the "data dump" the
+	// paper uses for standalone kernel studies (§4.1) and the base
+	// workload of the cluster model.
+	LAWorkload []*locassm.CtgWithReads
+}

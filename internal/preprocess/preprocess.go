@@ -1,0 +1,179 @@
+// Package preprocess implements the read-preparation steps MetaHipMer2
+// applies before k-mer analysis: adapter trimming, quality trimming, and
+// length/composition filtering. Sequencing adapters left on read tails
+// create chimeric k-mers that poison the de Bruijn graph; low-quality
+// tails inflate the error filter's workload.
+package preprocess
+
+import (
+	"bytes"
+	"fmt"
+
+	"mhm2sim/internal/dna"
+)
+
+// Config controls preprocessing.
+type Config struct {
+	// Adapter is the 3' adapter sequence to trim ("" disables). A suffix
+	// of the read matching a prefix of the adapter (at least
+	// MinAdapterMatch bases, up to one mismatch per 8 bases) is removed.
+	Adapter         string
+	MinAdapterMatch int
+
+	// QualWindow/QualThreshold implement sliding-window quality trimming
+	// from the 3' end: the read is cut where the mean Phred score of the
+	// window first reaches the threshold (scanning from the tail).
+	QualWindow    int
+	QualThreshold float64
+
+	// MinLen drops reads shorter than this after trimming.
+	MinLen int
+	// MaxNFrac drops reads with more than this fraction of ambiguous
+	// bases.
+	MaxNFrac float64
+}
+
+// DefaultConfig mirrors common short-read settings.
+func DefaultConfig() Config {
+	return Config{
+		Adapter:         "AGATCGGAAGAGC", // Illumina TruSeq prefix
+		MinAdapterMatch: 8,
+		QualWindow:      8,
+		QualThreshold:   15,
+		MinLen:          50,
+		MaxNFrac:        0.05,
+	}
+}
+
+// Validate checks config sanity.
+func (c *Config) Validate() error {
+	if c.Adapter != "" && c.MinAdapterMatch < 4 {
+		return fmt.Errorf("preprocess: MinAdapterMatch %d < 4", c.MinAdapterMatch)
+	}
+	if c.QualWindow < 1 {
+		return fmt.Errorf("preprocess: QualWindow %d < 1", c.QualWindow)
+	}
+	if c.MinLen < 1 {
+		return fmt.Errorf("preprocess: MinLen %d < 1", c.MinLen)
+	}
+	if c.MaxNFrac < 0 || c.MaxNFrac > 1 {
+		return fmt.Errorf("preprocess: MaxNFrac %g outside [0,1]", c.MaxNFrac)
+	}
+	return nil
+}
+
+// Stats tallies what preprocessing did.
+type Stats struct {
+	PairsIn        int
+	PairsOut       int
+	PairsDropped   int
+	AdapterTrimmed int
+	QualityTrimmed int
+	BasesRemoved   int64
+}
+
+// Run preprocesses pairs in place and returns the surviving pairs plus
+// statistics. A pair survives only if both mates survive (orphan mates
+// would break downstream pairing).
+func Run(pairs []dna.PairedRead, cfg Config) ([]dna.PairedRead, Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	var st Stats
+	st.PairsIn = len(pairs)
+	out := pairs[:0]
+	for i := range pairs {
+		okF := processRead(&pairs[i].Fwd, &cfg, &st)
+		okR := processRead(&pairs[i].Rev, &cfg, &st)
+		if okF && okR {
+			out = append(out, pairs[i])
+		} else {
+			st.PairsDropped++
+		}
+	}
+	st.PairsOut = len(out)
+	return out, st, nil
+}
+
+// processRead trims one read in place; false means the read is discarded.
+func processRead(r *dna.Read, cfg *Config, st *Stats) bool {
+	origLen := len(r.Seq)
+
+	if cfg.Adapter != "" {
+		if cut := adapterCut(r.Seq, []byte(cfg.Adapter), cfg.MinAdapterMatch); cut >= 0 {
+			r.Seq = r.Seq[:cut]
+			r.Qual = r.Qual[:cut]
+			st.AdapterTrimmed++
+		}
+	}
+	if cut := qualityCut(r.Qual, cfg.QualWindow, cfg.QualThreshold); cut < len(r.Seq) {
+		r.Seq = r.Seq[:cut]
+		r.Qual = r.Qual[:cut]
+		st.QualityTrimmed++
+	}
+	st.BasesRemoved += int64(origLen - len(r.Seq))
+
+	if len(r.Seq) < cfg.MinLen {
+		return false
+	}
+	if cfg.MaxNFrac < 1 {
+		ambiguous := len(r.Seq) - dna.CountValid(r.Seq)
+		if float64(ambiguous) > cfg.MaxNFrac*float64(len(r.Seq)) {
+			return false
+		}
+	}
+	return true
+}
+
+// adapterCut returns the position where a read suffix starts matching the
+// adapter prefix (≥ minMatch bases, ≤ 1 mismatch per 8 bases), or -1.
+// A full internal adapter occurrence is also found (everything after the
+// adapter is noise anyway).
+func adapterCut(seq, adapter []byte, minMatch int) int {
+	if full := bytes.Index(seq, adapter); full >= 0 {
+		return full
+	}
+	// Suffix-prefix overlaps, longest first.
+	maxOv := len(adapter)
+	if len(seq) < maxOv {
+		maxOv = len(seq)
+	}
+	for ov := maxOv; ov >= minMatch; ov-- {
+		start := len(seq) - ov
+		mm := 0
+		allowed := ov / 8
+		ok := true
+		for j := 0; j < ov; j++ {
+			if seq[start+j] != adapter[j] {
+				if mm++; mm > allowed {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return start
+		}
+	}
+	return -1
+}
+
+// qualityCut returns the length to keep after 3'-end sliding-window
+// quality trimming.
+func qualityCut(qual []byte, window int, threshold float64) int {
+	if len(qual) < window {
+		return len(qual)
+	}
+	// Scan windows from the tail; keep through the last window whose mean
+	// reaches the threshold.
+	for end := len(qual); end >= window; end-- {
+		sum := 0
+		for j := end - window; j < end; j++ {
+			sum += dna.QualScore(qual[j])
+		}
+		if float64(sum)/float64(window) >= threshold {
+			return end
+		}
+	}
+	return 0
+}

@@ -1,0 +1,155 @@
+package preprocess
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mhm2sim/internal/dna"
+)
+
+func read(seq string, qualScore int) dna.Read {
+	q := bytes.Repeat([]byte{dna.QualChar(qualScore)}, len(seq))
+	return dna.Read{ID: "r", Seq: []byte(seq), Qual: q}
+}
+
+func pair(fwd, rev dna.Read) dna.PairedRead { return dna.PairedRead{Fwd: fwd, Rev: rev} }
+
+func goodSeq(n int) string { return strings.Repeat("ACGT", (n+3)/4)[:n] }
+
+func TestAdapterFullMatch(t *testing.T) {
+	cfg := DefaultConfig()
+	body := goodSeq(80)
+	r := read(body+cfg.Adapter+"ACG", 35)
+	st := Stats{}
+	if !processRead(&r, &cfg, &st) {
+		t.Fatal("read dropped")
+	}
+	if string(r.Seq) != body {
+		t.Errorf("adapter not removed: %q", r.Seq)
+	}
+	if st.AdapterTrimmed != 1 {
+		t.Error("stat not counted")
+	}
+}
+
+func TestAdapterPartialSuffix(t *testing.T) {
+	cfg := DefaultConfig()
+	body := goodSeq(90)
+	partial := cfg.Adapter[:9] // adapter runs off the read end
+	r := read(body+partial, 35)
+	st := Stats{}
+	if !processRead(&r, &cfg, &st) {
+		t.Fatal("read dropped")
+	}
+	if string(r.Seq) != body {
+		t.Errorf("partial adapter not removed: %d bases left, want %d", len(r.Seq), len(body))
+	}
+}
+
+func TestAdapterTooShortIgnored(t *testing.T) {
+	cfg := DefaultConfig()
+	body := goodSeq(90)
+	r := read(body+cfg.Adapter[:4], 35) // below MinAdapterMatch
+	st := Stats{}
+	processRead(&r, &cfg, &st)
+	if len(r.Seq) != len(body)+4 {
+		t.Errorf("short suffix trimmed: %d", len(r.Seq))
+	}
+}
+
+func TestQualityTrimming(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Adapter = ""
+	good := goodSeq(80)
+	r := read(good+goodSeq(20), 35)
+	// Degrade the last 20 bases.
+	for i := 80; i < 100; i++ {
+		r.Qual[i] = dna.QualChar(3)
+	}
+	st := Stats{}
+	if !processRead(&r, &cfg, &st) {
+		t.Fatal("read dropped")
+	}
+	// The windowed mean allows up to window−1 low-quality bases to ride
+	// along the boundary.
+	if len(r.Seq) < 80 || len(r.Seq) >= 80+cfg.QualWindow {
+		t.Errorf("kept %d bases, want within [80,%d)", len(r.Seq), 80+cfg.QualWindow)
+	}
+	if st.QualityTrimmed != 1 {
+		t.Error("stat not counted")
+	}
+}
+
+func TestQualityAllBad(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Adapter = ""
+	r := read(goodSeq(80), 3)
+	st := Stats{}
+	if processRead(&r, &cfg, &st) {
+		t.Error("all-bad read survived")
+	}
+}
+
+func TestMinLenAndNFrac(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Adapter = ""
+	short := read(goodSeq(30), 35)
+	st := Stats{}
+	if processRead(&short, &cfg, &st) {
+		t.Error("short read survived")
+	}
+	ns := read(goodSeq(100), 35)
+	for i := 0; i < 10; i++ {
+		ns.Seq[i*7] = 'N'
+	}
+	if processRead(&ns, &cfg, &st) {
+		t.Error("N-rich read survived")
+	}
+}
+
+func TestRunPairSemantics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Adapter = ""
+	good := read(goodSeq(100), 35)
+	bad := read(goodSeq(100), 3)
+	pairs := []dna.PairedRead{
+		pair(good.Clone(), good.Clone()),
+		pair(good.Clone(), bad.Clone()), // one bad mate kills the pair
+	}
+	out, st, err := Run(pairs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || st.PairsOut != 1 || st.PairsDropped != 1 {
+		t.Errorf("pairs: out=%d stats=%+v", len(out), st)
+	}
+	if st.PairsIn != 2 {
+		t.Errorf("PairsIn=%d", st.PairsIn)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QualWindow = 0
+	if _, _, err := Run(nil, cfg); err == nil {
+		t.Error("bad config accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.MinAdapterMatch = 1
+	if _, _, err := Run(nil, cfg); err == nil {
+		t.Error("tiny adapter match accepted")
+	}
+}
+
+func TestCleanReadsUntouched(t *testing.T) {
+	cfg := DefaultConfig()
+	r := read(goodSeq(120), 35)
+	st := Stats{}
+	if !processRead(&r, &cfg, &st) {
+		t.Fatal("clean read dropped")
+	}
+	if len(r.Seq) != 120 || st.BasesRemoved != 0 {
+		t.Errorf("clean read modified: len=%d removed=%d", len(r.Seq), st.BasesRemoved)
+	}
+}

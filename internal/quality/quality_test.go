@@ -1,0 +1,196 @@
+package quality
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mhm2sim/internal/dna"
+)
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = dna.Alphabet[rng.Intn(4)]
+	}
+	return s
+}
+
+func TestStatsBasics(t *testing.T) {
+	seqs := [][]byte{
+		bytes.Repeat([]byte("A"), 100),
+		bytes.Repeat([]byte("C"), 200),
+		bytes.Repeat([]byte("G"), 700),
+	}
+	st := Stats(seqs, 0)
+	if st.Count != 3 || st.TotalBases != 1000 || st.Longest != 700 {
+		t.Errorf("basic stats wrong: %+v", st)
+	}
+	// Sorted desc: 700 covers 700 >= 500 -> N50 = 700.
+	if st.N50 != 700 {
+		t.Errorf("N50 = %d, want 700", st.N50)
+	}
+	// auN = (700^2 + 200^2 + 100^2)/1000 = (490000+40000+10000)/1000 = 540.
+	if math.Abs(st.AuN-540) > 1e-9 {
+		t.Errorf("auN = %f, want 540", st.AuN)
+	}
+}
+
+func TestStatsNG50(t *testing.T) {
+	seqs := [][]byte{
+		bytes.Repeat([]byte("A"), 300),
+		bytes.Repeat([]byte("C"), 200),
+	}
+	// Genome size 1000: cumulative 300 < 500, 500 >= 500 -> NG50 = 200.
+	st := Stats(seqs, 1000)
+	if st.NG50 != 200 {
+		t.Errorf("NG50 = %d, want 200", st.NG50)
+	}
+	// Assembly-based N50: total 500, half 250, first contig covers -> 300.
+	if st.N50 != 300 {
+		t.Errorf("N50 = %d, want 300", st.N50)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	st := Stats(nil, 0)
+	if st.Count != 0 || st.N50 != 0 || st.AuN != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}
+
+func TestEvaluatePerfectAssembly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	genomes := [][]byte{randSeq(rng, 3000), randSeq(rng, 2000)}
+	// Assembly = the genomes themselves.
+	rep, err := Evaluate(genomes, genomes, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GenomeFraction < 0.99 {
+		t.Errorf("genome fraction %f, want ~1", rep.GenomeFraction)
+	}
+	if rep.MismatchRate > 0.001 {
+		t.Errorf("mismatch rate %f on perfect assembly", rep.MismatchRate)
+	}
+	if rep.Misassemblies != 0 {
+		t.Errorf("%d misassemblies on perfect assembly", rep.Misassemblies)
+	}
+	if rep.UnalignedBases > 100 {
+		t.Errorf("%d unaligned bases on perfect assembly", rep.UnalignedBases)
+	}
+}
+
+func TestEvaluatePartialAssembly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	genome := randSeq(rng, 4000)
+	// Assembly covers half the genome.
+	rep, err := Evaluate([][]byte{genome[:2000]}, [][]byte{genome}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GenomeFraction < 0.45 || rep.GenomeFraction > 0.55 {
+		t.Errorf("genome fraction %f, want ~0.5", rep.GenomeFraction)
+	}
+}
+
+func TestEvaluateMismatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	genome := randSeq(rng, 3000)
+	asm := append([]byte(nil), genome...)
+	// Introduce substitutions every 100 bases (1%).
+	for p := 50; p < len(asm); p += 100 {
+		c, _ := dna.Code(asm[p])
+		asm[p] = dna.Alphabet[(c+1)&3]
+	}
+	rep, err := Evaluate([][]byte{asm}, [][]byte{genome}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MismatchRate < 0.005 || rep.MismatchRate > 0.02 {
+		t.Errorf("mismatch rate %f, want ~0.01", rep.MismatchRate)
+	}
+}
+
+func TestEvaluateMisassembly(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ga := randSeq(rng, 3000)
+	gb := randSeq(rng, 3000)
+	// A chimeric contig: half genome A, half genome B.
+	chimera := append(append([]byte(nil), ga[:1500]...), gb[:1500]...)
+	rep, err := Evaluate([][]byte{chimera}, [][]byte{ga, gb}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Misassemblies == 0 {
+		t.Error("chimeric contig not flagged as misassembly")
+	}
+}
+
+func TestEvaluateRelocation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randSeq(rng, 6000)
+	// A contig joining two distant regions of the same genome.
+	reloc := append(append([]byte(nil), g[:1500]...), g[4000:5500]...)
+	rep, err := Evaluate([][]byte{reloc}, [][]byte{g}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Misassemblies == 0 {
+		t.Error("relocation not flagged")
+	}
+}
+
+func TestEvaluateScaffoldGapsSkipped(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randSeq(rng, 3000)
+	// Scaffold with an N gap joining two ADJACENT regions: not a misjoin.
+	sc := append([]byte(nil), g[:1400]...)
+	sc = append(sc, bytes.Repeat([]byte("N"), 100)...)
+	sc = append(sc, g[1500:2900]...)
+	rep, err := Evaluate([][]byte{sc}, [][]byte{g}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Misassemblies != 0 {
+		t.Errorf("gap-joined scaffold flagged %d misassemblies", rep.Misassemblies)
+	}
+	if rep.GenomeFraction < 0.85 {
+		t.Errorf("genome fraction %f", rep.GenomeFraction)
+	}
+}
+
+func TestEvaluateJunkUnaligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	genome := randSeq(rng, 3000)
+	junk := randSeq(rng, 1000) // unrelated sequence
+	rep, err := Evaluate([][]byte{junk}, [][]byte{genome}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AlignedBases > 200 {
+		t.Errorf("junk aligned %d bases", rep.AlignedBases)
+	}
+	if rep.UnalignedBases < 800 {
+		t.Errorf("junk unaligned only %d bases", rep.UnalignedBases)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ChunkLen = 10
+	if _, err := Evaluate(nil, nil, cfg); err == nil {
+		t.Error("tiny chunk length accepted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{}
+	s := rep.String()
+	for _, want := range []string{"N50", "genome fraction", "misassemblies"} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package scaffold
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeInvolution(t *testing.T) {
+	f := func(a, b uint8, ae, be bool, gap int16, w uint8) bool {
+		end := func(x bool) End {
+			if x {
+				return Left
+			}
+			return Right
+		}
+		l := Link{A: int(a), B: int(b), AEnd: end(ae), BEnd: end(be), Gap: int(gap), Weight: int(w)}
+		n1 := l.normalized()
+		n2 := n1.normalized()
+		// Normalization is idempotent and preserves the payload.
+		if n1 != n2 {
+			return false
+		}
+		if n1.Gap != l.Gap || n1.Weight != l.Weight {
+			return false
+		}
+		// The endpoint multiset is preserved.
+		got := map[[2]int]bool{{n1.A, int(n1.AEnd)}: true, {n1.B, int(n1.BEnd)}: true}
+		want := map[[2]int]bool{{l.A, int(l.AEnd)}: true, {l.B, int(l.BEnd)}: true}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulateWeightConservation(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var votes []Link
+		total := 0
+		for i := 0; i+3 < len(raw); i += 4 {
+			end := func(x uint8) End {
+				if x%2 == 0 {
+					return Left
+				}
+				return Right
+			}
+			votes = append(votes, Link{
+				A: int(raw[i] % 8), B: int(raw[i+1] % 8),
+				AEnd: end(raw[i+2]), BEnd: end(raw[i+3]),
+				Gap: int(raw[i]) - 100, Weight: 1,
+			})
+			total++
+		}
+		sum := 0
+		for _, l := range Accumulate(votes) {
+			sum += l.Weight
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildAlwaysCoversEveryContig(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(12)
+		ctgs := make([][]byte, n)
+		for i := range ctgs {
+			ctgs[i] = randSeq(rng, 50+rng.Intn(100))
+		}
+		var votes []Link
+		for v := 0; v < rng.Intn(20); v++ {
+			end := func() End {
+				if rng.Intn(2) == 0 {
+					return Left
+				}
+				return Right
+			}
+			votes = append(votes, Link{
+				A: rng.Intn(n), B: rng.Intn(n), AEnd: end(), BEnd: end(),
+				Gap: rng.Intn(200) - 50, Weight: 1 + rng.Intn(5),
+			})
+		}
+		scs, err := Build(ctgs, votes, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]int, n)
+		for _, sc := range scs {
+			if len(sc.Ctgs) != len(sc.Flipped) {
+				t.Fatal("Ctgs/Flipped length mismatch")
+			}
+			for _, c := range sc.Ctgs {
+				seen[c]++
+			}
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("trial %d: contig %d appears %d times", trial, i, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package scaffold implements the pipeline's final stage: stitching contigs
+// into scaffolds using read pairs that span contig boundaries (§2.2). Pairs
+// vote for oriented links between contig ends; links with enough support
+// are joined greedily into chains, with gap sizes estimated from the
+// library insert size.
+package scaffold
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"mhm2sim/internal/align"
+	"mhm2sim/internal/dna"
+)
+
+// End identifies a contig end.
+type End byte
+
+const (
+	Left  End = 'L'
+	Right End = 'R'
+)
+
+// Link is one oriented candidate join: contig A's AEnd connects to contig
+// B's BEnd.
+type Link struct {
+	A, B       int
+	AEnd, BEnd End
+	Gap        int // estimated gap in bases (may be negative for overlaps)
+	Weight     int // supporting pairs
+}
+
+// Config controls scaffolding.
+type Config struct {
+	// MinWeight is the minimum pair support to accept a link.
+	MinWeight int
+	// InsertMean is the library's mean fragment length, for gap estimates.
+	InsertMean int
+	// MinGap floors the Ns placed between joined contigs.
+	MinGap int
+}
+
+// DefaultConfig returns scaffolding defaults for a 300–400 bp library.
+func DefaultConfig() Config {
+	return Config{MinWeight: 2, InsertMean: 350, MinGap: 1}
+}
+
+// Validate checks config sanity.
+func (c *Config) Validate() error {
+	if c.MinWeight < 1 {
+		return fmt.Errorf("scaffold: MinWeight %d < 1", c.MinWeight)
+	}
+	if c.InsertMean < 1 {
+		return fmt.Errorf("scaffold: InsertMean %d < 1", c.InsertMean)
+	}
+	if c.MinGap < 1 {
+		return fmt.Errorf("scaffold: MinGap %d < 1", c.MinGap)
+	}
+	return nil
+}
+
+// PairVote derives the link implied by one read pair whose mates aligned to
+// two different contigs. h1 is the forward mate's hit, h2 the reverse
+// mate's. ctgLens maps contig id to length. ok is false when the pair is
+// uninformative (same contig).
+//
+// Orientation logic: mates are sequenced inward from the fragment ends, so
+// the fragment continues rightward of a forward-aligned mate 1 and the
+// reverse mate enters its contig from the left when it aligned as a
+// reverse complement.
+func PairVote(h1, h2 align.Hit, ctgLens []int, insertMean int) (Link, bool) {
+	if h1.CtgID == h2.CtgID {
+		return Link{}, false
+	}
+	l := Link{A: h1.CtgID, B: h2.CtgID}
+
+	var distA int // bases from mate 1's outward-facing alignment edge to A's connecting end
+	if !h1.RC {
+		l.AEnd = Right
+		distA = ctgLens[h1.CtgID] - h1.CtgStart
+	} else {
+		l.AEnd = Left
+		distA = h1.CtgEnd
+	}
+	var distB int
+	if h2.RC {
+		l.BEnd = Left
+		distB = h2.CtgEnd
+	} else {
+		l.BEnd = Right
+		distB = ctgLens[h2.CtgID] - h2.CtgStart
+	}
+	l.Gap = insertMean - distA - distB
+	l.Weight = 1
+	return l, true
+}
+
+// key normalizes a link so (A,aEnd)-(B,bEnd) and (B,bEnd)-(A,aEnd)
+// accumulate together.
+func (l Link) key() Link {
+	n := l
+	n.Gap, n.Weight = 0, 0
+	if n.B < n.A || (n.B == n.A && n.BEnd < n.AEnd) {
+		n.A, n.B = n.B, n.A
+		n.AEnd, n.BEnd = n.BEnd, n.AEnd
+	}
+	return n
+}
+
+func (l Link) normalized() Link {
+	if l.B < l.A || (l.B == l.A && l.BEnd < l.AEnd) {
+		l.A, l.B = l.B, l.A
+		l.AEnd, l.BEnd = l.BEnd, l.AEnd
+	}
+	return l
+}
+
+// Accumulate merges individual pair votes into weighted links.
+func Accumulate(votes []Link) []Link {
+	type agg struct {
+		weight int
+		gapSum int
+	}
+	m := map[Link]*agg{}
+	for _, v := range votes {
+		k := v.normalized().key()
+		a := m[k]
+		if a == nil {
+			a = &agg{}
+			m[k] = a
+		}
+		a.weight += v.Weight
+		a.gapSum += v.Gap * v.Weight
+	}
+	out := make([]Link, 0, len(m))
+	for k, a := range m {
+		k.Weight = a.weight
+		k.Gap = a.gapSum / a.weight
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		if out[i].B != out[j].B {
+			return out[i].B < out[j].B
+		}
+		return out[i].AEnd < out[j].AEnd
+	})
+	return out
+}
+
+// Scaffold is an ordered, oriented chain of contigs joined with N gaps.
+type Scaffold struct {
+	Seq []byte
+	// Ctgs lists member contig ids in scaffold order; Flipped marks the
+	// ones placed in reverse complement.
+	Ctgs    []int
+	Flipped []bool
+}
+
+// Build joins contigs into scaffolds. Links below MinWeight are ignored; a
+// contig end participates in at most one join; cycles are refused. Contigs
+// that never join are emitted as singleton scaffolds, so the output always
+// covers every input contig exactly once.
+func Build(ctgs [][]byte, votes []Link, cfg Config) ([]Scaffold, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	links := Accumulate(votes)
+
+	type port struct {
+		other    int
+		otherEnd End
+		gap      int
+	}
+	// ports[ctg][0]=left, [1]=right.
+	ports := make([][2]*port, len(ctgs))
+	parent := make([]int, len(ctgs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	idx := func(e End) int {
+		if e == Left {
+			return 0
+		}
+		return 1
+	}
+	for _, l := range links {
+		if l.Weight < cfg.MinWeight || l.A == l.B {
+			continue
+		}
+		if ports[l.A][idx(l.AEnd)] != nil || ports[l.B][idx(l.BEnd)] != nil {
+			continue // end already used
+		}
+		if find(l.A) == find(l.B) {
+			continue // would close a cycle
+		}
+		ports[l.A][idx(l.AEnd)] = &port{other: l.B, otherEnd: l.BEnd, gap: l.Gap}
+		ports[l.B][idx(l.BEnd)] = &port{other: l.A, otherEnd: l.AEnd, gap: l.Gap}
+		parent[find(l.A)] = find(l.B)
+	}
+
+	// Walk chains from free ends.
+	emitted := make([]bool, len(ctgs))
+	var out []Scaffold
+	for start := 0; start < len(ctgs); start++ {
+		if emitted[start] {
+			continue
+		}
+		// A chain start is a contig with at least one free port; walk away
+		// from the free port. Choose orientation so the free port faces
+		// left in the scaffold.
+		var flipped bool
+		switch {
+		case ports[start][0] == nil:
+			flipped = false // free left port: scaffold starts at its left
+		case ports[start][1] == nil:
+			flipped = true // free right port: flip so it faces left
+		default:
+			continue // interior of a chain; reached from its end later
+		}
+
+		sc := Scaffold{}
+		var buf bytes.Buffer
+		cur, curFlipped := start, flipped
+		for {
+			emitted[cur] = true
+			seq := ctgs[cur]
+			if curFlipped {
+				seq = dna.RevComp(seq)
+			}
+			buf.Write(seq)
+			sc.Ctgs = append(sc.Ctgs, cur)
+			sc.Flipped = append(sc.Flipped, curFlipped)
+
+			// The outgoing port is the scaffold-right end of cur.
+			outPort := idx(Right)
+			if curFlipped {
+				outPort = idx(Left)
+			}
+			p := ports[cur][outPort]
+			if p == nil || emitted[p.other] {
+				break
+			}
+			gap := p.gap
+			if gap < cfg.MinGap {
+				gap = cfg.MinGap
+			}
+			for g := 0; g < gap; g++ {
+				buf.WriteByte('N')
+			}
+			// Enter the next contig through p.otherEnd; if we enter at its
+			// right end it must be flipped.
+			cur, curFlipped = p.other, p.otherEnd == Right
+		}
+		sc.Seq = buf.Bytes()
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// ProperPairInsert derives an insert-size observation from a pair whose
+// mates aligned to the same contig in opposite orientations (a "proper"
+// pair). ok is false for discordant or split pairs.
+func ProperPairInsert(h1, h2 align.Hit) (int, bool) {
+	if h1.CtgID != h2.CtgID || h1.RC == h2.RC {
+		return 0, false
+	}
+	lo, hi := h1.CtgStart, h2.CtgEnd
+	if h2.CtgStart < lo {
+		lo = h2.CtgStart
+	}
+	if h1.CtgEnd > hi {
+		hi = h1.CtgEnd
+	}
+	if hi <= lo {
+		return 0, false
+	}
+	return hi - lo, true
+}
+
+// EstimateInsert returns a robust (median / MAD-based) estimate of the
+// library's insert-size mean and standard deviation from proper-pair
+// observations. ok is false with fewer than minObs observations.
+func EstimateInsert(obs []int, minObs int) (mean, sd int, ok bool) {
+	if minObs < 1 {
+		minObs = 1
+	}
+	if len(obs) < minObs {
+		return 0, 0, false
+	}
+	s := append([]int(nil), obs...)
+	sort.Ints(s)
+	median := s[len(s)/2]
+	devs := make([]int, len(s))
+	for i, v := range s {
+		d := v - median
+		if d < 0 {
+			d = -d
+		}
+		devs[i] = d
+	}
+	sort.Ints(devs)
+	mad := devs[len(devs)/2]
+	// 1.4826·MAD approximates σ for normal data.
+	return median, int(1.4826*float64(mad)) + 1, true
+}

@@ -1,0 +1,326 @@
+package scaffold
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mhm2sim/internal/align"
+	"mhm2sim/internal/dna"
+)
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = dna.Alphabet[rng.Intn(4)]
+	}
+	return s
+}
+
+func TestPairVoteSameContig(t *testing.T) {
+	if _, ok := PairVote(align.Hit{CtgID: 1}, align.Hit{CtgID: 1}, []int{0, 100}, 300); ok {
+		t.Error("same-contig pair produced a link")
+	}
+}
+
+func TestPairVoteForwardForward(t *testing.T) {
+	// Mate1 forward near A's right end; mate2 RC near B's left end:
+	// classic A.R — B.L junction.
+	lens := []int{500, 400}
+	h1 := align.Hit{CtgID: 0, CtgStart: 420, CtgEnd: 520, RC: false}
+	h2 := align.Hit{CtgID: 1, CtgStart: 0, CtgEnd: 100, RC: true}
+	l, ok := PairVote(h1, h2, lens, 350)
+	if !ok {
+		t.Fatal("no link")
+	}
+	if l.AEnd != Right || l.BEnd != Left {
+		t.Errorf("ends %c-%c, want R-L", l.AEnd, l.BEnd)
+	}
+	// Gap = 350 − (500−420) − 100 = 170.
+	if l.Gap != 170 {
+		t.Errorf("gap %d, want 170", l.Gap)
+	}
+}
+
+func TestPairVoteFlippedB(t *testing.T) {
+	// Mate2 aligning forward on B means B is reversed relative to the
+	// fragment: the junction uses B's right end.
+	lens := []int{500, 400}
+	h1 := align.Hit{CtgID: 0, CtgStart: 420, CtgEnd: 500, RC: false}
+	h2 := align.Hit{CtgID: 1, CtgStart: 300, CtgEnd: 400, RC: false}
+	l, ok := PairVote(h1, h2, lens, 350)
+	if !ok {
+		t.Fatal("no link")
+	}
+	if l.AEnd != Right || l.BEnd != Right {
+		t.Errorf("ends %c-%c, want R-R", l.AEnd, l.BEnd)
+	}
+}
+
+func TestAccumulate(t *testing.T) {
+	votes := []Link{
+		{A: 0, B: 1, AEnd: Right, BEnd: Left, Gap: 100, Weight: 1},
+		{A: 1, B: 0, AEnd: Left, BEnd: Right, Gap: 120, Weight: 1}, // same link reversed
+		{A: 0, B: 2, AEnd: Left, BEnd: Left, Gap: 50, Weight: 1},
+	}
+	links := Accumulate(votes)
+	if len(links) != 2 {
+		t.Fatalf("got %d links, want 2", len(links))
+	}
+	if links[0].Weight != 2 {
+		t.Errorf("merged link weight %d, want 2", links[0].Weight)
+	}
+	if links[0].Gap != 110 {
+		t.Errorf("merged gap %d, want 110", links[0].Gap)
+	}
+}
+
+func TestBuildJoinsTwoContigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := randSeq(rng, 200), randSeq(rng, 150)
+	votes := []Link{
+		{A: 0, B: 1, AEnd: Right, BEnd: Left, Gap: 10, Weight: 3},
+	}
+	scs, err := Build([][]byte{a, b}, votes, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 {
+		t.Fatalf("got %d scaffolds, want 1", len(scs))
+	}
+	want := string(a) + strings.Repeat("N", 10) + string(b)
+	got := string(scs[0].Seq)
+	// The chain may be emitted from either end; accept the reverse
+	// complement too.
+	if got != want && got != string(dna.RevComp([]byte(want))) {
+		t.Errorf("scaffold:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestBuildRespectsMinWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := randSeq(rng, 100), randSeq(rng, 100)
+	votes := []Link{{A: 0, B: 1, AEnd: Right, BEnd: Left, Gap: 5, Weight: 1}}
+	scs, err := Build([][]byte{a, b}, votes, DefaultConfig()) // MinWeight 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 {
+		t.Fatalf("weak link was used: %d scaffolds", len(scs))
+	}
+}
+
+func TestBuildFlipsReversedContig(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, b := randSeq(rng, 120), randSeq(rng, 120)
+	// A.R joins B.R: B must appear reverse-complemented after A.
+	votes := []Link{{A: 0, B: 1, AEnd: Right, BEnd: Right, Gap: 4, Weight: 5}}
+	scs, err := Build([][]byte{a, b}, votes, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 {
+		t.Fatalf("got %d scaffolds", len(scs))
+	}
+	want := string(a) + "NNNN" + string(dna.RevComp(b))
+	got := string(scs[0].Seq)
+	if got != want && got != string(dna.RevComp([]byte(want))) {
+		t.Errorf("flip handling wrong:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestBuildChainOfThree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ctgs := [][]byte{randSeq(rng, 100), randSeq(rng, 100), randSeq(rng, 100)}
+	votes := []Link{
+		{A: 0, B: 1, AEnd: Right, BEnd: Left, Gap: 2, Weight: 4},
+		{A: 1, B: 2, AEnd: Right, BEnd: Left, Gap: 3, Weight: 4},
+	}
+	scs, err := Build(ctgs, votes, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 {
+		t.Fatalf("got %d scaffolds, want 1 chain", len(scs))
+	}
+	if len(scs[0].Ctgs) != 3 {
+		t.Fatalf("chain has %d contigs", len(scs[0].Ctgs))
+	}
+}
+
+func TestBuildRefusesCycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ctgs := [][]byte{randSeq(rng, 100), randSeq(rng, 100)}
+	votes := []Link{
+		{A: 0, B: 1, AEnd: Right, BEnd: Left, Gap: 2, Weight: 9},
+		{A: 0, B: 1, AEnd: Left, BEnd: Right, Gap: 2, Weight: 8},
+	}
+	scs, err := Build(ctgs, votes, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second link would close a ring; it must be dropped, leaving one
+	// linear scaffold containing both contigs.
+	if len(scs) != 1 || len(scs[0].Ctgs) != 2 {
+		t.Fatalf("cycle handling wrong: %d scaffolds", len(scs))
+	}
+}
+
+func TestBuildEndReuseRefused(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ctgs := [][]byte{randSeq(rng, 100), randSeq(rng, 100), randSeq(rng, 100)}
+	votes := []Link{
+		{A: 0, B: 1, AEnd: Right, BEnd: Left, Gap: 2, Weight: 9},
+		{A: 0, B: 2, AEnd: Right, BEnd: Left, Gap: 2, Weight: 5}, // same A end
+	}
+	scs, err := Build(ctgs, votes, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 {
+		t.Fatalf("end reused: %d scaffolds", len(scs))
+	}
+	// The heavier link wins.
+	for _, sc := range scs {
+		if len(sc.Ctgs) == 2 {
+			if !(sc.Ctgs[0] == 0 && sc.Ctgs[1] == 1) && !(sc.Ctgs[0] == 1 && sc.Ctgs[1] == 0) {
+				t.Errorf("wrong pair joined: %v", sc.Ctgs)
+			}
+		}
+	}
+}
+
+func TestBuildCoversAllContigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ctgs [][]byte
+	for i := 0; i < 10; i++ {
+		ctgs = append(ctgs, randSeq(rng, 80))
+	}
+	votes := []Link{
+		{A: 3, B: 7, AEnd: Right, BEnd: Left, Gap: 2, Weight: 3},
+	}
+	scs, err := Build(ctgs, votes, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for _, sc := range scs {
+		for _, c := range sc.Ctgs {
+			seen[c]++
+		}
+	}
+	for i := range ctgs {
+		if seen[i] != 1 {
+			t.Errorf("contig %d appears %d times", i, seen[i])
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, nil, Config{MinWeight: 0, InsertMean: 1, MinGap: 1}); err == nil {
+		t.Error("MinWeight 0 accepted")
+	}
+}
+
+func TestEndToEndWithAligner(t *testing.T) {
+	// Ground truth: one genome, two contig windows separated by a gap.
+	rng := rand.New(rand.NewSource(8))
+	genome := randSeq(rng, 1200)
+	ctgA := genome[100:500]
+	ctgB := genome[560:1000]
+	ctgs := [][]byte{ctgA, ctgB}
+
+	a, err := align.New(ctgs, align.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lens := []int{len(ctgA), len(ctgB)}
+
+	// Sample proper pairs spanning the junction.
+	var votes []Link
+	insert := 300
+	readLen := 100
+	for start := 280; start+insert <= 760; start += 7 {
+		frag := genome[start : start+insert]
+		r1 := frag[:readLen]
+		r2 := dna.RevComp(frag[len(frag)-readLen:])
+		h1, ok1 := a.AlignRead(r1)
+		h2, ok2 := a.AlignRead(r2)
+		if !ok1 || !ok2 {
+			continue
+		}
+		if v, ok := PairVote(h1, h2, lens, insert); ok {
+			votes = append(votes, v)
+		}
+	}
+	if len(votes) < 3 {
+		t.Fatalf("only %d spanning pairs found", len(votes))
+	}
+	scs, err := Build(ctgs, votes, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 {
+		t.Fatalf("got %d scaffolds, want 1", len(scs))
+	}
+	sc := scs[0]
+	if len(sc.Ctgs) != 2 {
+		t.Fatalf("scaffold contains %d contigs", len(sc.Ctgs))
+	}
+	// The scaffold must contain both contigs in genome order (or the whole
+	// thing reverse-complemented), with a gap near the true 60 bases.
+	s := string(sc.Seq)
+	rcS := string(dna.RevComp(sc.Seq))
+	fwdOK := strings.Contains(s, string(ctgA)) && strings.Contains(s, string(ctgB)) &&
+		strings.Index(s, string(ctgA)) < strings.Index(s, string(ctgB))
+	rcOK := strings.Contains(rcS, string(ctgA)) && strings.Contains(rcS, string(ctgB)) &&
+		strings.Index(rcS, string(ctgA)) < strings.Index(rcS, string(ctgB))
+	if !fwdOK && !rcOK {
+		t.Fatal("scaffold does not place contigs in genome order")
+	}
+	gap := bytes.Count(sc.Seq, []byte("N"))
+	if gap < 20 || gap > 120 {
+		t.Errorf("gap estimate %d Ns, true gap 60", gap)
+	}
+}
+
+func TestProperPairInsert(t *testing.T) {
+	h1 := align.Hit{CtgID: 0, CtgStart: 100, CtgEnd: 200, RC: false}
+	h2 := align.Hit{CtgID: 0, CtgStart: 350, CtgEnd: 450, RC: true}
+	ins, ok := ProperPairInsert(h1, h2)
+	if !ok || ins != 350 {
+		t.Errorf("insert %d,%v want 350,true", ins, ok)
+	}
+	// Different contigs: not proper.
+	if _, ok := ProperPairInsert(h1, align.Hit{CtgID: 1, RC: true}); ok {
+		t.Error("cross-contig pair accepted")
+	}
+	// Same orientation: not proper.
+	if _, ok := ProperPairInsert(h1, align.Hit{CtgID: 0, CtgStart: 300, CtgEnd: 400}); ok {
+		t.Error("same-orientation pair accepted")
+	}
+}
+
+func TestEstimateInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var obs []int
+	for i := 0; i < 500; i++ {
+		obs = append(obs, 350+int(rng.NormFloat64()*40))
+	}
+	// A few wild outliers must not move the estimate.
+	obs = append(obs, 5000, 9000, 12000)
+	mean, sd, ok := EstimateInsert(obs, 50)
+	if !ok {
+		t.Fatal("estimation refused")
+	}
+	if mean < 330 || mean > 370 {
+		t.Errorf("mean %d, want ~350", mean)
+	}
+	if sd < 20 || sd > 70 {
+		t.Errorf("sd %d, want ~40", sd)
+	}
+	if _, _, ok := EstimateInsert(obs[:10], 50); ok {
+		t.Error("too few observations accepted")
+	}
+}

@@ -1,0 +1,224 @@
+// Package simt is a functional + analytic simulator of a CUDA-class GPU,
+// built so the paper's warp-level local-assembly kernels can be implemented,
+// verified, and performance-analyzed in pure Go (DESIGN.md §2).
+//
+// The functional half executes kernels written in warp-synchronous style:
+// a kernel is a Go function invoked once per warp, operating on 32-lane
+// vectors under explicit active-lane masks, with the warp intrinsics the
+// paper relies on (shuffle broadcast, ballot, match_any, atomic CAS).
+// Because lanes of a warp are stepped deterministically, a kernel's output
+// is bit-reproducible and can be compared against the CPU reference.
+//
+// The analytic half counts what NSight would count on real hardware — warp
+// instructions by class, per-lane (thread) instructions, predicated-off
+// lane slots, and memory transactions derived from a 32-byte-sector
+// coalescing analysis — and converts them to kernel time with a
+// latency/bandwidth/issue-rate model parameterized for a V100. Those are
+// exactly the observables behind the paper's instruction-roofline analysis
+// (Figs 8–10) and kernel timings.
+package simt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// WarpSize is the number of lanes per warp, as on all CUDA hardware.
+const WarpSize = 32
+
+// Ptr is a device global-memory address (byte offset into the arena).
+type Ptr uint64
+
+// DeviceConfig describes the modeled GPU hardware.
+type DeviceConfig struct {
+	Name            string
+	SMs             int     // streaming multiprocessors
+	SchedulersPerSM int     // warp schedulers per SM (issue slots per cycle)
+	MaxWarpsPerSM   int     // resident-warp capacity per SM
+	ClockGHz        float64 // core clock
+	GlobalMemBytes  int64   // device memory capacity (logical limit)
+	MemBWGBps       float64 // HBM bandwidth, GB/s
+	SectorBytes     int     // memory transaction granularity
+	GlobalLatency   int     // cycles for a global access round-trip
+	LocalLatency    int     // cycles for a local (L1-resident) access
+	// MemParallelism is the memory-level parallelism per warp: how many
+	// outstanding memory requests the scoreboard overlaps, which divides
+	// the effective per-access latency on the dependent chain.
+	MemParallelism int
+	// KernelLaunchOverhead is the host-side cost per kernel launch.
+	KernelLaunchOverhead time.Duration
+	// PCIeGBps is the host<->device copy bandwidth, GB/s.
+	PCIeGBps float64
+}
+
+// V100 returns the configuration of one NVIDIA V100-SXM2-16GB, the GPU in
+// both Summit nodes and the Cori GPU partition used by the paper. The
+// theoretical warp-instruction peak, SMs × schedulers × clock =
+// 80·4·1.53 ≈ 489.6 warp GIPS, matches the roofline ceiling in Figs 8–9.
+func V100() DeviceConfig {
+	return DeviceConfig{
+		Name:                 "V100-SXM2-16GB",
+		SMs:                  80,
+		SchedulersPerSM:      4,
+		MaxWarpsPerSM:        64,
+		ClockGHz:             1.53,
+		GlobalMemBytes:       16 << 30,
+		MemBWGBps:            900,
+		SectorBytes:          32,
+		GlobalLatency:        440,
+		LocalLatency:         28,
+		MemParallelism:       8,
+		KernelLaunchOverhead: 10 * time.Microsecond,
+		PCIeGBps:             12,
+	}
+}
+
+// A100 returns the configuration of an NVIDIA A100-SXM4-40GB, the successor
+// generation to the paper's V100 — useful for what-if roofline analysis of
+// the same kernels on newer hardware (peak 108·4·1.41 ≈ 609 warp GIPS,
+// 1.7× the HBM bandwidth).
+func A100() DeviceConfig {
+	return DeviceConfig{
+		Name:                 "A100-SXM4-40GB",
+		SMs:                  108,
+		SchedulersPerSM:      4,
+		MaxWarpsPerSM:        64,
+		ClockGHz:             1.41,
+		GlobalMemBytes:       40 << 30,
+		MemBWGBps:            1555,
+		SectorBytes:          32,
+		GlobalLatency:        400,
+		LocalLatency:         28,
+		MemParallelism:       10,
+		KernelLaunchOverhead: 10 * time.Microsecond,
+		PCIeGBps:             25,
+	}
+}
+
+// PeakWarpGIPS is the theoretical warp-instruction issue peak in billions
+// of warp instructions per second.
+func (c DeviceConfig) PeakWarpGIPS() float64 {
+	return float64(c.SMs) * float64(c.SchedulersPerSM) * c.ClockGHz
+}
+
+// Device is one simulated GPU: a global-memory arena plus transfer
+// accounting. Kernels run on it via Launch.
+type Device struct {
+	Cfg DeviceConfig
+
+	mem     []byte
+	heapOff Ptr
+
+	// Host<->device traffic since the last ResetTraffic, for driver-level
+	// PCIe accounting.
+	bytesH2D int64
+	bytesD2H int64
+}
+
+// NewDevice creates a device with an empty arena.
+func NewDevice(cfg DeviceConfig) *Device {
+	return &Device{Cfg: cfg}
+}
+
+// Malloc bump-allocates n bytes of device memory, 64-byte aligned, growing
+// the backing arena as needed. It fails when the logical device capacity
+// would be exceeded — the condition the paper's batch planner exists to
+// avoid (§3.2).
+func (d *Device) Malloc(n int64) (Ptr, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("simt: negative allocation %d", n)
+	}
+	aligned := (d.heapOff + 63) &^ 63
+	end := aligned + Ptr(n)
+	if int64(end) > d.Cfg.GlobalMemBytes {
+		return 0, fmt.Errorf("simt: out of device memory: want %d bytes at offset %d, capacity %d",
+			n, aligned, d.Cfg.GlobalMemBytes)
+	}
+	if int64(end) > int64(len(d.mem)) {
+		grown := make([]byte, int64(end)*5/4+1024)
+		copy(grown, d.mem)
+		d.mem = grown
+	}
+	d.heapOff = end
+	return aligned, nil
+}
+
+// FreeAll resets the allocator (a bump allocator has no partial free; the
+// local-assembly driver reallocates per batch exactly as the CUDA code
+// reuses one big allocation).
+func (d *Device) FreeAll() {
+	d.heapOff = 0
+}
+
+// InUse returns the bytes currently allocated.
+func (d *Device) InUse() int64 { return int64(d.heapOff) }
+
+// MemcpyHtoD copies host bytes to device memory, accounting PCIe traffic.
+func (d *Device) MemcpyHtoD(dst Ptr, src []byte) {
+	copy(d.mem[dst:int(dst)+len(src)], src)
+	d.bytesH2D += int64(len(src))
+}
+
+// MemcpyDtoH copies device bytes back to the host, accounting PCIe traffic.
+func (d *Device) MemcpyDtoH(dst []byte, src Ptr) {
+	copy(dst, d.mem[src:int(src)+len(dst)])
+	d.bytesD2H += int64(len(dst))
+}
+
+// Traffic returns and clears the host<->device byte counters.
+func (d *Device) Traffic() (h2d, d2h int64) {
+	h2d, d2h = d.bytesH2D, d.bytesD2H
+	d.bytesH2D, d.bytesD2H = 0, 0
+	return h2d, d2h
+}
+
+// TransferTime converts a transfer size to PCIe copy time.
+func (d *Device) TransferTime(bytes int64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	sec := float64(bytes) / (d.Cfg.PCIeGBps * 1e9)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Host-side (uncounted) accessors, used to stage inputs and read results.
+// Kernel code must go through Warp memory operations instead, so the
+// transaction counters see every device access.
+
+func (d *Device) WriteBytes(p Ptr, b []byte)    { copy(d.mem[p:int(p)+len(b)], b) }
+func (d *Device) ReadBytes(p Ptr, n int) []byte { return append([]byte(nil), d.mem[p:int(p)+n]...) }
+func (d *Device) WriteU32(p Ptr, v uint32)      { binary.LittleEndian.PutUint32(d.mem[p:], v) }
+func (d *Device) ReadU32(p Ptr) uint32          { return binary.LittleEndian.Uint32(d.mem[p:]) }
+func (d *Device) WriteU64(p Ptr, v uint64)      { binary.LittleEndian.PutUint64(d.mem[p:], v) }
+func (d *Device) ReadU64(p Ptr) uint64          { return binary.LittleEndian.Uint64(d.mem[p:]) }
+
+// load/store implement sized little-endian access for warp memory ops.
+func (d *Device) load(p Ptr, size int) uint64 {
+	switch size {
+	case 1:
+		return uint64(d.mem[p])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(d.mem[p:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(d.mem[p:]))
+	case 8:
+		return binary.LittleEndian.Uint64(d.mem[p:])
+	}
+	panic(fmt.Sprintf("simt: unsupported access size %d", size))
+}
+
+func (d *Device) store(p Ptr, size int, v uint64) {
+	switch size {
+	case 1:
+		d.mem[p] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(d.mem[p:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(d.mem[p:], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(d.mem[p:], v)
+	default:
+		panic(fmt.Sprintf("simt: unsupported access size %d", size))
+	}
+}

@@ -1,0 +1,80 @@
+package simt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// KernelConfig describes one kernel launch.
+type KernelConfig struct {
+	// Name labels the kernel in results and roofline output.
+	Name string
+	// Warps is the grid size in warps (the local-assembly kernels launch
+	// one warp per contig extension).
+	Warps int
+	// LocalBytesPerLane sizes each lane's private local-memory array
+	// (per-thread scratch that real CUDA would spill to local memory).
+	LocalBytesPerLane int
+	// Sequential forces warps to run on the calling goroutine, in warp
+	// order. The default runs warps on a worker pool; kernels must only
+	// write device regions owned by their own warp (true of all kernels
+	// in this repository — one warp per contig extension).
+	Sequential bool
+}
+
+// Launch executes kern once per warp and returns merged counters plus the
+// modeled kernel time. The functional result (device memory contents) is
+// deterministic as long as warps write disjoint regions.
+func (d *Device) Launch(cfg KernelConfig, kern func(w *Warp)) (KernelResult, error) {
+	if cfg.Warps < 0 {
+		return KernelResult{}, fmt.Errorf("simt: negative warp count %d", cfg.Warps)
+	}
+	perWarp := make([]Stats, cfg.Warps)
+
+	runWarp := func(id int) {
+		w := &Warp{Dev: d, ID: id, perLane: cfg.LocalBytesPerLane}
+		if cfg.LocalBytesPerLane > 0 {
+			w.localMem = make([]byte, cfg.LocalBytesPerLane*WarpSize)
+		}
+		w.stats.Warps = 1
+		kern(w)
+		perWarp[id] = w.stats
+	}
+
+	if cfg.Sequential || cfg.Warps <= 1 {
+		for id := 0; id < cfg.Warps; id++ {
+			runWarp(id)
+		}
+	} else {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > cfg.Warps {
+			workers = cfg.Warps
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		wg.Add(workers)
+		for wk := 0; wk < workers; wk++ {
+			go func() {
+				defer wg.Done()
+				for id := range next {
+					runWarp(id)
+				}
+			}()
+		}
+		for id := 0; id < cfg.Warps; id++ {
+			next <- id
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	var res KernelResult
+	res.Kernel = cfg.Name
+	for i := range perWarp {
+		res.Stats.Add(&perWarp[i])
+	}
+	// Stats.Add maxes MaxSerialMemChain across warps and sums Warps.
+	res.Time, res.Bound = timeModel(d.Cfg, &res.Stats)
+	return res, nil
+}

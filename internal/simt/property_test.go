@@ -1,0 +1,107 @@
+package simt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskProperties(t *testing.T) {
+	f := func(raw uint32, lane8 uint8) bool {
+		m := Mask(raw)
+		lane := int(lane8) % WarpSize
+		// Count matches the sum of Has.
+		n := 0
+		for l := 0; l < WarpSize; l++ {
+			if m.Has(l) {
+				n++
+			}
+		}
+		if n != m.Count() {
+			return false
+		}
+		// Setting a lane makes it present; FirstLane is a member.
+		if !(m | LaneMask(lane)).Has(lane) {
+			return false
+		}
+		if m != 0 && !m.Has(m.FirstLane()) {
+			return false
+		}
+		if m != 0 {
+			for l := 0; l < m.FirstLane(); l++ {
+				if m.Has(l) {
+					return false // something below FirstLane
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if FullMask.Count() != WarpSize {
+		t.Error("FullMask wrong")
+	}
+	if Mask(0).FirstLane() != -1 {
+		t.Error("empty mask FirstLane")
+	}
+}
+
+func TestScaledStatsProperties(t *testing.T) {
+	f := func(instrs, sectors uint32, warps uint16, chain uint32) bool {
+		var s Stats
+		s.WarpInstrs[IInt] = uint64(instrs)
+		s.GlobalSectors = uint64(sectors)
+		s.Warps = uint64(warps) + 1
+		s.MaxSerialMemChain = uint64(chain)
+
+		// Scale by 2: extensive counters double, the chain is invariant.
+		d := s.Scaled(2)
+		if d.WarpInstrs[IInt] != 2*s.WarpInstrs[IInt] ||
+			d.GlobalSectors != 2*s.GlobalSectors ||
+			d.Warps != 2*s.Warps {
+			return false
+		}
+		if d.MaxSerialMemChain != s.MaxSerialMemChain {
+			return false
+		}
+		// Scaling never reduces warps to zero.
+		tiny := s.Scaled(1e-9)
+		return tiny.Warps >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeModelMonotoneInWork(t *testing.T) {
+	cfg := V100()
+	f := func(instrs, sectors uint32, warps uint16, chain uint32) bool {
+		var s Stats
+		s.WarpInstrs[IInt] = uint64(instrs) + 1
+		s.GlobalSectors = uint64(sectors)
+		s.Warps = uint64(warps) + 1
+		s.MaxSerialMemChain = uint64(chain)
+		t1, _ := TimeFor(cfg, &s)
+		d := s.Scaled(3)
+		t3, _ := TimeFor(cfg, &d)
+		return t3 >= t1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplatAndVec(t *testing.T) {
+	f := func(v uint64) bool {
+		s := Splat(v)
+		for _, x := range s {
+			if x != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,292 @@
+package simt
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Mask is an active-lane mask, one bit per lane (bit i = lane i), exactly
+// like the masks CUDA's *_sync intrinsics take.
+type Mask uint32
+
+// FullMask has all 32 lanes active.
+const FullMask Mask = 0xffffffff
+
+// Has reports whether lane is active in m.
+func (m Mask) Has(lane int) bool { return m&(1<<uint(lane)) != 0 }
+
+// Count returns the number of active lanes.
+func (m Mask) Count() int { return bits.OnesCount32(uint32(m)) }
+
+// LaneMask returns a mask with only the given lane set.
+func LaneMask(lane int) Mask { return 1 << uint(lane) }
+
+// FirstLane returns the lowest active lane, or -1 for an empty mask.
+func (m Mask) FirstLane() int {
+	if m == 0 {
+		return -1
+	}
+	return bits.TrailingZeros32(uint32(m))
+}
+
+// Vec is one 32-lane register: a value per lane. Sub-word quantities live
+// in the low bits, as in PTX.
+type Vec [WarpSize]uint64
+
+// Splat returns a Vec with v in every lane.
+func Splat(v uint64) Vec {
+	var out Vec
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// Warp is the execution context a kernel receives: one warp of 32 lanes,
+// stepped in lockstep. All device memory access and all intrinsics go
+// through Warp methods so the instruction and transaction counters see
+// them.
+type Warp struct {
+	Dev *Device
+	// ID is the global warp index within the launch ([0, Warps)).
+	ID int
+
+	stats     Stats
+	localMem  []byte // lane-private arrays, lane-major
+	sharedMem []byte // warp-shared scratch (see shared.go)
+	perLane   int
+}
+
+// Exec records one executed warp instruction of class c under mask. Kernels
+// call this for arithmetic and control work; memory operations record
+// themselves.
+func (w *Warp) Exec(c InstrClass, mask Mask) { w.ExecN(c, mask, 1) }
+
+// ExecN records n warp instructions of class c under mask.
+func (w *Warp) ExecN(c InstrClass, mask Mask, n int) {
+	active := uint64(mask.Count())
+	w.stats.WarpInstrs[c] += uint64(n)
+	w.stats.ThreadInstrs[c] += uint64(n) * active
+	w.stats.PredicatedOff += uint64(n) * (WarpSize - active)
+}
+
+// coalesce counts the distinct sectors touched by the active lanes.
+func (w *Warp) coalesce(mask Mask, addrs *Vec, size int) uint64 {
+	var sectors [2 * WarpSize]uint64
+	n := 0
+	sb := uint64(w.Dev.Cfg.SectorBytes)
+	for lane := 0; lane < WarpSize; lane++ {
+		if !mask.Has(lane) {
+			continue
+		}
+		for s := addrs[lane] / sb; s <= (addrs[lane]+uint64(size)-1)/sb; s++ {
+			found := false
+			for i := 0; i < n; i++ {
+				if sectors[i] == s {
+					found = true
+					break
+				}
+			}
+			if !found {
+				sectors[n] = s
+				n++
+			}
+		}
+	}
+	return uint64(n)
+}
+
+// LoadGlobal performs a per-lane global load of size bytes (1, 2, 4 or 8)
+// and returns the loaded values. It records one ld.global warp instruction,
+// the coalesced sector transactions, and one global latency on the warp's
+// dependent chain.
+func (w *Warp) LoadGlobal(mask Mask, addrs *Vec, size int) Vec {
+	w.ExecN(ILdGlobal, mask, 1)
+	w.stats.GlobalSectors += w.coalesce(mask, addrs, size)
+	w.stats.MaxSerialMemChain += w.effLatency(w.Dev.Cfg.GlobalLatency)
+	var out Vec
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask.Has(lane) {
+			out[lane] = w.Dev.load(Ptr(addrs[lane]), size)
+		}
+	}
+	return out
+}
+
+// StoreGlobal performs a per-lane global store of size bytes.
+func (w *Warp) StoreGlobal(mask Mask, addrs *Vec, size int, vals *Vec) {
+	w.ExecN(IStGlobal, mask, 1)
+	w.stats.GlobalSectors += w.coalesce(mask, addrs, size)
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask.Has(lane) {
+			w.Dev.store(Ptr(addrs[lane]), size, vals[lane])
+		}
+	}
+}
+
+// AtomicCAS performs a per-lane compare-and-swap on global memory and
+// returns the value observed before the operation (CUDA atomicCAS
+// semantics). Lanes are resolved in lane order, which fixes a deterministic
+// winner when several lanes target the same address — the "thread
+// collision" situation of §3.3.
+func (w *Warp) AtomicCAS(mask Mask, addrs, compare, val *Vec, size int) Vec {
+	w.ExecN(IAtomic, mask, 1)
+	w.stats.AtomicSectors += w.coalesce(mask, addrs, size)
+	w.stats.MaxSerialMemChain += w.effLatency(w.Dev.Cfg.GlobalLatency)
+	var out Vec
+	for lane := 0; lane < WarpSize; lane++ {
+		if !mask.Has(lane) {
+			continue
+		}
+		old := w.Dev.load(Ptr(addrs[lane]), size)
+		out[lane] = old
+		if old == compare[lane] {
+			w.Dev.store(Ptr(addrs[lane]), size, val[lane])
+		}
+	}
+	return out
+}
+
+// AtomicAdd performs a per-lane atomic add on global memory and returns the
+// prior values. Same-address lanes serialize in lane order.
+func (w *Warp) AtomicAdd(mask Mask, addrs, delta *Vec, size int) Vec {
+	w.ExecN(IAtomic, mask, 1)
+	w.stats.AtomicSectors += w.coalesce(mask, addrs, size)
+	w.stats.MaxSerialMemChain += w.effLatency(w.Dev.Cfg.GlobalLatency)
+	var out Vec
+	for lane := 0; lane < WarpSize; lane++ {
+		if !mask.Has(lane) {
+			continue
+		}
+		old := w.Dev.load(Ptr(addrs[lane]), size)
+		out[lane] = old
+		w.Dev.store(Ptr(addrs[lane]), size, old+delta[lane])
+	}
+	return out
+}
+
+// localAddr maps a lane's private byte offset to the lane-major local arena.
+func (w *Warp) localAddr(lane int, off uint64) uint64 {
+	return uint64(lane)*uint64(w.perLane) + off
+}
+
+// LoadLocal reads size bytes at each active lane's private offset. Local
+// memory is interleaved on real hardware so same-offset accesses coalesce
+// perfectly; transactions are counted accordingly.
+func (w *Warp) LoadLocal(mask Mask, offs *Vec, size int) Vec {
+	w.ExecN(ILdLocal, mask, 1)
+	w.addLocalTraffic(mask, size)
+	w.stats.MaxSerialMemChain += w.effLatency(w.Dev.Cfg.LocalLatency)
+	var out Vec
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask.Has(lane) {
+			out[lane] = loadLE(w.localMem[w.localAddr(lane, offs[lane]):], size)
+		}
+	}
+	return out
+}
+
+// StoreLocal writes size bytes at each active lane's private offset.
+func (w *Warp) StoreLocal(mask Mask, offs *Vec, size int, vals *Vec) {
+	w.ExecN(IStLocal, mask, 1)
+	w.addLocalTraffic(mask, size)
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask.Has(lane) {
+			storeLE(w.localMem[w.localAddr(lane, offs[lane]):], size, vals[lane])
+		}
+	}
+}
+
+// effLatency is the dependent-chain cost of one memory warp instruction:
+// the raw latency divided by the warp's memory-level parallelism (the
+// scoreboard keeps several loads in flight; only every MLP-th access
+// extends the critical chain).
+func (w *Warp) effLatency(lat int) uint64 {
+	mlp := w.Dev.Cfg.MemParallelism
+	if mlp < 1 {
+		mlp = 1
+	}
+	e := (lat + mlp - 1) / mlp
+	return uint64(e)
+}
+
+func (w *Warp) addLocalTraffic(mask Mask, size int) {
+	bytes := mask.Count() * size
+	sb := w.Dev.Cfg.SectorBytes
+	w.stats.LocalSectors += uint64((bytes + sb - 1) / sb)
+}
+
+// LocalBytesPerLane returns the private local-memory size each lane has.
+func (w *Warp) LocalBytesPerLane() int { return w.perLane }
+
+// Shfl broadcasts the value held by srcLane to every active lane
+// (__shfl_sync with a scalar source), returning the resulting vector.
+func (w *Warp) Shfl(mask Mask, vals *Vec, srcLane int) Vec {
+	w.ExecN(IShfl, mask, 1)
+	v := vals[srcLane]
+	var out Vec
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask.Has(lane) {
+			out[lane] = v
+		}
+	}
+	return out
+}
+
+// Ballot evaluates pred across active lanes and returns the vote mask
+// (__ballot_sync).
+func (w *Warp) Ballot(mask Mask, pred func(lane int) bool) Mask {
+	w.ExecN(IBallot, mask, 1)
+	var out Mask
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask.Has(lane) && pred(lane) {
+			out |= LaneMask(lane)
+		}
+	}
+	return out
+}
+
+// MatchAny returns, for each active lane, the mask of active lanes holding
+// the same value (__match_any_sync) — the intrinsic the paper uses to find
+// thread collisions during hash-table insertion.
+func (w *Warp) MatchAny(mask Mask, vals *Vec) [WarpSize]Mask {
+	w.ExecN(IMatch, mask, 1)
+	var out [WarpSize]Mask
+	for a := 0; a < WarpSize; a++ {
+		if !mask.Has(a) {
+			continue
+		}
+		for b := 0; b < WarpSize; b++ {
+			if mask.Has(b) && vals[b] == vals[a] {
+				out[a] |= LaneMask(b)
+			}
+		}
+	}
+	return out
+}
+
+// SyncWarp records a __syncwarp. Execution here is already lockstep; the
+// call documents and costs the synchronization points of the real kernel.
+func (w *Warp) SyncWarp(mask Mask) { w.ExecN(ISync, mask, 1) }
+
+func loadLE(b []byte, size int) uint64 {
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func storeLE(b []byte, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		b[i] = byte(v >> uint(8*i))
+	}
+}
+
+func init() {
+	// The coalescing scratch array assumes sectors ≥ access size; all
+	// supported sizes are ≤ 8 < 32, but keep the invariant explicit.
+	if V100().SectorBytes < 8 {
+		panic(fmt.Sprintf("simt: sector size %d smaller than max access", V100().SectorBytes))
+	}
+}

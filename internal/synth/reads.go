@@ -1,0 +1,213 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mhm2sim/internal/dna"
+)
+
+// ReadConfig controls paired-end read sampling.
+type ReadConfig struct {
+	ReadLen    int     // bases per read (paper datasets: 150)
+	InsertMean int     // mean fragment length
+	InsertSD   int     // fragment length standard deviation
+	Depth      float64 // mean genome coverage at abundance 1.0
+	ErrorRate  float64 // per-base substitution probability
+	// LowQualFrac is the fraction of bases assigned a quality below
+	// dna.QualCutoff; errors are concentrated on those bases, as on a
+	// real instrument.
+	LowQualFrac float64
+}
+
+// Validate checks read-config sanity.
+func (rc *ReadConfig) Validate() error {
+	if rc.ReadLen < 20 || rc.ReadLen > 300 {
+		return fmt.Errorf("synth: read length %d outside [20,300]", rc.ReadLen)
+	}
+	if rc.InsertMean < rc.ReadLen {
+		return fmt.Errorf("synth: insert mean %d < read length %d", rc.InsertMean, rc.ReadLen)
+	}
+	if rc.Depth <= 0 {
+		return fmt.Errorf("synth: depth %g <= 0", rc.Depth)
+	}
+	if rc.ErrorRate < 0 || rc.ErrorRate > 0.2 {
+		return fmt.Errorf("synth: error rate %g outside [0,0.2]", rc.ErrorRate)
+	}
+	return nil
+}
+
+// SampleReads draws paired-end reads from the community. Per-genome depth is
+// Depth * Abundance (normalized so the community mean abundance is 1), which
+// produces the proportional bias metagenome assemblers must cope with.
+func SampleReads(com *Community, rc ReadConfig, seed int64) ([]dna.PairedRead, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	meanAb := 0.0
+	for i := range com.Genomes {
+		meanAb += com.Genomes[i].Abundance
+	}
+	meanAb /= float64(len(com.Genomes))
+
+	var pairs []dna.PairedRead
+	id := 0
+	for gi := range com.Genomes {
+		g := &com.Genomes[gi]
+		depth := rc.Depth * g.Abundance / meanAb
+		nPairs := int(depth * float64(len(g.Seq)) / float64(2*rc.ReadLen))
+		for p := 0; p < nPairs; p++ {
+			insert := rc.InsertMean
+			if rc.InsertSD > 0 {
+				insert += int(rng.NormFloat64() * float64(rc.InsertSD))
+			}
+			if insert < rc.ReadLen {
+				insert = rc.ReadLen
+			}
+			if insert > len(g.Seq) {
+				insert = len(g.Seq)
+			}
+			start := rng.Intn(len(g.Seq) - insert + 1)
+			frag := g.Seq[start : start+insert]
+
+			fwd := makeRead(rng, rc, frag[:rc.ReadLen], fmt.Sprintf("%s.p%d/1", g.Name, id))
+			revSrc := dna.RevComp(frag[len(frag)-rc.ReadLen:])
+			rev := makeRead(rng, rc, revSrc, fmt.Sprintf("%s.p%d/2", g.Name, id))
+			pairs = append(pairs, dna.PairedRead{Fwd: fwd, Rev: rev, InsertSize: insert})
+			id++
+		}
+	}
+	// Shuffle so reads are not grouped by genome, as in a real run.
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	return pairs, nil
+}
+
+// makeRead copies template, then injects substitution errors and qualities.
+func makeRead(rng *rand.Rand, rc ReadConfig, template []byte, id string) dna.Read {
+	seq := append([]byte(nil), template...)
+	qual := make([]byte, len(seq))
+	for i := range seq {
+		low := rng.Float64() < rc.LowQualFrac
+		if low {
+			qual[i] = dna.QualChar(2 + rng.Intn(dna.QualCutoff-2))
+		} else {
+			qual[i] = dna.QualChar(dna.QualCutoff + 10 + rng.Intn(dna.MaxQual-dna.QualCutoff-9))
+		}
+		// Errors are 4x likelier on low-quality bases.
+		errP := rc.ErrorRate
+		if low {
+			errP *= 4
+		} else {
+			errP /= 2
+		}
+		if rng.Float64() < errP {
+			c, _ := dna.Code(seq[i])
+			seq[i] = dna.Alphabet[(c+byte(1+rng.Intn(3)))&3]
+		}
+	}
+	return dna.Read{ID: id, Seq: seq, Qual: qual}
+}
+
+// Flatten turns pairs into a single read list (fwd, rev, fwd, rev, ...),
+// the order the pipeline's merge-reads stage expects.
+func Flatten(pairs []dna.PairedRead) []dna.Read {
+	out := make([]dna.Read, 0, 2*len(pairs))
+	for i := range pairs {
+		out = append(out, pairs[i].Fwd, pairs[i].Rev)
+	}
+	return out
+}
+
+// Preset bundles a community config, read config, and scale notes.
+type Preset struct {
+	Name  string
+	Com   Config
+	Reads ReadConfig
+	Seed  int64
+	// ScaleNote documents the relationship to the paper's dataset.
+	ScaleNote string
+}
+
+// ArcticSynthPreset is the scaled stand-in for the arcticsynth dataset
+// (32 M synthetic 150 bp reads from a controlled community of genomes whose
+// abundances span orders of magnitude): same read length, wide abundance
+// skew — the low-abundance tail fragments into poorly covered contigs,
+// which is what fills bin 1 of Fig 3 — and Illumina-like errors.
+func ArcticSynthPreset() Preset {
+	return Preset{
+		Name: "arcticsynth",
+		Com: Config{
+			NumGenomes:     16,
+			MinGenomeLen:   20_000,
+			MaxGenomeLen:   70_000,
+			AbundanceSigma: 1.6,
+			RepeatFrac:     0.03,
+			SharedFrac:     0.02,
+			RepeatLen:      400,
+		},
+		Reads: ReadConfig{
+			ReadLen:     150,
+			InsertMean:  350,
+			InsertSD:    40,
+			Depth:       12,
+			ErrorRate:   0.006,
+			LowQualFrac: 0.05,
+		},
+		Seed:      42,
+		ScaleNote: "arcticsynth scaled ~1:500 by genome count x length; read length, abundance skew and error structure preserved",
+	}
+}
+
+// WAPreset is the scaled stand-in for the Western Arctic marine communities
+// dataset (2.465 G reads): many more genomes, stronger abundance skew, more
+// shared sequence across organisms.
+func WAPreset() Preset {
+	return Preset{
+		Name: "WA",
+		Com: Config{
+			NumGenomes:     24,
+			MinGenomeLen:   20_000,
+			MaxGenomeLen:   90_000,
+			AbundanceSigma: 1.3,
+			RepeatFrac:     0.05,
+			SharedFrac:     0.05,
+			RepeatLen:      300,
+		},
+		Reads: ReadConfig{
+			ReadLen:     150,
+			InsertMean:  320,
+			InsertSD:    50,
+			Depth:       20,
+			ErrorRate:   0.006,
+			LowQualFrac: 0.08,
+		},
+		Seed:      1848,
+		ScaleNote: "WA scaled ~1:50000 by total bases; higher community complexity and skew than arcticsynth preserved",
+	}
+}
+
+// PresetByName looks up a preset ("arcticsynth" or "WA").
+func PresetByName(name string) (Preset, error) {
+	switch name {
+	case "arcticsynth":
+		return ArcticSynthPreset(), nil
+	case "WA", "wa":
+		return WAPreset(), nil
+	}
+	return Preset{}, fmt.Errorf("synth: unknown preset %q", name)
+}
+
+// Build generates the preset's community and reads.
+func (p Preset) Build() (*Community, []dna.PairedRead, error) {
+	com, err := GenerateCommunity(p.Com, p.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	pairs, err := SampleReads(com, p.Reads, p.Seed+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	return com, pairs, nil
+}

@@ -1,0 +1,269 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"mhm2sim/internal/dna"
+)
+
+func smallConfig() Config {
+	return Config{
+		NumGenomes:     4,
+		MinGenomeLen:   5_000,
+		MaxGenomeLen:   10_000,
+		AbundanceSigma: 1.0,
+		RepeatFrac:     0.05,
+		SharedFrac:     0.05,
+		RepeatLen:      200,
+	}
+}
+
+func TestGenerateCommunityDeterministic(t *testing.T) {
+	a, err := GenerateCommunity(smallConfig(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := GenerateCommunity(smallConfig(), 11)
+	if len(a.Genomes) != len(b.Genomes) {
+		t.Fatal("genome counts differ")
+	}
+	for i := range a.Genomes {
+		if string(a.Genomes[i].Seq) != string(b.Genomes[i].Seq) {
+			t.Fatalf("genome %d differs between same-seed runs", i)
+		}
+		if a.Genomes[i].Abundance != b.Genomes[i].Abundance {
+			t.Fatalf("abundance %d differs between same-seed runs", i)
+		}
+	}
+	c, _ := GenerateCommunity(smallConfig(), 12)
+	if string(a.Genomes[0].Seq) == string(c.Genomes[0].Seq) {
+		t.Error("different seeds produced identical genomes")
+	}
+}
+
+func TestGenerateCommunityShape(t *testing.T) {
+	com, err := GenerateCommunity(smallConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(com.Genomes) != 4 {
+		t.Fatalf("got %d genomes", len(com.Genomes))
+	}
+	for _, g := range com.Genomes {
+		if len(g.Seq) < 5_000 || len(g.Seq) > 10_000 {
+			t.Errorf("%s length %d out of range", g.Name, len(g.Seq))
+		}
+		if g.Abundance <= 0 {
+			t.Errorf("%s abundance %g <= 0", g.Name, g.Abundance)
+		}
+		if dna.CountValid(g.Seq) != len(g.Seq) {
+			t.Errorf("%s contains ambiguous bases", g.Name)
+		}
+	}
+	if com.TotalBases() < 4*5_000 {
+		t.Error("TotalBases inconsistent")
+	}
+}
+
+func TestGenerateCommunityValidation(t *testing.T) {
+	bad := smallConfig()
+	bad.NumGenomes = 0
+	if _, err := GenerateCommunity(bad, 1); err == nil {
+		t.Error("NumGenomes=0 accepted")
+	}
+	bad = smallConfig()
+	bad.MaxGenomeLen = bad.MinGenomeLen - 1
+	if _, err := GenerateCommunity(bad, 1); err == nil {
+		t.Error("inverted length range accepted")
+	}
+	bad = smallConfig()
+	bad.RepeatFrac = 0.95
+	if _, err := GenerateCommunity(bad, 1); err == nil {
+		t.Error("RepeatFrac=0.95 accepted")
+	}
+}
+
+func testReadConfig() ReadConfig {
+	return ReadConfig{
+		ReadLen:     100,
+		InsertMean:  250,
+		InsertSD:    30,
+		Depth:       8,
+		ErrorRate:   0.005,
+		LowQualFrac: 0.05,
+	}
+}
+
+func TestSampleReadsBasics(t *testing.T) {
+	com, _ := GenerateCommunity(smallConfig(), 5)
+	pairs, err := SampleReads(com, testReadConfig(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("no reads sampled")
+	}
+	for i := range pairs {
+		p := &pairs[i]
+		if len(p.Fwd.Seq) != 100 || len(p.Rev.Seq) != 100 {
+			t.Fatalf("pair %d: wrong read length", i)
+		}
+		if err := p.Fwd.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Rev.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if p.InsertSize < 100 {
+			t.Fatalf("pair %d: insert %d < read len", i, p.InsertSize)
+		}
+	}
+}
+
+func TestSampleReadsDepth(t *testing.T) {
+	cfg := smallConfig()
+	cfg.AbundanceSigma = 0 // uniform community
+	com, _ := GenerateCommunity(cfg, 7)
+	rc := testReadConfig()
+	pairs, err := SampleReads(com, rc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBases := float64(2 * rc.ReadLen * len(pairs))
+	wantBases := rc.Depth * float64(com.TotalBases())
+	if ratio := gotBases / wantBases; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("sampled %g bases, want ~%g (ratio %.2f)", gotBases, wantBases, ratio)
+	}
+}
+
+func TestSampleReadsAbundanceSkew(t *testing.T) {
+	// With strong skew, per-genome read counts should differ widely.
+	cfg := smallConfig()
+	cfg.AbundanceSigma = 1.5
+	com, _ := GenerateCommunity(cfg, 9)
+	pairs, _ := SampleReads(com, testReadConfig(), 10)
+	counts := map[string]int{}
+	for i := range pairs {
+		// IDs look like genome03.p7/1.
+		id := pairs[i].Fwd.ID
+		counts[id[:8]]++
+	}
+	minC, maxC := math.MaxInt, 0
+	for _, c := range counts {
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < 2*minC {
+		t.Errorf("expected skewed coverage, got min %d max %d", minC, maxC)
+	}
+}
+
+func TestSampleReadsErrorRate(t *testing.T) {
+	cfg := smallConfig()
+	cfg.RepeatFrac, cfg.SharedFrac = 0, 0
+	com, _ := GenerateCommunity(cfg, 11)
+	rc := testReadConfig()
+	rc.ErrorRate = 0.01
+	rc.InsertSD = 0
+	pairs, _ := SampleReads(com, rc, 12)
+
+	// Reconstruct error rate by comparing fwd reads against the genome.
+	genomes := map[string][]byte{}
+	for i := range com.Genomes {
+		genomes[com.Genomes[i].Name] = com.Genomes[i].Seq
+	}
+	mismatches, total := 0, 0
+	for i := range pairs {
+		name := pairs[i].Fwd.ID[:8]
+		g := genomes[name]
+		best := -1
+		// Locate the read by scanning (insert positions are not recorded);
+		// use a cheap unique 20-mer anchor from the error-free tail space.
+		for pos := 0; pos+len(pairs[i].Fwd.Seq) <= len(g); pos++ {
+			mm := 0
+			for j := 0; j < 20; j++ {
+				if g[pos+j] != pairs[i].Fwd.Seq[j] {
+					mm++
+				}
+			}
+			if mm <= 1 {
+				best = pos
+				break
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		for j := range pairs[i].Fwd.Seq {
+			if g[best+j] != pairs[i].Fwd.Seq[j] {
+				mismatches++
+			}
+			total++
+		}
+		if total > 200_000 {
+			break
+		}
+	}
+	if total == 0 {
+		t.Fatal("could not anchor any reads")
+	}
+	rate := float64(mismatches) / float64(total)
+	if rate < 0.002 || rate > 0.05 {
+		t.Errorf("observed error rate %.4f, want around 0.01", rate)
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	pairs := []dna.PairedRead{
+		{Fwd: dna.Read{ID: "a/1"}, Rev: dna.Read{ID: "a/2"}},
+		{Fwd: dna.Read{ID: "b/1"}, Rev: dna.Read{ID: "b/2"}},
+	}
+	flat := Flatten(pairs)
+	if len(flat) != 4 || flat[0].ID != "a/1" || flat[3].ID != "b/2" {
+		t.Errorf("Flatten order wrong: %v", flat)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range []string{"arcticsynth", "WA"} {
+		p, err := PresetByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Reads.ReadLen != 150 {
+			t.Errorf("%s: read length %d, paper datasets are 150 bp", name, p.Reads.ReadLen)
+		}
+		if err := p.Com.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if err := p.Reads.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := PresetByName("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestPresetBuildSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("preset build is moderately expensive")
+	}
+	p := ArcticSynthPreset()
+	// Shrink for test speed but keep structure.
+	p.Com.NumGenomes = 4
+	p.Com.MinGenomeLen, p.Com.MaxGenomeLen = 8_000, 12_000
+	p.Reads.Depth = 6
+	com, pairs, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(com.Genomes) != 4 || len(pairs) == 0 {
+		t.Fatalf("unexpected build output: %d genomes, %d pairs", len(com.Genomes), len(pairs))
+	}
+}
