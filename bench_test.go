@@ -16,6 +16,7 @@ import (
 	"mhm2sim/internal/figures"
 	"mhm2sim/internal/locassm"
 	"mhm2sim/internal/pipeline"
+	"mhm2sim/internal/simt"
 )
 
 // benchState shares the expensive pipeline runs and calibrated model
@@ -235,5 +236,37 @@ func BenchmarkLocalAssemblyGPUv2(b *testing.B) {
 		if _, err := cluster.ModelFromWorkload(s.arcticRes.LAWorkload, s.arctic.Config.Locassm); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDriverStaging times the GPU driver end to end on the
+// arcticsynth workload in both modes: "sequential" is the seed's
+// one-batch-at-a-time schedule, "pipelined" the staged pack → launch →
+// unpack pipeline with both sides in flight (identical results and modeled
+// times by construction; the difference is host wall time).
+func BenchmarkDriverStaging(b *testing.B) {
+	s := getState(b)
+	for _, bc := range []struct {
+		name string
+		mode locassm.DriverMode
+	}{{"sequential", locassm.ModeSequential}, {"pipelined", locassm.ModePipelined}} {
+		b.Run(bc.name, func(b *testing.B) {
+			dev := simt.NewDevice(simt.V100())
+			cfg := locassm.GPUConfig{
+				Config:       s.arctic.Config.Locassm,
+				WarpPerTable: true,
+				Mode:         bc.mode,
+			}
+			d, err := locassm.NewDriver(dev, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Run(s.arcticRes.LAWorkload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

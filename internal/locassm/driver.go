@@ -2,10 +2,35 @@ package locassm
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
-	"mhm2sim/internal/dna"
 	"mhm2sim/internal/simt"
+)
+
+// DriverMode selects how the driver moves batches through the device.
+type DriverMode int
+
+const (
+	// ModePipelined (the default) runs each side's batches through a
+	// 3-stage pack → launch → unpack pipeline and processes the left and
+	// right sides concurrently on separate streams, modeling the CUDA
+	// driver's stream overlap. Results are bit-identical to ModeSequential.
+	ModePipelined DriverMode = iota
+	// ModeSequential stages, launches, and unpacks one batch at a time in
+	// a fixed order — the reference path the pipelined mode is checked
+	// against.
+	ModeSequential
+)
+
+const (
+	// pipelineStreams is how many batch sequences are in flight at once
+	// (one per side). Each gets an equal share of the memory budget so the
+	// combined footprint never exceeds MemBudget.
+	pipelineStreams = 2
+	// pipelineDepth bounds the pack → launch and launch → unpack channels:
+	// how far ahead the host packs while the device works.
+	pipelineDepth = 2
 )
 
 // GPUConfig configures the GPU local-assembly driver.
@@ -14,20 +39,25 @@ type GPUConfig struct {
 	// WarpPerTable selects the v2 kernel (one warp builds one hash table,
 	// §3.3); false selects the v1 single-thread-per-table kernel.
 	WarpPerTable bool
-	// MemBudget caps a batch's device footprint in bytes; 0 uses 85% of
+	// MemBudget caps the driver's device footprint in bytes; 0 uses 85% of
 	// the device's capacity (leaving room for the runtime, as the real
-	// driver must).
+	// driver must). Each of the pipelineStreams concurrent sides packs
+	// batches under an equal share of the budget — in every mode, so the
+	// batch structure (and therefore modeled kernel time) is identical
+	// whether or not the pipeline is on.
 	MemBudget int64
 	// SmallLimit is the §3.1 bin-2/bin-3 boundary (0 = DefaultSmallLimit).
 	SmallLimit int
+	// Mode selects pipelined (default) or sequential batch processing.
+	Mode DriverMode
 }
 
 // GPUResult is the outcome of a GPU local-assembly run.
 type GPUResult struct {
 	Results []Result
 
-	// Kernels holds one entry per kernel launch (left/right × batches),
-	// the input to the roofline analysis.
+	// Kernels holds one entry per kernel launch (right-side batches first,
+	// then left, each in batch order), the input to the roofline analysis.
 	Kernels []simt.KernelResult
 
 	// Modeled time components.
@@ -62,114 +92,172 @@ func NewDriver(dev *simt.Device, cfg GPUConfig) (*Driver, error) {
 
 // Run locally assembles the given contigs on the GPU. Contigs with no
 // candidate reads pass through untouched (bin 1 is never offloaded). The
-// returned results are in input order and bit-identical to RunCPU's.
+// returned results are in input order and bit-identical to RunCPU's,
+// regardless of the driver mode.
 func (d *Driver) Run(ctgs []*CtgWithReads) (*GPUResult, error) {
 	res := &GPUResult{Results: make([]Result, len(ctgs))}
 	for i, c := range ctgs {
 		res.Results[i].ID = c.ID
 	}
 
-	for _, left := range []bool{false, true} {
+	// Plan both sides up front: the per-side batch structure must not
+	// depend on the mode, and the pipeline needs the full footprint before
+	// anything is in flight.
+	sides := [pipelineStreams]bool{false, true} // right first, as before
+	var plans [pipelineStreams][]*batchPlan
+	var slabBytes [pipelineStreams]int64
+	budget := d.Cfg.MemBudget / pipelineStreams
+	for s, left := range sides {
 		items := buildSideItems(ctgs, &d.Cfg.Config, left)
 		if len(items) == 0 {
 			continue
 		}
-		batches, err := packBatches(items, &d.Cfg.Config, d.Cfg.MemBudget)
+		batches, err := packBatches(items, &d.Cfg.Config, budget)
 		if err != nil {
 			return nil, err
 		}
-		res.Batches += len(batches)
-		for _, batch := range batches {
-			if err := d.runBatch(batch, left, res); err != nil {
+		plans[s] = batches
+		for _, b := range batches {
+			if db := b.deviceBytes(); db > slabBytes[s] {
+				slabBytes[s] = db
+			}
+		}
+	}
+	if total := slabBytes[0] + slabBytes[1]; total > d.Dev.Cfg.GlobalMemBytes {
+		return nil, fmt.Errorf("locassm: %d bytes of in-flight batches exceed device capacity %d",
+			total, d.Dev.Cfg.GlobalMemBytes)
+	}
+
+	// One slab region per side, sized to that side's largest batch and
+	// reused for every batch on that side. Allocating (and growing the
+	// arena to) the full footprint before anything launches is what lets
+	// kernels and copies overlap without the backing store moving.
+	dev := d.Dev
+	dev.FreeAll()
+	if err := dev.Prealloc(slabBytes[0] + slabBytes[1] + 64); err != nil {
+		return nil, err
+	}
+	var slabs [pipelineStreams]simt.Region
+	for s := range slabs {
+		if slabBytes[s] == 0 {
+			continue
+		}
+		var err error
+		slabs[s], err = dev.AllocRegion(slabBytes[s])
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	outs := [pipelineStreams]*sideOut{newSideOut(len(ctgs)), newSideOut(len(ctgs))}
+	if d.Cfg.Mode == ModeSequential {
+		for s, left := range sides {
+			if err := d.runSideSequential(plans[s], left, slabs[s], outs[s]); err != nil {
 				return nil, err
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		var errs [pipelineStreams]error
+		for s, left := range sides {
+			wg.Add(1)
+			go func(s int, left bool) {
+				defer wg.Done()
+				errs[s] = d.runSidePipelined(plans[s], left, slabs[s], outs[s])
+			}(s, left)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	for s := range slabs {
+		slabs[s].Free()
+	}
+
+	// Merge per-side outputs in the fixed right-then-left order, so
+	// accounting and kernel lists are identical across modes.
+	for s, left := range sides {
+		so := outs[s]
+		res.Kernels = append(res.Kernels, so.kernels...)
+		res.KernelTime += so.kernelTime
+		res.TransferTime += so.transferTime
+		res.Batches += so.batches
+		for i := range so.touched {
+			if !so.touched[i] {
+				continue
+			}
+			r := &res.Results[i]
+			r.Iters += so.iters[i]
+			if left {
+				r.LeftExt, r.LeftState = so.ext[i], so.state[i]
+			} else {
+				r.RightExt, r.RightState = so.ext[i], so.state[i]
 			}
 		}
 	}
 	return res, nil
 }
 
-// runBatch stages one batch, launches the extension kernel, and unpacks
-// the outputs.
-func (d *Driver) runBatch(batch *batchPlan, left bool, res *GPUResult) error {
-	dev := d.Dev
-	dev.FreeAll()
-
-	total := batch.totalBytes()
-	if total > dev.Cfg.GlobalMemBytes {
-		return fmt.Errorf("locassm: batch of %d bytes exceeds device capacity", total)
-	}
-	var bases batchDev
-	var err error
-	alloc := func(n int64) simt.Ptr {
-		var p simt.Ptr
-		if err == nil {
-			p, err = dev.Malloc(n)
+// runSideSequential is the reference path: each batch is staged, launched,
+// and unpacked before the next one starts.
+func (d *Driver) runSideSequential(batches []*batchPlan, left bool, slab simt.Region, so *sideOut) error {
+	stream := d.Dev.NewStream()
+	for _, b := range batches {
+		arena := arenaPool.Get().(*hostArena)
+		arena.stage(b)
+		lb, err := d.launchBatch(stream, slab, left, b, arena)
+		if err != nil {
+			arenaPool.Put(arena)
+			return err
 		}
-		return p
+		unpackBatch(lb, left, so)
 	}
-	bases.seqBase = alloc(batch.seqArena)
-	bases.qualBase = alloc(batch.qualArena)
-	bases.tables = alloc(batch.tableArena)
-	bases.visited = alloc(batch.visArena)
-	bases.walks = alloc(batch.walkArena)
-	bases.outs = alloc(batch.outArena)
-	if err != nil {
-		return err
-	}
-
-	// Host-side data packing (Fig 11): reads, qualities, walk-buffer tails.
-	for _, p := range batch.items {
-		for ri := range p.item.reads {
-			dev.MemcpyHtoD(bases.seqBase+simt.Ptr(p.readOffs[ri]), p.item.reads[ri].Seq)
-			dev.MemcpyHtoD(bases.qualBase+simt.Ptr(p.readOffs[ri]), p.item.reads[ri].Qual)
-		}
-		dev.MemcpyHtoD(bases.walks+simt.Ptr(p.walkOff), p.item.tail)
-	}
-
-	side := "right"
-	if left {
-		side = "left"
-	}
-	version, warps := "v1", (len(batch.items)+simt.WarpSize-1)/simt.WarpSize
-	kern := extensionKernelV1(batch, bases, &d.Cfg.Config)
-	if d.Cfg.WarpPerTable {
-		// v2: one warp per extension.
-		version, warps = "v2", len(batch.items)
-		kern = extensionKernelV2(batch, bases, &d.Cfg.Config)
-	}
-	kres, err := dev.Launch(simt.KernelConfig{
-		Name:              fmt.Sprintf("locassm_%s_ext_%s", side, version),
-		Warps:             warps,
-		LocalBytesPerLane: localBytesPerLane(&d.Cfg.Config),
-	}, kern)
-	if err != nil {
-		return err
-	}
-
-	// Unpack: extension bytes and terminal states.
-	for _, p := range batch.items {
-		out := make([]byte, 6)
-		dev.MemcpyDtoH(out, bases.outs+simt.Ptr(p.outOff))
-		extLen := int(uint32(out[0]) | uint32(out[1])<<8 | uint32(out[2])<<16 | uint32(out[3])<<24)
-		state := WalkState(out[4])
-		iters := int(out[5])
-
-		ext := make([]byte, extLen)
-		if extLen > 0 {
-			dev.MemcpyDtoH(ext, bases.walks+simt.Ptr(p.walkOff)+simt.Ptr(len(p.item.tail)))
-		}
-		r := &res.Results[p.item.ctgIdx]
-		r.Iters += iters
-		if left {
-			r.LeftExt, r.LeftState = dna.RevComp(ext), state
-		} else {
-			r.RightExt, r.RightState = ext, state
-		}
-	}
-
-	h2d, d2h := dev.Traffic()
-	res.TransferTime += dev.TransferTime(h2d) + dev.TransferTime(d2h)
-	res.KernelTime += kres.Time
-	res.Kernels = append(res.Kernels, kres)
+	so.batches = len(batches)
 	return nil
+}
+
+// runSidePipelined runs one side's batches through the 3-stage pipeline:
+// a pack goroutine fills staging arenas, a launch goroutine ships them and
+// runs kernels on this side's stream, and the caller's goroutine unpacks.
+// Bounded channels keep at most pipelineDepth batches queued per stage.
+func (d *Driver) runSidePipelined(batches []*batchPlan, left bool, slab simt.Region, so *sideOut) error {
+	stream := d.Dev.NewStream()
+
+	staged := make(chan stagedBatch, pipelineDepth)
+	go func() {
+		for _, b := range batches {
+			arena := arenaPool.Get().(*hostArena)
+			arena.stage(b)
+			staged <- stagedBatch{plan: b, arena: arena}
+		}
+		close(staged)
+	}()
+
+	launched := make(chan launchedBatch, pipelineDepth)
+	var launchErr error // owned by the launch goroutine until `launched` closes
+	go func() {
+		for sb := range staged {
+			if launchErr != nil {
+				arenaPool.Put(sb.arena)
+				continue
+			}
+			lb, err := d.launchBatch(stream, slab, left, sb.plan, sb.arena)
+			if err != nil {
+				launchErr = err
+				arenaPool.Put(sb.arena)
+				continue
+			}
+			launched <- lb
+		}
+		close(launched)
+	}()
+
+	for lb := range launched {
+		unpackBatch(lb, left, so)
+	}
+	so.batches = len(batches)
+	return launchErr
 }

@@ -1,6 +1,8 @@
 package locassm
 
 import (
+	"runtime"
+	"sync"
 	"time"
 
 	"mhm2sim/internal/simt"
@@ -80,23 +82,39 @@ func (d *Driver) RunOverlapped(ctgs []*CtgWithReads, cpuTime CPUTimeModel, cpuWo
 	place(bins.Large, gpu3.Results)
 	window := gpu3.TotalTime()
 
-	// The CPU walks bin 2 until the window is spent.
+	// The CPU walks bin 2 until the window is spent. Contigs are extended
+	// in chunks so the worker fan-out cost is paid once per chunk rather
+	// than once per contig, but the take/stop decision is replayed contig
+	// by contig over the chunk's per-contig counts — the split (and every
+	// result) is bit-identical to the one-at-a-time schedule. Work past the
+	// cutoff inside the final chunk is speculative and discarded, exactly
+	// as a real overlapped driver over-decodes its last in-flight block.
+	workers := cpuWorkers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunk := 4 * workers
 	cpuDone := 0
+loop:
 	for cpuDone < len(bins.Small) {
-		one, err := RunCPU(bins.Small[cpuDone:cpuDone+1], d.Cfg.Config, cpuWorkers)
-		if err != nil {
-			return nil, err
+		hi := cpuDone + chunk
+		if hi > len(bins.Small) {
+			hi = len(bins.Small)
 		}
-		next := out.CPUCounts
-		next.Add(one.Counts)
-		if cpuTime(next) > window && cpuDone > 0 {
-			break
-		}
-		out.CPUCounts = next
-		place(bins.Small[cpuDone:cpuDone+1], one.Results)
-		cpuDone++
-		if cpuTime(out.CPUCounts) > window {
-			break
+		set := bins.Small[cpuDone:hi]
+		results, counts := cpuChunk(set, &d.Cfg.Config, workers)
+		for j := range set {
+			next := out.CPUCounts
+			next.Add(counts[j])
+			if cpuTime(next) > window && cpuDone > 0 {
+				break loop
+			}
+			out.CPUCounts = next
+			place(set[j:j+1], results[j:j+1])
+			cpuDone++
+			if cpuTime(out.CPUCounts) > window {
+				break loop
+			}
 		}
 	}
 	out.CPUContigs = cpuDone
@@ -127,4 +145,33 @@ func (d *Driver) RunOverlapped(ctgs []*CtgWithReads, cpuTime CPUTimeModel, cpuWo
 	}
 	out.ModelTime = cpuSpan + gpuRest.TotalTime()
 	return out, nil
+}
+
+// cpuChunk extends a chunk of contigs across `workers` goroutines,
+// returning per-contig results AND per-contig work counts (unlike RunCPU,
+// which only totals them) so the overlap scheduler can replay its cutoff
+// decision one contig at a time.
+func cpuChunk(ctgs []*CtgWithReads, cfg *Config, workers int) ([]Result, []WorkCounts) {
+	results := make([]Result, len(ctgs))
+	counts := make([]WorkCounts, len(ctgs))
+	if workers > len(ctgs) {
+		workers = len(ctgs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for wk := 0; wk < workers; wk++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = extendContigCPU(ctgs[i], cfg, &counts[i])
+			}
+		}()
+	}
+	for i := range ctgs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results, counts
 }

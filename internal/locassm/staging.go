@@ -1,0 +1,210 @@
+package locassm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/simt"
+)
+
+// This file is the staging half of the pipelined driver: each batch's
+// reads, qualities, and walk-buffer tails are packed into one reusable
+// host arena and shipped with a single MemcpyHtoD per arena (and the
+// outputs come back in one bulk MemcpyDtoH), replacing the per-read copies
+// of the original driver — the Go analogue of the paper's flat §3.2
+// allocation crossing PCIe as one transfer.
+
+// align64 rounds a size up to the device allocation granularity, so the
+// per-arena bases carved out of a slab match what individual Mallocs would
+// have returned.
+func align64(n int64) int64 { return (n + 63) &^ 63 }
+
+// deviceBytes is the batch's device footprint when its six arenas are
+// packed back-to-back at 64-byte alignment inside one slab region.
+func (b *batchPlan) deviceBytes() int64 {
+	return align64(b.seqArena) + align64(b.qualArena) + align64(b.tableArena) +
+		align64(b.visArena) + align64(b.walkArena) + align64(b.outArena)
+}
+
+// bases carves the batch's arena base addresses out of a slab.
+func (b *batchPlan) bases(base simt.Ptr) batchDev {
+	var dev batchDev
+	p := base
+	next := func(n int64) simt.Ptr {
+		cur := p
+		p += simt.Ptr(align64(n))
+		return cur
+	}
+	dev.seqBase = next(b.seqArena)
+	dev.qualBase = next(b.qualArena)
+	dev.tables = next(b.tableArena)
+	dev.visited = next(b.visArena)
+	dev.walks = next(b.walkArena)
+	dev.outs = next(b.outArena)
+	return dev
+}
+
+// hostArena is one batch's pinned-host-style staging buffers, pooled
+// across batches and sides so steady state allocates nothing per batch.
+type hostArena struct {
+	seq   []byte // read bases, at their arena offsets
+	qual  []byte // read qualities, same offsets
+	walks []byte // walk-buffer image: zeroes with each item's tail in place
+	outs  []byte // output records read back in one copy
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(hostArena) }}
+
+// grownTo returns b resized to n bytes, reusing capacity when possible.
+// Contents are unspecified.
+func grownTo(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// stage packs one batch into the arena: sequences and qualities at their
+// planned offsets, and a zeroed walk image holding each item's contig
+// tail. Zeroing the walk image keeps device memory content independent of
+// whatever batch previously occupied the slab.
+func (a *hostArena) stage(b *batchPlan) {
+	seqLen := int(b.seqArena - 8) // content bytes; the +8 is gather slack
+	a.seq = grownTo(a.seq, seqLen)
+	a.qual = grownTo(a.qual, seqLen)
+	walkLen := int(b.walkArena - 8)
+	a.walks = grownTo(a.walks, walkLen)
+	for i := range a.walks {
+		a.walks[i] = 0
+	}
+	n := len(b.items)
+	a.outs = grownTo(a.outs, (n-1)*outStride+6)
+
+	for _, p := range b.items {
+		for ri := range p.item.reads {
+			copy(a.seq[p.readOffs[ri]:], p.item.reads[ri].Seq)
+			copy(a.qual[p.readOffs[ri]:], p.item.reads[ri].Qual)
+		}
+		copy(a.walks[p.walkOff:], p.item.tail)
+	}
+}
+
+// stagedBatch is a packed batch waiting for the launch stage.
+type stagedBatch struct {
+	plan  *batchPlan
+	arena *hostArena
+}
+
+// launchedBatch is a batch whose kernel has completed and whose outputs
+// have been read back, waiting for the unpack stage.
+type launchedBatch struct {
+	plan     *batchPlan
+	arena    *hostArena
+	exts     [][]byte // per-item extension bytes, rightward orientation
+	kres     simt.KernelResult
+	transfer time.Duration
+}
+
+// launchBatch ships one staged batch to the device (one copy per input
+// arena), runs the extension kernel, and reads every output record back in
+// a single bulk copy, plus one copy per non-empty extension. Transfer time
+// is taken from this batch's traffic on the side's stream, so the total is
+// an order-independent sum over batches.
+func (d *Driver) launchBatch(stream *simt.Stream, slab simt.Region, left bool, batch *batchPlan, arena *hostArena) (launchedBatch, error) {
+	bases := batch.bases(slab.Base)
+	stream.MemcpyHtoD(bases.seqBase, arena.seq)
+	stream.MemcpyHtoD(bases.qualBase, arena.qual)
+	stream.MemcpyHtoD(bases.walks, arena.walks)
+
+	side := "right"
+	if left {
+		side = "left"
+	}
+	version, warps := "v1", (len(batch.items)+simt.WarpSize-1)/simt.WarpSize
+	kern := extensionKernelV1(batch, bases, &d.Cfg.Config)
+	if d.Cfg.WarpPerTable {
+		// v2: one warp per extension.
+		version, warps = "v2", len(batch.items)
+		kern = extensionKernelV2(batch, bases, &d.Cfg.Config)
+	}
+	kres, err := d.Dev.Launch(simt.KernelConfig{
+		Name:              fmt.Sprintf("locassm_%s_ext_%s", side, version),
+		Warps:             warps,
+		LocalBytesPerLane: localBytesPerLane(&d.Cfg.Config),
+	}, kern)
+	if err != nil {
+		return launchedBatch{}, err
+	}
+
+	// One bulk readback of all output records, then only the extension
+	// bytes each walk actually produced.
+	stream.MemcpyDtoH(arena.outs, bases.outs)
+	exts := make([][]byte, len(batch.items))
+	for i, p := range batch.items {
+		rec := arena.outs[p.outOff:]
+		extLen := int(uint32(rec[0]) | uint32(rec[1])<<8 | uint32(rec[2])<<16 | uint32(rec[3])<<24)
+		ext := make([]byte, extLen)
+		if extLen > 0 {
+			stream.MemcpyDtoH(ext, bases.walks+simt.Ptr(p.walkOff)+simt.Ptr(len(p.item.tail)))
+		}
+		exts[i] = ext
+	}
+
+	h2d, d2h := stream.Traffic()
+	return launchedBatch{
+		plan:     batch,
+		arena:    arena,
+		exts:     exts,
+		kres:     kres,
+		transfer: d.Dev.TransferTime(h2d) + d.Dev.TransferTime(d2h),
+	}, nil
+}
+
+// sideOut accumulates one side's results, keyed by contig index, so the
+// two sides can run concurrently without sharing Result fields; the driver
+// merges sides in a fixed order afterwards.
+type sideOut struct {
+	ext     [][]byte
+	state   []WalkState
+	iters   []int
+	touched []bool
+
+	kernels      []simt.KernelResult
+	kernelTime   time.Duration
+	transferTime time.Duration
+	batches      int
+}
+
+func newSideOut(n int) *sideOut {
+	return &sideOut{
+		ext:     make([][]byte, n),
+		state:   make([]WalkState, n),
+		iters:   make([]int, n),
+		touched: make([]bool, n),
+	}
+}
+
+// unpackBatch decodes the host copies of a launched batch's outputs into
+// the side accumulator and returns the staging arena to the pool.
+func unpackBatch(lb launchedBatch, left bool, so *sideOut) {
+	for i, p := range lb.plan.items {
+		rec := lb.arena.outs[p.outOff:]
+		state := WalkState(rec[4])
+		iters := int(rec[5])
+		ext := lb.exts[i]
+		if left {
+			ext = dna.RevComp(ext)
+		}
+		idx := p.item.ctgIdx
+		so.ext[idx] = ext
+		so.state[idx] = state
+		so.iters[idx] += iters
+		so.touched[idx] = true
+	}
+	so.kernels = append(so.kernels, lb.kres)
+	so.kernelTime += lb.kres.Time
+	so.transferTime += lb.transfer
+	arenaPool.Put(lb.arena)
+}

@@ -21,6 +21,7 @@ package simt
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -102,18 +103,38 @@ func (c DeviceConfig) PeakWarpGIPS() float64 {
 	return float64(c.SMs) * float64(c.SchedulersPerSM) * c.ClockGHz
 }
 
+// memSpan is a [off, end) extent of the device arena on the free list.
+type memSpan struct {
+	off, end Ptr
+}
+
 // Device is one simulated GPU: a global-memory arena plus transfer
 // accounting. Kernels run on it via Launch.
+//
+// Allocation (Malloc/AllocRegion/FreeAll) and the copy engines
+// (MemcpyHtoD/MemcpyDtoH, streams) are safe for concurrent use, so a
+// pipelined driver may keep several batches in flight. Kernel memory
+// operations are deliberately lock-free; callers that overlap kernel
+// execution with allocation must Prealloc the arena first so the backing
+// store never reallocates mid-flight.
 type Device struct {
 	Cfg DeviceConfig
 
-	mem     []byte
-	heapOff Ptr
+	mu        sync.Mutex
+	mem       []byte
+	heapOff   Ptr
+	highWater Ptr       // largest heap extent ever reached
+	frees     []memSpan // released regions, sorted by offset, coalesced
 
-	// Host<->device traffic since the last ResetTraffic, for driver-level
-	// PCIe accounting.
+	// Host<->device traffic on the default stream since the last Traffic
+	// call, for driver-level PCIe accounting.
 	bytesH2D int64
 	bytesD2H int64
+
+	// Persistent warp worker pool (see launch.go).
+	poolOnce  sync.Once
+	closeOnce sync.Once
+	pool      chan warpJob
 }
 
 // NewDevice creates a device with an empty arena.
@@ -121,55 +142,207 @@ func NewDevice(cfg DeviceConfig) *Device {
 	return &Device{Cfg: cfg}
 }
 
+// ensureLocked grows the backing arena to cover [0, end). Growth is
+// amortized (doubling) and jumps straight to the high-water mark when one
+// was recorded, so a Prealloc'ed or previously-seen footprint costs at most
+// one copy-grow instead of the repeated 1.25× grows of the naive policy.
+// Callers hold d.mu.
+func (d *Device) ensureLocked(end Ptr) {
+	if end > d.highWater {
+		d.highWater = end
+	}
+	need := int64(end) + 1024 // slack for 8-byte gather over-reads
+	if need <= int64(len(d.mem)) {
+		return
+	}
+	target := 2 * int64(len(d.mem))
+	if hw := int64(d.highWater) + 1024; target < hw {
+		target = hw
+	}
+	if maxArena := d.Cfg.GlobalMemBytes + 1024; target > maxArena {
+		target = maxArena
+	}
+	if target < need {
+		target = need
+	}
+	grown := make([]byte, target)
+	copy(grown, d.mem)
+	d.mem = grown
+}
+
+// Prealloc grows the backing arena once to hold n bytes. Drivers call it
+// with their planned high-water footprint before overlapping kernel
+// execution with allocation: afterwards AllocRegion/Malloc within that
+// footprint never reallocate the arena, so in-flight kernels and copies
+// stay valid.
+func (d *Device) Prealloc(n int64) error {
+	if n < 0 || n > d.Cfg.GlobalMemBytes {
+		return fmt.Errorf("simt: prealloc of %d bytes outside device capacity %d", n, d.Cfg.GlobalMemBytes)
+	}
+	d.mu.Lock()
+	d.ensureLocked(Ptr(n))
+	d.mu.Unlock()
+	return nil
+}
+
 // Malloc bump-allocates n bytes of device memory, 64-byte aligned, growing
 // the backing arena as needed. It fails when the logical device capacity
 // would be exceeded — the condition the paper's batch planner exists to
-// avoid (§3.2).
+// avoid (§3.2). Safe for concurrent use.
 func (d *Device) Malloc(n int64) (Ptr, error) {
 	if n < 0 {
 		return 0, fmt.Errorf("simt: negative allocation %d", n)
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	aligned := (d.heapOff + 63) &^ 63
 	end := aligned + Ptr(n)
 	if int64(end) > d.Cfg.GlobalMemBytes {
 		return 0, fmt.Errorf("simt: out of device memory: want %d bytes at offset %d, capacity %d",
 			n, aligned, d.Cfg.GlobalMemBytes)
 	}
-	if int64(end) > int64(len(d.mem)) {
-		grown := make([]byte, int64(end)*5/4+1024)
-		copy(grown, d.mem)
-		d.mem = grown
-	}
+	d.ensureLocked(end)
 	d.heapOff = end
 	return aligned, nil
 }
 
+// Region is one freeable device allocation from AllocRegion — the flat
+// per-batch footprint of the paper's driver (§3.2), with CUDA-style
+// cudaMalloc/cudaFree lifetime so several batches can be resident at once.
+type Region struct {
+	Base Ptr
+	Size int64
+	dev  *Device
+	span memSpan // rounded extent actually reserved
+}
+
+// AllocRegion allocates n bytes (64-byte aligned) that can be returned
+// individually with Region.Free, unlike the bump-only Malloc. Freed regions
+// are reused first-fit, so a pipelined driver cycling same-shaped batches
+// settles into a fixed footprint. Safe for concurrent use.
+func (d *Device) AllocRegion(n int64) (Region, error) {
+	if n < 0 {
+		return Region{}, fmt.Errorf("simt: negative allocation %d", n)
+	}
+	size := (Ptr(n) + 63) &^ 63
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.frees {
+		s := d.frees[i]
+		if s.end-s.off >= size {
+			if s.off+size == s.end {
+				d.frees = append(d.frees[:i], d.frees[i+1:]...)
+			} else {
+				d.frees[i].off += size
+			}
+			return Region{Base: s.off, Size: n, dev: d, span: memSpan{s.off, s.off + size}}, nil
+		}
+	}
+	aligned := (d.heapOff + 63) &^ 63
+	end := aligned + size
+	if int64(end) > d.Cfg.GlobalMemBytes {
+		return Region{}, fmt.Errorf("simt: out of device memory: want %d bytes at offset %d, capacity %d",
+			n, aligned, d.Cfg.GlobalMemBytes)
+	}
+	d.ensureLocked(end)
+	d.heapOff = end
+	return Region{Base: aligned, Size: n, dev: d, span: memSpan{aligned, end}}, nil
+}
+
+// Free returns the region to the device. Adjacent free spans coalesce, and
+// free space at the top of the heap rewinds the bump pointer.
+func (r Region) Free() {
+	if r.dev == nil || r.span.end == r.span.off {
+		return
+	}
+	d := r.dev
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Insert sorted by offset, merging with neighbors.
+	i := 0
+	for i < len(d.frees) && d.frees[i].off < r.span.off {
+		i++
+	}
+	d.frees = append(d.frees, memSpan{})
+	copy(d.frees[i+1:], d.frees[i:])
+	d.frees[i] = r.span
+	if i+1 < len(d.frees) && d.frees[i].end == d.frees[i+1].off {
+		d.frees[i].end = d.frees[i+1].end
+		d.frees = append(d.frees[:i+1], d.frees[i+2:]...)
+	}
+	if i > 0 && d.frees[i-1].end == d.frees[i].off {
+		d.frees[i-1].end = d.frees[i].end
+		d.frees = append(d.frees[:i], d.frees[i+1:]...)
+	}
+	for len(d.frees) > 0 && d.frees[len(d.frees)-1].end == d.heapOff {
+		d.heapOff = d.frees[len(d.frees)-1].off
+		d.frees = d.frees[:len(d.frees)-1]
+	}
+}
+
 // FreeAll resets the allocator (a bump allocator has no partial free; the
-// local-assembly driver reallocates per batch exactly as the CUDA code
-// reuses one big allocation).
+// local-assembly driver reuses one big allocation exactly as the CUDA code
+// does). The backing arena is kept, so re-running a same-sized workload
+// never pays the copy-grow again.
 func (d *Device) FreeAll() {
+	d.mu.Lock()
 	d.heapOff = 0
+	d.frees = nil
+	d.mu.Unlock()
 }
 
 // InUse returns the bytes currently allocated.
-func (d *Device) InUse() int64 { return int64(d.heapOff) }
+func (d *Device) InUse() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	used := int64(d.heapOff)
+	for _, s := range d.frees {
+		used -= int64(s.end - s.off)
+	}
+	return used
+}
 
-// MemcpyHtoD copies host bytes to device memory, accounting PCIe traffic.
+// copyHtoD/copyDtoH are the shared copy engines behind the device-level and
+// per-stream memcpys. The lock orders copies against arena growth; element
+// ranges of concurrent copies and kernels are disjoint by construction
+// (each batch owns its region).
+func (d *Device) copyHtoD(dst Ptr, src []byte) {
+	d.mu.Lock()
+	copy(d.mem[dst:int(dst)+len(src)], src)
+	d.mu.Unlock()
+}
+
+func (d *Device) copyDtoH(dst []byte, src Ptr) {
+	d.mu.Lock()
+	copy(dst, d.mem[src:int(src)+len(dst)])
+	d.mu.Unlock()
+}
+
+// MemcpyHtoD copies host bytes to device memory, accounting PCIe traffic
+// on the default stream.
 func (d *Device) MemcpyHtoD(dst Ptr, src []byte) {
+	d.mu.Lock()
 	copy(d.mem[dst:int(dst)+len(src)], src)
 	d.bytesH2D += int64(len(src))
+	d.mu.Unlock()
 }
 
-// MemcpyDtoH copies device bytes back to the host, accounting PCIe traffic.
+// MemcpyDtoH copies device bytes back to the host, accounting PCIe traffic
+// on the default stream.
 func (d *Device) MemcpyDtoH(dst []byte, src Ptr) {
+	d.mu.Lock()
 	copy(dst, d.mem[src:int(src)+len(dst)])
 	d.bytesD2H += int64(len(dst))
+	d.mu.Unlock()
 }
 
-// Traffic returns and clears the host<->device byte counters.
+// Traffic returns and clears the default stream's host<->device byte
+// counters. Copies issued on explicit Streams are accounted there instead.
 func (d *Device) Traffic() (h2d, d2h int64) {
+	d.mu.Lock()
 	h2d, d2h = d.bytesH2D, d.bytesD2H
 	d.bytesH2D, d.bytesD2H = 0, 0
+	d.mu.Unlock()
 	return h2d, d2h
 }
 

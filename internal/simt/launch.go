@@ -17,15 +17,61 @@ type KernelConfig struct {
 	// (per-thread scratch that real CUDA would spill to local memory).
 	LocalBytesPerLane int
 	// Sequential forces warps to run on the calling goroutine, in warp
-	// order. The default runs warps on a worker pool; kernels must only
-	// write device regions owned by their own warp (true of all kernels
-	// in this repository — one warp per contig extension).
+	// order. The default runs warps on the device's persistent worker
+	// pool; kernels must only write device regions owned by their own
+	// warp (true of all kernels in this repository — one warp per contig
+	// extension).
 	Sequential bool
+}
+
+// warpJob is one warp's execution request on the device worker pool.
+type warpJob struct {
+	run func(id int)
+	id  int
+	wg  *sync.WaitGroup
+}
+
+// warpPool returns the device's persistent warp worker pool, creating it on
+// first use. The pool is created once per device and fed through a buffered
+// channel, replacing the goroutine fan-out the old Launch paid on every
+// call; concurrent Launches (pipelined batches, multiple streams) share the
+// same workers safely because every job carries its own completion group.
+func (d *Device) warpPool() chan<- warpJob {
+	d.poolOnce.Do(func() {
+		workers := runtime.GOMAXPROCS(0)
+		if workers < 1 {
+			workers = 1
+		}
+		d.pool = make(chan warpJob, 8*workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				for j := range d.pool {
+					j.run(j.id)
+					j.wg.Done()
+				}
+			}()
+		}
+	})
+	return d.pool
+}
+
+// Close stops the device's warp worker pool, if one was started. The device
+// remains usable for Sequential launches; calling Launch in parallel mode
+// after Close panics. Close is idempotent.
+func (d *Device) Close() {
+	d.poolOnce.Do(func() {}) // pool stays nil if never started
+	d.closeOnce.Do(func() {
+		if d.pool != nil {
+			close(d.pool)
+		}
+	})
 }
 
 // Launch executes kern once per warp and returns merged counters plus the
 // modeled kernel time. The functional result (device memory contents) is
-// deterministic as long as warps write disjoint regions.
+// deterministic as long as warps write disjoint regions, and the merged
+// counters are deterministic regardless of worker scheduling: per-warp
+// stats land in per-warp slots and fold in warp order.
 func (d *Device) Launch(cfg KernelConfig, kern func(w *Warp)) (KernelResult, error) {
 	if cfg.Warps < 0 {
 		return KernelResult{}, fmt.Errorf("simt: negative warp count %d", cfg.Warps)
@@ -47,25 +93,12 @@ func (d *Device) Launch(cfg KernelConfig, kern func(w *Warp)) (KernelResult, err
 			runWarp(id)
 		}
 	} else {
-		workers := runtime.GOMAXPROCS(0)
-		if workers > cfg.Warps {
-			workers = cfg.Warps
-		}
+		pool := d.warpPool()
 		var wg sync.WaitGroup
-		next := make(chan int)
-		wg.Add(workers)
-		for wk := 0; wk < workers; wk++ {
-			go func() {
-				defer wg.Done()
-				for id := range next {
-					runWarp(id)
-				}
-			}()
-		}
+		wg.Add(cfg.Warps)
 		for id := 0; id < cfg.Warps; id++ {
-			next <- id
+			pool <- warpJob{run: runWarp, id: id, wg: &wg}
 		}
-		close(next)
 		wg.Wait()
 	}
 
