@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+
+	"mhm2sim/internal/dist"
+	"mhm2sim/internal/pipeline"
+)
+
+// jsonReport is the machine-readable run summary written by -json. All
+// durations are nanoseconds.
+type jsonReport struct {
+	StagesNS map[string]int64 `json:"stages_ns"`
+	TotalNS  int64            `json:"total_ns"`
+	Assembly assemblyStats    `json:"assembly"`
+	Bins     []jsonBins       `json:"bins"`
+	GPU      *jsonGPU         `json:"gpu,omitempty"`
+	Dist     *jsonDist        `json:"dist,omitempty"`
+}
+
+type jsonBins struct {
+	K     int `json:"k"`
+	Zero  int `json:"bin1_zero"`
+	Small int `json:"bin2_small"`
+	Large int `json:"bin3_large"`
+}
+
+type jsonGPU struct {
+	KernelTimeNS   int64 `json:"kernel_time_ns"`
+	TransferTimeNS int64 `json:"transfer_time_ns"`
+	Kernels        int   `json:"kernels"`
+}
+
+// jsonDist is the per-rank comm/compute breakdown of a -ranks run.
+type jsonDist struct {
+	Ranks         int        `json:"ranks"`
+	VirtualShards int        `json:"virtual_shards"`
+	Rounds        int        `json:"rounds"`
+	WallNS        int64      `json:"wall_ns"`
+	CommTimeNS    int64      `json:"comm_time_ns"`
+	CommBytes     int64      `json:"comm_bytes"`
+	CommMsgs      int64      `json:"comm_msgs"`
+	Efficiency    float64    `json:"efficiency"`
+	PerRank       []jsonRank `json:"per_rank"`
+}
+
+type jsonRank struct {
+	Rank      int   `json:"rank"`
+	BusyNS    int64 `json:"busy_ns"`
+	CommNS    int64 `json:"comm_ns"`
+	IdleNS    int64 `json:"idle_ns"`
+	BytesSent int64 `json:"bytes_sent"`
+	BytesRecv int64 `json:"bytes_recv"`
+	Msgs      int64 `json:"msgs"`
+	PCIeH2D   int64 `json:"pcie_h2d_bytes"`
+	PCIeD2H   int64 `json:"pcie_d2h_bytes"`
+	Kernels   int   `json:"kernels"`
+	Contigs   int   `json:"contigs"`
+}
+
+// buildJSONReport assembles the report; rep may be nil (single-process run).
+func buildJSONReport(res *pipeline.Result, rep *dist.Report) *jsonReport {
+	jr := &jsonReport{
+		StagesNS: make(map[string]int64, int(pipeline.NumStages)),
+		TotalNS:  int64(res.Timings.Total()),
+		Assembly: computeAssemblyStats(res),
+	}
+	for s := pipeline.Stage(0); s < pipeline.NumStages; s++ {
+		jr.StagesNS[s.String()] = int64(res.Timings.Wall[s])
+	}
+	for _, b := range res.Bins {
+		jr.Bins = append(jr.Bins, jsonBins{K: b.K, Zero: b.Zero, Small: b.Small, Large: b.Large})
+	}
+	if len(res.Work.GPUKernels) > 0 {
+		jr.GPU = &jsonGPU{
+			KernelTimeNS:   int64(res.Work.GPUKernelTime),
+			TransferTimeNS: int64(res.Work.GPUTransferTime),
+			Kernels:        len(res.Work.GPUKernels),
+		}
+	}
+	if rep != nil {
+		jd := &jsonDist{
+			Ranks:         rep.Ranks,
+			VirtualShards: rep.VirtualShards,
+			Rounds:        rep.Rounds,
+			WallNS:        int64(rep.Wall),
+			CommTimeNS:    int64(rep.CommTime),
+			CommBytes:     res.Work.CommBytes,
+			CommMsgs:      res.Work.CommMsgs,
+			Efficiency:    rep.Efficiency(),
+		}
+		for _, rs := range rep.PerRank {
+			jd.PerRank = append(jd.PerRank, jsonRank{
+				Rank:      rs.Rank,
+				BusyNS:    int64(rs.Busy),
+				CommNS:    int64(rs.Comm),
+				IdleNS:    int64(rs.Idle),
+				BytesSent: rs.BytesSent,
+				BytesRecv: rs.BytesRecv,
+				Msgs:      rs.Msgs,
+				PCIeH2D:   rs.PCIeH2D,
+				PCIeD2H:   rs.PCIeD2H,
+				Kernels:   rs.Kernels,
+				Contigs:   rs.Contigs,
+			})
+		}
+		jr.Dist = jd
+	}
+	return jr
+}
+
+// writeJSONReport writes the report to path as indented JSON.
+func writeJSONReport(path string, res *pipeline.Result, rep *dist.Report) error {
+	b, err := json.MarshalIndent(buildJSONReport(res, rep), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

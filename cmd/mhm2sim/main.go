@@ -1,23 +1,28 @@
 // Command mhm2sim runs the full MetaHipMer2-like pipeline (Fig 1) on a
 // synthetic dataset or a FASTQ file and prints the Fig 2-style per-stage
 // breakdown, assembly statistics, and — with -gpu — the GPU local-assembly
-// kernel summary.
+// kernel summary. With -ranks N the pipeline is sharded across N simulated
+// ranks over a modeled comm fabric and a Fig 9-style strong-scaling
+// breakdown is printed.
 //
 // Usage:
 //
 //	mhm2sim -preset arcticsynth [-gpu] [-rounds 21,33,55] [-out asm.fasta]
 //	mhm2sim -reads reads.fastq [-gpu]
+//	mhm2sim -ranks 4 -gpu -json run.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 
+	"mhm2sim/internal/dist"
 	"mhm2sim/internal/dna"
 	"mhm2sim/internal/histo"
 	"mhm2sim/internal/locassm"
@@ -27,57 +32,129 @@ import (
 	"mhm2sim/internal/synth"
 )
 
+// options holds the parsed command line.
+type options struct {
+	preset       string
+	reads        string
+	gpu          bool
+	gpuAln       bool
+	rounds       string
+	ranks        int
+	jsonPath     string
+	out          string
+	workers      int
+	evalQuality  bool
+	checkpoint   string
+	doPreprocess bool
+	dumpLA       string
+	estInsert    bool
+}
+
+// parseFlags parses args (not including the program name) into options.
+// It is split from main so tests can drive it; errors are returned, not
+// fatal.
+func parseFlags(args []string, stderr io.Writer) (*options, error) {
+	opts := &options{}
+	fs := flag.NewFlagSet("mhm2sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&opts.preset, "preset", "arcticsynth", "dataset preset (ignored when -reads is set)")
+	fs.StringVar(&opts.reads, "reads", "", "FASTQ file of paired reads (fwd,rev interleaved)")
+	fs.BoolVar(&opts.gpu, "gpu", false, "use the GPU local-assembly module (simulated V100)")
+	fs.BoolVar(&opts.gpuAln, "gpualn", false, "run the alignment SW kernel on the device (ADEPT role)")
+	fs.StringVar(&opts.rounds, "rounds", "21,33,55", "comma-separated contigging k values")
+	fs.IntVar(&opts.ranks, "ranks", 1, "simulated ranks; >1 shards local assembly over a modeled comm fabric")
+	fs.StringVar(&opts.jsonPath, "json", "", "write a machine-readable run report to this path")
+	fs.StringVar(&opts.out, "out", "", "write contigs+scaffolds FASTA here")
+	fs.IntVar(&opts.workers, "workers", 0, "CPU worker goroutines (0 = GOMAXPROCS)")
+	fs.BoolVar(&opts.evalQuality, "quality", false, "evaluate the assembly against the preset's truth genomes")
+	fs.StringVar(&opts.checkpoint, "checkpoint", "", "checkpoint directory (resume completed rounds)")
+	fs.BoolVar(&opts.doPreprocess, "preprocess", false, "adapter/quality-trim and filter reads first")
+	fs.StringVar(&opts.dumpLA, "dump-la", "", "dump the final round's local-assembly workload here (for cmd/locassm)")
+	fs.BoolVar(&opts.estInsert, "estimate-insert", true, "infer the library insert size from proper pairs")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if opts.ranks < 1 {
+		return nil, fmt.Errorf("-ranks must be ≥ 1, got %d", opts.ranks)
+	}
+	return opts, nil
+}
+
+// parseRounds parses a comma-separated k list ("21,33,55").
+func parseRounds(s string) ([]int, error) {
+	var rounds []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return nil, fmt.Errorf("bad -rounds %q: empty entry", s)
+		}
+		k, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad -rounds %q: %v", s, err)
+		}
+		rounds = append(rounds, k)
+	}
+	return rounds, nil
+}
+
+// buildConfig turns options into a validated pipeline config.
+func buildConfig(opts *options) (pipeline.Config, error) {
+	cfg := pipeline.DefaultConfig()
+	cfg.UseGPU = opts.gpu
+	cfg.UseGPUAln = opts.gpuAln
+	cfg.Workers = opts.workers
+	cfg.CheckpointDir = opts.checkpoint
+	cfg.EstimateInsert = opts.estInsert
+	if opts.doPreprocess {
+		pp := preprocess.DefaultConfig()
+		cfg.Preprocess = &pp
+	}
+	rounds, err := parseRounds(opts.rounds)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Rounds = rounds
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mhm2sim: ")
 
-	presetName := flag.String("preset", "arcticsynth", "dataset preset (ignored when -reads is set)")
-	readsPath := flag.String("reads", "", "FASTQ file of paired reads (fwd,rev interleaved)")
-	useGPU := flag.Bool("gpu", false, "use the GPU local-assembly module (simulated V100)")
-	useGPUAln := flag.Bool("gpualn", false, "run the alignment SW kernel on the device (ADEPT role)")
-	roundsFlag := flag.String("rounds", "21,33,55", "comma-separated contigging k values")
-	out := flag.String("out", "", "write contigs+scaffolds FASTA here")
-	workers := flag.Int("workers", 0, "CPU worker goroutines (0 = GOMAXPROCS)")
-	evalQuality := flag.Bool("quality", false, "evaluate the assembly against the preset's truth genomes")
-	checkpoint := flag.String("checkpoint", "", "checkpoint directory (resume completed rounds)")
-	doPreprocess := flag.Bool("preprocess", false, "adapter/quality-trim and filter reads first")
-	dumpLA := flag.String("dump-la", "", "dump the final round's local-assembly workload here (for cmd/locassm)")
-	estInsert := flag.Bool("estimate-insert", true, "infer the library insert size from proper pairs")
-	flag.Parse()
-
-	cfg := pipeline.DefaultConfig()
-	cfg.UseGPU = *useGPU
-	cfg.UseGPUAln = *useGPUAln
-	cfg.Workers = *workers
-	cfg.CheckpointDir = *checkpoint
-	cfg.EstimateInsert = *estInsert
-	if *doPreprocess {
-		pp := preprocess.DefaultConfig()
-		cfg.Preprocess = &pp
+	opts, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2)
 	}
-	cfg.Rounds = nil
-	for _, f := range strings.Split(*roundsFlag, ",") {
-		k, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			log.Fatalf("bad -rounds: %v", err)
-		}
-		cfg.Rounds = append(cfg.Rounds, k)
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	pairs, genomes, err := loadPairs(*readsPath, *presetName)
+	pairs, genomes, err := loadPairs(opts.reads, opts.preset)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("input: %d read pairs\n", len(pairs))
 
-	res, err := pipeline.Run(pairs, cfg)
+	var res *pipeline.Result
+	var rep *dist.Report
+	if opts.ranks > 1 {
+		dcfg := dist.DefaultConfig(opts.ranks)
+		dcfg.Pipeline = cfg
+		res, rep, err = dist.Run(pairs, dcfg)
+	} else {
+		res, err = pipeline.Run(pairs, cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	printBreakdown(res)
 	printAssemblyStats(res)
-	if *doPreprocess {
+	if opts.doPreprocess {
 		pp := res.Work.Preprocess
 		fmt.Printf("\npreprocessing: %d/%d pairs kept, %d adapter-trimmed, %d quality-trimmed, %d bases removed\n",
 			pp.PairsOut, pp.PairsIn, pp.AdapterTrimmed, pp.QualityTrimmed, pp.BasesRemoved)
@@ -85,10 +162,13 @@ func main() {
 	if res.Work.EstimatedInsert > 0 {
 		fmt.Printf("estimated library insert size: %d bp\n", res.Work.EstimatedInsert)
 	}
-	if *useGPU {
+	if opts.gpu || opts.ranks > 1 {
 		printGPUStats(res)
 	}
-	if *evalQuality {
+	if rep != nil {
+		fmt.Printf("\n%s", rep)
+	}
+	if opts.evalQuality {
 		if genomes == nil {
 			log.Fatal("-quality requires a preset (truth genomes unknown for external FASTQ)")
 		}
@@ -96,22 +176,29 @@ func main() {
 		for i := range res.Contigs {
 			seqs[i] = res.Contigs[i].Seq
 		}
-		rep, err := quality.Evaluate(seqs, genomes, quality.DefaultConfig())
+		qrep, err := quality.Evaluate(seqs, genomes, quality.DefaultConfig())
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nquality vs truth genomes:\n%s", rep)
+		fmt.Printf("\nquality vs truth genomes:\n%s", qrep)
 	}
 
-	if *dumpLA != "" {
-		if err := locassm.DumpWorkloadFile(*dumpLA, res.LAWorkload); err != nil {
+	if opts.jsonPath != "" {
+		if err := writeJSONReport(opts.jsonPath, res, rep); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("dumped local-assembly workload (%d contigs) to %s\n", len(res.LAWorkload), *dumpLA)
+		fmt.Printf("wrote JSON report to %s\n", opts.jsonPath)
 	}
 
-	if *out != "" {
-		f, err := os.Create(*out)
+	if opts.dumpLA != "" {
+		if err := locassm.DumpWorkloadFile(opts.dumpLA, res.LAWorkload); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("dumped local-assembly workload (%d contigs) to %s\n", len(res.LAWorkload), opts.dumpLA)
+	}
+
+	if opts.out != "" {
+		f, err := os.Create(opts.out)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -119,7 +206,7 @@ func main() {
 		if err := pipeline.WriteFASTAOutputs(f, res); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote assembly to %s\n", *out)
+		fmt.Printf("wrote assembly to %s\n", opts.out)
 	}
 }
 
@@ -176,30 +263,43 @@ func printBreakdown(res *pipeline.Result) {
 	}
 }
 
-func printAssemblyStats(res *pipeline.Result) {
-	lens := make([]int, 0, len(res.Contigs))
-	var total int
+// assemblyStats summarizes the contig set (lengths sorted descending).
+type assemblyStats struct {
+	Contigs   int   `json:"contigs"`
+	Bases     int   `json:"bases"`
+	N50       int   `json:"n50"`
+	Longest   int   `json:"longest"`
+	Scaffolds int   `json:"scaffolds"`
+	lens      []int // descending, for the histogram
+}
+
+func computeAssemblyStats(res *pipeline.Result) assemblyStats {
+	st := assemblyStats{Contigs: len(res.Contigs), Scaffolds: len(res.Scaffolds)}
+	st.lens = make([]int, 0, len(res.Contigs))
 	for _, c := range res.Contigs {
-		lens = append(lens, len(c.Seq))
-		total += len(c.Seq)
+		st.lens = append(st.lens, len(c.Seq))
+		st.Bases += len(c.Seq)
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(lens)))
-	n50 := 0
+	sort.Sort(sort.Reverse(sort.IntSlice(st.lens)))
 	run := 0
-	for _, l := range lens {
+	for _, l := range st.lens {
 		run += l
-		if run >= total/2 {
-			n50 = l
+		if run >= st.Bases/2 {
+			st.N50 = l
 			break
 		}
 	}
-	longest := 0
-	if len(lens) > 0 {
-		longest = lens[0]
+	if len(st.lens) > 0 {
+		st.Longest = st.lens[0]
 	}
+	return st
+}
+
+func printAssemblyStats(res *pipeline.Result) {
+	st := computeAssemblyStats(res)
 	fmt.Printf("\nassembly: %d contigs, %d bases, N50 %d, longest %d; %d scaffolds\n",
-		len(res.Contigs), total, n50, longest, len(res.Scaffolds))
-	fmt.Print(histo.FromValues("contig length distribution:", lens).Render(40))
+		st.Contigs, st.Bases, st.N50, st.Longest, st.Scaffolds)
+	fmt.Print(histo.FromValues("contig length distribution:", st.lens).Render(40))
 }
 
 func printGPUStats(res *pipeline.Result) {

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mhm2sim/internal/dist"
+	"mhm2sim/internal/pipeline"
+	"mhm2sim/internal/synth"
+)
+
+func TestParseRounds(t *testing.T) {
+	good := map[string][]int{
+		"21":          {21},
+		"21,33,55":    {21, 33, 55},
+		" 21 , 33 ":   {21, 33},
+		"21,33,55,77": {21, 33, 55, 77},
+	}
+	for in, want := range good {
+		got, err := parseRounds(in)
+		if err != nil {
+			t.Errorf("parseRounds(%q): %v", in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("parseRounds(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, in := range []string{"", ",", "21,", ",33", "abc", "21,abc", "21;33", "2 1"} {
+		if out, err := parseRounds(in); err == nil {
+			t.Errorf("parseRounds(%q) accepted: %v", in, out)
+		}
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	var stderr bytes.Buffer
+	opts, err := parseFlags([]string{"-gpu", "-ranks", "4", "-rounds", "21,33", "-json", "out.json"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.gpu || opts.ranks != 4 || opts.rounds != "21,33" || opts.jsonPath != "out.json" {
+		t.Errorf("parsed options wrong: %+v", opts)
+	}
+	if opts.preset != "arcticsynth" || opts.ranks < 1 {
+		t.Errorf("defaults wrong: %+v", opts)
+	}
+
+	if _, err := parseFlags([]string{"-ranks", "0"}, &stderr); err == nil {
+		t.Error("-ranks 0 accepted")
+	}
+	if _, err := parseFlags([]string{"-ranks", "x"}, &stderr); err == nil {
+		t.Error("-ranks x accepted")
+	}
+	if _, err := parseFlags([]string{"-no-such-flag"}, &stderr); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestBuildConfigRejectsMalformedRounds(t *testing.T) {
+	for _, rounds := range []string{"abc", "21,,33", "33,21", ""} {
+		opts := &options{rounds: rounds, ranks: 1}
+		if _, err := buildConfig(opts); err == nil {
+			t.Errorf("rounds %q accepted", rounds)
+		}
+	}
+	opts := &options{rounds: "21,33", ranks: 1, gpu: true}
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.UseGPU || !reflect.DeepEqual(cfg.Rounds, []int{21, 33}) {
+		t.Errorf("config wrong: UseGPU=%v Rounds=%v", cfg.UseGPU, cfg.Rounds)
+	}
+}
+
+// TestJSONReportRoundTrip runs a tiny distributed assembly and checks the
+// JSON report carries the per-rank comm/compute breakdown.
+func TestJSONReportRoundTrip(t *testing.T) {
+	p := synth.ArcticSynthPreset()
+	p.Com.NumGenomes = 2
+	p.Com.MinGenomeLen, p.Com.MaxGenomeLen = 5_000, 7_000
+	p.Com.SharedFrac = 0
+	p.Reads.Depth = 12
+	_, pairs, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := dist.DefaultConfig(2)
+	dcfg.Pipeline = pipeline.DefaultConfig()
+	dcfg.Pipeline.Rounds = []int{21}
+	res, rep, err := dist.Run(pairs, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := writeJSONReport(path, res, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr jsonReport
+	if err := json.Unmarshal(data, &jr); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if jr.Assembly.Contigs == 0 || jr.TotalNS <= 0 {
+		t.Errorf("assembly summary empty: %+v", jr.Assembly)
+	}
+	if jr.StagesNS["communication"] <= 0 {
+		t.Error("communication stage time missing from JSON")
+	}
+	if jr.GPU == nil || jr.GPU.Kernels == 0 {
+		t.Error("GPU summary missing from distributed run JSON")
+	}
+	if jr.Dist == nil {
+		t.Fatal("dist section missing")
+	}
+	if jr.Dist.Ranks != 2 || jr.Dist.CommTimeNS <= 0 || jr.Dist.CommBytes <= 0 {
+		t.Errorf("dist section wrong: %+v", jr.Dist)
+	}
+	if len(jr.Dist.PerRank) != 2 {
+		t.Fatalf("per-rank breakdown has %d entries", len(jr.Dist.PerRank))
+	}
+	var busy int64
+	for _, r := range jr.Dist.PerRank {
+		busy += r.BusyNS
+	}
+	if busy <= 0 {
+		t.Error("no busy time in per-rank breakdown")
+	}
+}

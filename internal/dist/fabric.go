@@ -1,0 +1,262 @@
+// Package dist is a rank-based distributed runtime for the assembly
+// pipeline: it shards contigs across N simulated ranks — each owning one
+// simt device — routes aligned reads to their contig-owning rank through a
+// modeled communication fabric, runs per-rank GPU local assembly
+// concurrently with real goroutines, and gathers everything back into one
+// pipeline.Result that is bit-identical to the single-rank run.
+//
+// The comm fabric plays the role UPC++'s runtime plays in MetaHipMer2: an
+// all-to-all exchange is modeled with an α/β (latency/bandwidth) cost per
+// rank and per-rank traffic counters, the same way internal/simt models
+// PCIe transfers analytically while the data itself moves through shared
+// memory. The dominant exchanges of the real assembler — routing aligned
+// reads to contig owners before local assembly (MHM2's aggregating stores)
+// and allgathering extended contigs for the next round's replicated
+// alignment index — are both represented.
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FabricConfig models the inter-rank network: each aggregated message pays
+// a fixed latency α, and each rank's injection/ejection port moves bytes at
+// β GB/s. Messages between a rank and itself stay in shared memory and cost
+// nothing (they are still counted, as MHM2 counts local aggregating-store
+// hits).
+type FabricConfig struct {
+	// LatencyPerMsg is α: the per-message software+wire latency.
+	LatencyPerMsg time.Duration
+	// BandwidthGBps is β: per-rank injection bandwidth in GB/s.
+	BandwidthGBps float64
+	// AggBufferBytes is the aggregating-store buffer size: bytes destined
+	// to one peer are shipped in ceil(bytes/AggBufferBytes) messages,
+	// mirroring MHM2's buffered RPCs. 0 = DefaultAggBufferBytes.
+	AggBufferBytes int64
+}
+
+// Default fabric parameters, loosely a Summit-class EDR InfiniBand port:
+// ~2 µs end-to-end message latency and 12.5 GB/s (100 Gbit/s) per rank.
+const (
+	DefaultLatencyPerMsg  = 2 * time.Microsecond
+	DefaultBandwidthGBps  = 12.5
+	DefaultAggBufferBytes = 1 << 20
+)
+
+// DefaultFabricConfig returns the Summit-like fabric model.
+func DefaultFabricConfig() FabricConfig {
+	return FabricConfig{
+		LatencyPerMsg:  DefaultLatencyPerMsg,
+		BandwidthGBps:  DefaultBandwidthGBps,
+		AggBufferBytes: DefaultAggBufferBytes,
+	}
+}
+
+// Validate checks fabric parameters.
+func (c *FabricConfig) Validate() error {
+	if c.LatencyPerMsg < 0 {
+		return fmt.Errorf("dist: negative fabric latency %v", c.LatencyPerMsg)
+	}
+	if c.BandwidthGBps <= 0 {
+		return fmt.Errorf("dist: fabric bandwidth %g GB/s must be positive", c.BandwidthGBps)
+	}
+	if c.AggBufferBytes < 0 {
+		return fmt.Errorf("dist: negative aggregation buffer %d", c.AggBufferBytes)
+	}
+	return nil
+}
+
+// StageTraffic is the per-rank accounting of one all-to-all exchange.
+type StageTraffic struct {
+	Stage string
+	// Sent/Recv are network bytes per rank (excluding rank-local traffic);
+	// Msgs counts aggregated messages injected per rank.
+	Sent, Recv []int64
+	Msgs       []int64
+	// LocalBytes counts rank-local (src == dst) bytes, which never touch
+	// the wire.
+	LocalBytes []int64
+	// PerRank is each rank's modeled time in the exchange:
+	// max(inject, eject) since sends and receives overlap on full-duplex
+	// ports. Time is the exchange wall time — the slowest rank, since an
+	// all-to-all is a collective barrier.
+	PerRank []time.Duration
+	Time    time.Duration
+}
+
+// TotalBytes sums the network bytes of the exchange (each byte counted
+// once, on the send side).
+func (st *StageTraffic) TotalBytes() int64 {
+	var n int64
+	for _, b := range st.Sent {
+		n += b
+	}
+	return n
+}
+
+// TotalMsgs sums the aggregated messages of the exchange.
+func (st *StageTraffic) TotalMsgs() int64 {
+	var n int64
+	for _, m := range st.Msgs {
+		n += m
+	}
+	return n
+}
+
+// Fabric is the simulated interconnect between ranks: it executes modeled
+// all-to-all exchanges and accumulates per-stage, per-rank traffic and
+// time. Safe for concurrent use.
+type Fabric struct {
+	cfg FabricConfig
+	n   int
+
+	mu     sync.Mutex
+	stages []*StageTraffic
+}
+
+// NewFabric creates a fabric connecting n ranks.
+func NewFabric(n int, cfg FabricConfig) (*Fabric, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: fabric needs ≥ 1 rank, got %d", n)
+	}
+	if cfg.AggBufferBytes == 0 {
+		cfg.AggBufferBytes = DefaultAggBufferBytes
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Fabric{cfg: cfg, n: n}, nil
+}
+
+// Ranks returns the number of connected ranks.
+func (f *Fabric) Ranks() int { return f.n }
+
+// msgsFor is the number of aggregated messages needed for b bytes.
+func (f *Fabric) msgsFor(b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (b + f.cfg.AggBufferBytes - 1) / f.cfg.AggBufferBytes
+}
+
+// Exchange models one all-to-all: matrix[src][dst] is the bytes rank src
+// sends to rank dst. It records and returns the stage's traffic. The model
+// per rank r is
+//
+//	inject(r) = Σ_{d≠r} msgs(r,d)·α + sent(r)/β
+//	eject(r)  = Σ_{s≠r} msgs(s,r)·α + recv(r)/β
+//	time(r)   = max(inject, eject)    (full-duplex ports)
+//
+// and the exchange completes when the slowest rank does.
+func (f *Fabric) Exchange(stage string, matrix [][]int64) (*StageTraffic, error) {
+	if len(matrix) != f.n {
+		return nil, fmt.Errorf("dist: exchange matrix has %d rows for %d ranks", len(matrix), f.n)
+	}
+	st := &StageTraffic{
+		Stage:      stage,
+		Sent:       make([]int64, f.n),
+		Recv:       make([]int64, f.n),
+		Msgs:       make([]int64, f.n),
+		LocalBytes: make([]int64, f.n),
+		PerRank:    make([]time.Duration, f.n),
+	}
+	inMsgs := make([]int64, f.n) // messages ejected at each rank
+	for src := range matrix {
+		if len(matrix[src]) != f.n {
+			return nil, fmt.Errorf("dist: exchange row %d has %d columns for %d ranks", src, len(matrix[src]), f.n)
+		}
+		for dst, b := range matrix[src] {
+			if b < 0 {
+				return nil, fmt.Errorf("dist: negative traffic %d from rank %d to %d", b, src, dst)
+			}
+			if src == dst {
+				st.LocalBytes[src] += b
+				continue
+			}
+			m := f.msgsFor(b)
+			st.Sent[src] += b
+			st.Recv[dst] += b
+			st.Msgs[src] += m
+			inMsgs[dst] += m
+		}
+	}
+	bytesPerSec := f.cfg.BandwidthGBps * 1e9
+	for r := 0; r < f.n; r++ {
+		inject := time.Duration(float64(st.Msgs[r]))*f.cfg.LatencyPerMsg +
+			time.Duration(float64(st.Sent[r])/bytesPerSec*float64(time.Second))
+		eject := time.Duration(float64(inMsgs[r]))*f.cfg.LatencyPerMsg +
+			time.Duration(float64(st.Recv[r])/bytesPerSec*float64(time.Second))
+		st.PerRank[r] = inject
+		if eject > inject {
+			st.PerRank[r] = eject
+		}
+		if st.PerRank[r] > st.Time {
+			st.Time = st.PerRank[r]
+		}
+	}
+	f.mu.Lock()
+	f.stages = append(f.stages, st)
+	f.mu.Unlock()
+	return st, nil
+}
+
+// Stages returns a snapshot of every exchange recorded so far, in order.
+func (f *Fabric) Stages() []StageTraffic {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]StageTraffic, len(f.stages))
+	for i, st := range f.stages {
+		out[i] = *st
+	}
+	return out
+}
+
+// TotalTime sums the modeled wall time of every recorded exchange (the
+// exchanges are collectives separated by compute, so they serialize).
+func (f *Fabric) TotalTime() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var t time.Duration
+	for _, st := range f.stages {
+		t += st.Time
+	}
+	return t
+}
+
+// RankTotals returns, for one rank, its accumulated comm time, network
+// bytes sent and received, and messages injected across every exchange.
+func (f *Fabric) RankTotals(r int) (comm time.Duration, sent, recv, msgs int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, st := range f.stages {
+		comm += st.PerRank[r]
+		sent += st.Sent[r]
+		recv += st.Recv[r]
+		msgs += st.Msgs[r]
+	}
+	return comm, sent, recv, msgs
+}
+
+// TotalBytes and TotalMsgs sum network traffic across every exchange.
+func (f *Fabric) TotalBytes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var n int64
+	for _, st := range f.stages {
+		n += st.TotalBytes()
+	}
+	return n
+}
+
+// TotalMsgs sums aggregated messages across every exchange.
+func (f *Fabric) TotalMsgs() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var n int64
+	for _, st := range f.stages {
+		n += st.TotalMsgs()
+	}
+	return n
+}

@@ -1,0 +1,122 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RankStats is one rank's share of a distributed run.
+type RankStats struct {
+	Rank int
+	// Busy is the modeled GPU time (kernels + PCIe) the rank's device
+	// spent on its shards; Comm its modeled time inside fabric exchanges;
+	// Idle the rest of the modeled wall clock (waiting on the slowest
+	// rank at collectives).
+	Busy, Comm, Idle time.Duration
+	// BytesSent/BytesRecv are network bytes; Msgs aggregated messages.
+	BytesSent, BytesRecv, Msgs int64
+	// PCIeH2D/PCIeD2H are the rank's device transfer totals.
+	PCIeH2D, PCIeD2H int64
+	// Kernels counts kernel launches on the rank's device; Contigs the
+	// contigs the rank owned in the final round.
+	Kernels, Contigs int
+}
+
+// Report is the strong-scaling breakdown of one distributed run (the
+// Fig 9-style busy/comm/idle view the paper uses for scaling studies).
+type Report struct {
+	Ranks         int
+	VirtualShards int
+	Rounds        int
+	// Wall is the modeled distributed wall clock: per-round slowest-rank
+	// compute plus every collective exchange.
+	Wall time.Duration
+	// CommTime is the modeled time of all fabric exchanges.
+	CommTime time.Duration
+	PerRank  []RankStats
+	// Stages holds every fabric exchange in execution order.
+	Stages []StageTraffic
+}
+
+// report assembles the Report after the pipeline has finished.
+func (rt *runtime) report() *Report {
+	rep := &Report{
+		Ranks:         rt.cfg.Ranks,
+		VirtualShards: rt.cfg.VirtualShards,
+		Rounds:        rt.rounds,
+		CommTime:      rt.fabric.TotalTime(),
+		Stages:        rt.fabric.Stages(),
+	}
+	rep.Wall = rt.compWall + rep.CommTime
+	rep.PerRank = make([]RankStats, rt.cfg.Ranks)
+	for r := range rep.PerRank {
+		comm, sent, recv, msgs := rt.fabric.RankTotals(r)
+		h2d, d2h := rt.devs[r].CumTraffic()
+		rs := RankStats{
+			Rank:      r,
+			Busy:      rt.busy[r],
+			Comm:      comm,
+			BytesSent: sent,
+			BytesRecv: recv,
+			Msgs:      msgs,
+			PCIeH2D:   h2d,
+			PCIeD2H:   d2h,
+			Kernels:   rt.kernels[r],
+			Contigs:   rt.owned[r],
+		}
+		if idle := rep.Wall - rs.Busy - rs.Comm; idle > 0 {
+			rs.Idle = idle
+		}
+		rep.PerRank[r] = rs
+	}
+	return rep
+}
+
+// Efficiency is the parallel efficiency of the modeled compute:
+// Σ busy / (ranks × wall). 1.0 means every rank computed the whole time.
+func (r *Report) Efficiency() float64 {
+	if r.Wall <= 0 || r.Ranks == 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, rs := range r.PerRank {
+		busy += rs.Busy
+	}
+	return float64(busy) / (float64(r.Wall) * float64(r.Ranks))
+}
+
+// String renders the per-rank breakdown and per-stage fabric traffic.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "distributed run: %d ranks, %d virtual shards, %d rounds; modeled wall %v (comm %v, efficiency %.1f%%)\n",
+		r.Ranks, r.VirtualShards, r.Rounds, r.Wall.Round(time.Microsecond),
+		r.CommTime.Round(time.Microsecond), 100*r.Efficiency())
+	fmt.Fprintf(&b, "  %-5s %12s %12s %12s %10s %10s %6s %8s %7s\n",
+		"rank", "busy", "comm", "idle", "sent", "recv", "msgs", "kernels", "ctgs")
+	for _, rs := range r.PerRank {
+		fmt.Fprintf(&b, "  %-5d %12v %12v %12v %10s %10s %6d %8d %7d\n",
+			rs.Rank, rs.Busy.Round(time.Microsecond), rs.Comm.Round(time.Microsecond),
+			rs.Idle.Round(time.Microsecond), fmtBytes(rs.BytesSent), fmtBytes(rs.BytesRecv),
+			rs.Msgs, rs.Kernels, rs.Contigs)
+	}
+	fmt.Fprintf(&b, "  fabric stages:\n")
+	for _, st := range r.Stages {
+		fmt.Fprintf(&b, "    %-24s %10s in %4d msgs, %v\n",
+			st.Stage, fmtBytes(st.TotalBytes()), st.TotalMsgs(), st.Time.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

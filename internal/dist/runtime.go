@@ -1,0 +1,292 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/locassm"
+	"mhm2sim/internal/pipeline"
+	"mhm2sim/internal/simt"
+)
+
+// Config parameterizes a distributed run.
+type Config struct {
+	// Ranks is the number of simulated ranks (processes), each owning one
+	// device and a slice of the contigs and reads.
+	Ranks int
+	// VirtualShards is the number of hash shards dealt across ranks
+	// (0 = DefaultVirtualShards). It must not change between runs that
+	// are expected to produce identical kernel launch lists.
+	VirtualShards int
+	// Fabric models the interconnect (zero value = DefaultFabricConfig).
+	Fabric FabricConfig
+	// Device is the per-rank GPU (zero value = simt.V100()).
+	Device simt.DeviceConfig
+	// Pipeline configures the underlying assembly pipeline. Its Assembler
+	// and Device fields are managed by dist.Run; local assembly always
+	// executes on the per-rank devices.
+	Pipeline pipeline.Config
+}
+
+// DefaultConfig returns a distributed configuration over the default
+// pipeline.
+func DefaultConfig(ranks int) Config {
+	return Config{
+		Ranks:         ranks,
+		VirtualShards: DefaultVirtualShards,
+		Fabric:        DefaultFabricConfig(),
+		Device:        simt.V100(),
+		Pipeline:      pipeline.DefaultConfig(),
+	}
+}
+
+// withDefaults fills zero-valued fields.
+func (c Config) withDefaults() Config {
+	if c.VirtualShards == 0 {
+		c.VirtualShards = DefaultVirtualShards
+	}
+	if c.Fabric == (FabricConfig{}) {
+		c.Fabric = DefaultFabricConfig()
+	}
+	if c.Device.Name == "" {
+		c.Device = simt.V100()
+	}
+	return c
+}
+
+// Validate checks the distributed configuration (after defaulting).
+func (c *Config) Validate() error {
+	if c.Ranks < 1 {
+		return fmt.Errorf("dist: need ≥ 1 rank, got %d", c.Ranks)
+	}
+	if c.VirtualShards < c.Ranks {
+		return fmt.Errorf("dist: %d virtual shards cannot cover %d ranks (ranks would idle)",
+			c.VirtualShards, c.Ranks)
+	}
+	if err := c.Fabric.Validate(); err != nil {
+		return err
+	}
+	return c.Pipeline.Validate()
+}
+
+// runtime is the live state of one distributed run. It implements
+// pipeline.LocalAssembler: pipeline.Run hands it each round's
+// contigs-with-reads and it performs the read exchange, the sharded
+// concurrent local assembly, and the contig allgather.
+type runtime struct {
+	cfg    Config
+	fabric *Fabric
+	devs   []*simt.Device // one per rank
+
+	// Accumulated across rounds (written only between concurrent phases).
+	busy     []time.Duration // per-rank modeled GPU busy time
+	kernels  []int           // per-rank kernel launches
+	owned    []int           // per-rank owned contigs (last round)
+	compWall time.Duration   // Σ over rounds of the slowest rank's busy time
+	rounds   int
+}
+
+func newRuntime(cfg Config) (*runtime, error) {
+	fabric, err := NewFabric(cfg.Ranks, cfg.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	rt := &runtime{
+		cfg:     cfg,
+		fabric:  fabric,
+		devs:    make([]*simt.Device, cfg.Ranks),
+		busy:    make([]time.Duration, cfg.Ranks),
+		kernels: make([]int, cfg.Ranks),
+		owned:   make([]int, cfg.Ranks),
+	}
+	for r := range rt.devs {
+		rt.devs[r] = simt.NewDevice(cfg.Device)
+	}
+	return rt, nil
+}
+
+// scatterReads models the initial distribution of the input pairs from the
+// I/O rank (rank 0) to each read's home rank — the FASTQ scatter every
+// distributed assembler starts with.
+func (rt *runtime) scatterReads(pairs []dna.PairedRead) error {
+	n := rt.cfg.Ranks
+	matrix := newMatrix(n)
+	for i := range pairs {
+		home := ReadHomeRank(pairs[i].Fwd.ID, n)
+		matrix[0][home] += readMsgBytes(&pairs[i].Fwd) + readMsgBytes(&pairs[i].Rev)
+	}
+	_, err := rt.fabric.Exchange("read scatter", matrix)
+	return err
+}
+
+// AssembleRound implements pipeline.LocalAssembler: one contigging round's
+// local assembly, distributed.
+func (rt *runtime) AssembleRound(k int, ctgs []*locassm.CtgWithReads, res *pipeline.Result) error {
+	n := rt.cfg.Ranks
+	v := rt.cfg.VirtualShards
+	rt.rounds++
+
+	// Phase 1 — all-to-all read exchange: every rank routes the candidate
+	// reads its alignments produced to the rank owning the hit contig
+	// (MHM2's aggregating stores ahead of local assembly).
+	for r := range rt.owned {
+		rt.owned[r] = 0
+	}
+	for _, c := range ctgs {
+		rt.owned[OwnerRank(c.ID, v, n)]++
+	}
+	if _, err := rt.fabric.Exchange(fmt.Sprintf("read exchange k=%d", k), readExchangeMatrix(ctgs, v, n)); err != nil {
+		return err
+	}
+
+	// Phase 2 — sharded local assembly: each rank drives its virtual
+	// shards through its own device with the pipelined batch driver,
+	// concurrently with every other rank.
+	byShard, shardIdx := shardContigs(ctgs, v)
+	gcfg := rt.cfg.Pipeline.GPU
+	gcfg.Config = rt.cfg.Pipeline.Locassm
+
+	shardRes := make([]*locassm.GPUResult, v)
+	roundBusy := make([]time.Duration, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		go func(r int) {
+			defer wg.Done()
+			drv, err := locassm.NewDriver(rt.devs[r], gcfg)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			for s := r; s < v; s += n { // virtual shard s lives on rank s mod n
+				if len(byShard[s]) == 0 {
+					continue
+				}
+				gres, err := drv.Run(byShard[s])
+				if err != nil {
+					errs[r] = fmt.Errorf("rank %d shard %d: %w", r, s, err)
+					return
+				}
+				shardRes[s] = gres
+				roundBusy[r] += gres.TotalTime()
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Gather — canonical virtual-shard order, so accounting and kernel
+	// lists are identical for every rank count.
+	var roundMax time.Duration
+	for r := 0; r < n; r++ {
+		rt.busy[r] += roundBusy[r]
+		if roundBusy[r] > roundMax {
+			roundMax = roundBusy[r]
+		}
+	}
+	rt.compWall += roundMax
+	for s := 0; s < v; s++ {
+		gres := shardRes[s]
+		if gres == nil {
+			continue
+		}
+		rt.kernels[s%n] += len(gres.Kernels)
+		res.Work.GPUKernels = append(res.Work.GPUKernels, gres.Kernels...)
+		res.Work.GPUKernelTime += gres.KernelTime
+		res.Work.GPUTransferTime += gres.TransferTime
+		for j, gi := range shardIdx[s] {
+			ctgs[gi].Seq = gres.Results[j].ExtendedSeq(ctgs[gi].Seq)
+		}
+	}
+
+	// Phase 3 — contig allgather: owners broadcast their extended contigs
+	// so every rank holds the replicated alignment index for the next
+	// round (and the final outputs).
+	_, err := rt.fabric.Exchange(fmt.Sprintf("contig allgather k=%d", k), allgatherMatrix(ctgs, v, n))
+	return err
+}
+
+func newMatrix(n int) [][]int64 {
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+	}
+	return m
+}
+
+// readExchangeMatrix builds the all-to-all byte matrix of the per-round
+// read routing: every candidate read travels from its home rank to the
+// rank owning the contig it aligned to, once per (contig, side) it is a
+// candidate for — exactly as MHM2 routes one aggregated record per
+// alignment.
+func readExchangeMatrix(ctgs []*locassm.CtgWithReads, shards, ranks int) [][]int64 {
+	matrix := newMatrix(ranks)
+	for _, c := range ctgs {
+		owner := OwnerRank(c.ID, shards, ranks)
+		for i := range c.LeftReads {
+			matrix[ReadHomeRank(c.LeftReads[i].ID, ranks)][owner] += readMsgBytes(&c.LeftReads[i])
+		}
+		for i := range c.RightReads {
+			matrix[ReadHomeRank(c.RightReads[i].ID, ranks)][owner] += readMsgBytes(&c.RightReads[i])
+		}
+	}
+	return matrix
+}
+
+// allgatherMatrix builds the byte matrix of the post-round contig
+// broadcast: each owner ships every contig it owns to all other ranks.
+func allgatherMatrix(ctgs []*locassm.CtgWithReads, shards, ranks int) [][]int64 {
+	matrix := newMatrix(ranks)
+	for _, c := range ctgs {
+		owner := OwnerRank(c.ID, shards, ranks)
+		bytes := int64(len(c.Seq) + recordOverheadBytes)
+		for d := 0; d < ranks; d++ {
+			if d != owner {
+				matrix[owner][d] += bytes
+			}
+		}
+	}
+	return matrix
+}
+
+// Run executes the pipeline distributed across cfg.Ranks simulated ranks
+// and returns the gathered result — bit-identical in contigs, scaffolds,
+// and kernel launch lists to the same Config run at Ranks=1 — together
+// with the strong-scaling report. The modeled communication time is folded
+// into the result's Timings under pipeline.StageComm and into
+// Work.CommTime, the way the simt device folds modeled PCIe time into
+// Work.GPUTransferTime.
+func Run(pairs []dna.PairedRead, cfg Config) (*pipeline.Result, *Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rt, err := newRuntime(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := rt.scatterReads(pairs); err != nil {
+		return nil, nil, err
+	}
+
+	pcfg := cfg.Pipeline
+	pcfg.Assembler = rt
+	res, err := pipeline.Run(pairs, pcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	commTime := rt.fabric.TotalTime()
+	res.Timings.Add(pipeline.StageComm, commTime)
+	res.Work.CommTime = commTime
+	res.Work.CommBytes = rt.fabric.TotalBytes()
+	res.Work.CommMsgs = rt.fabric.TotalMsgs()
+	return res, rt.report(), nil
+}

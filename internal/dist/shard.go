@@ -1,0 +1,72 @@
+package dist
+
+import (
+	"strings"
+
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/locassm"
+	"mhm2sim/internal/murmur"
+)
+
+// Sharding is two-level, MetaHipMer-style: a contig hashes to one of V
+// virtual shards (V fixed, independent of the rank count), and virtual
+// shard v lives on rank v mod N. The virtual shard — not the rank — is the
+// unit of batch planning and kernel launch, which is what makes the kernel
+// launch list independent of N: changing the rank count only re-deals the
+// same shards (and therefore the same batches, in the same canonical
+// order) onto more or fewer devices. See DESIGN.md §8.
+
+// DefaultVirtualShards is the default virtual-shard count. It bounds the
+// useful rank count and fixes the batch granularity of the distributed
+// local assembly.
+const DefaultVirtualShards = 32
+
+// Seeds for the two hash spaces, chosen once so placement is stable across
+// processes and runs.
+const (
+	shardSeed = 0x6d686d32 // "mhm2"
+	readSeed  = 0x72656164 // "read"
+)
+
+// VirtualShard maps a contig ID to its virtual shard in [0, shards).
+func VirtualShard(ctgID int64, shards int) int {
+	return int(murmur.Hash64Word(uint64(ctgID), 0, shardSeed) % uint64(shards))
+}
+
+// OwnerRank maps a contig ID to the rank owning it under N ranks and the
+// given virtual-shard count.
+func OwnerRank(ctgID int64, shards, ranks int) int {
+	return VirtualShard(ctgID, shards) % ranks
+}
+
+// ReadHomeRank maps a read to the rank that holds (and aligned) it. The
+// ".merged" suffix the merge stage appends is stripped first, so a merged
+// read lives where its originating pair was scattered.
+func ReadHomeRank(id string, ranks int) int {
+	id = strings.TrimSuffix(id, ".merged")
+	return int(murmur.Hash64A([]byte(id), readSeed) % uint64(ranks))
+}
+
+// shardContigs partitions the round's contigs into virtual shards,
+// preserving input order inside each shard. The returned index slices map
+// each shard's contigs back to their global positions.
+func shardContigs(ctgs []*locassm.CtgWithReads, shards int) (byShard [][]*locassm.CtgWithReads, idx [][]int) {
+	byShard = make([][]*locassm.CtgWithReads, shards)
+	idx = make([][]int, shards)
+	for i, c := range ctgs {
+		v := VirtualShard(c.ID, shards)
+		byShard[v] = append(byShard[v], c)
+		idx[v] = append(idx[v], i)
+	}
+	return byShard, idx
+}
+
+// Per-record framing overhead of a routed message: IDs, lengths, and
+// orientation/side metadata serialized alongside the payload.
+const recordOverheadBytes = 16
+
+// readMsgBytes is the wire size of one routed candidate read: sequence,
+// qualities, identifier, and framing.
+func readMsgBytes(r *dna.Read) int64 {
+	return int64(len(r.Seq) + len(r.Qual) + len(r.ID) + recordOverheadBytes)
+}

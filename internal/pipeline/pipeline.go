@@ -30,12 +30,18 @@ const (
 	StageLocalAssembly
 	StageScaffolding
 	StageFileIO
+	// StageComm is the modeled inter-rank communication time of a
+	// distributed run (internal/dist): all-to-all read exchanges and contig
+	// allgathers through the simulated fabric. Single-rank runs record
+	// zero here, exactly as a one-node MPI job spends nothing on the wire.
+	StageComm
 	NumStages
 )
 
 var stageNames = [NumStages]string{
 	"merge reads", "k-mer analysis", "contig generation", "alignment",
 	"aln kernel", "local assembly", "scaffolding", "file I/O",
+	"communication",
 }
 
 // String names the stage as in Fig 2's legend.
@@ -85,6 +91,13 @@ type WorkRecord struct {
 	ScaffoldPairs    int64
 	IOBytes          int64
 	Preprocess       preprocess.Stats
+	// CommTime/CommBytes/CommMsgs account the modeled inter-rank fabric
+	// traffic of a distributed run (internal/dist), the way
+	// GPUTransferTime accounts modeled PCIe time. Zero for single-rank
+	// runs.
+	CommTime  time.Duration
+	CommBytes int64
+	CommMsgs  int64
 	// EstimatedInsert is the inferred library insert size (0 when
 	// estimation was off or had too few observations).
 	EstimatedInsert int
@@ -96,6 +109,24 @@ type RoundBins struct {
 	Zero, Small, Large int
 }
 
+// LocalAssembler replaces the built-in local-assembly executor for each
+// contigging round — the hook the distributed runtime (internal/dist) uses
+// to shard the stage across ranks. Implementations must leave ctgs extended
+// exactly as the built-in path would (ctgs[i].Seq rebound to the extended
+// sequence) and may append kernel/comm accounting to res.
+type LocalAssembler interface {
+	AssembleRound(k int, ctgs []*locassm.CtgWithReads, res *Result) error
+}
+
+// Default read-merging parameters (the merge-reads stage of Fig 1).
+const (
+	// DefaultMergeMinOverlap is the minimum mate overlap to merge a pair.
+	DefaultMergeMinOverlap = 20
+	// DefaultMergeMaxMismatchFrac is the mismatch fraction tolerated
+	// inside the overlap.
+	DefaultMergeMaxMismatchFrac = 0.1
+)
+
 // Config assembles the sub-configurations.
 type Config struct {
 	// Rounds lists the contigging k values, smallest first (MetaHipMer
@@ -106,6 +137,14 @@ type Config struct {
 	Align    align.Config
 	Locassm  locassm.Config
 	Scaffold scaffold.Config
+	// MergeMinOverlap is the minimum overlap (bases) between the forward
+	// mate and the reverse-complemented reverse mate for a pair to merge
+	// (0 = DefaultMergeMinOverlap).
+	MergeMinOverlap int
+	// MergeMaxMismatchFrac is the fraction of mismatching bases tolerated
+	// inside the overlap. 0 means DefaultMergeMaxMismatchFrac; for exact
+	// overlaps use a fraction smaller than 1/MaxReadLen.
+	MergeMaxMismatchFrac float64
 	// EndZone is how close to a contig end an alignment must come for the
 	// read to become a local-assembly candidate (0: read length + 50).
 	EndZone int
@@ -133,6 +172,23 @@ type Config struct {
 	GPU locassm.GPUConfig
 	// Device runs the GPU local assembly (nil: a fresh V100 per run).
 	Device *simt.Device
+
+	// Assembler, when non-nil, executes each round's local-assembly stage
+	// instead of the built-in CPU/GPU paths (see LocalAssembler).
+	Assembler LocalAssembler
+}
+
+// mergeParams resolves the effective read-merging parameters.
+func (c *Config) mergeParams() (minOverlap int, maxMismatchFrac float64) {
+	minOverlap = c.MergeMinOverlap
+	if minOverlap == 0 {
+		minOverlap = DefaultMergeMinOverlap
+	}
+	maxMismatchFrac = c.MergeMaxMismatchFrac
+	if maxMismatchFrac == 0 {
+		maxMismatchFrac = DefaultMergeMaxMismatchFrac
+	}
+	return minOverlap, maxMismatchFrac
 }
 
 // DefaultConfig returns a scaled-down MetaHipMer-like configuration
@@ -140,13 +196,15 @@ type Config struct {
 func DefaultConfig() Config {
 	la := locassm.DefaultConfig()
 	return Config{
-		Rounds:   []int{21, 33, 55},
-		MinCount: 2,
-		Align:    align.DefaultConfig(),
-		Locassm:  la,
-		Scaffold: scaffold.DefaultConfig(),
-		Workers:  0,
-		GPU:      locassm.GPUConfig{Config: la, WarpPerTable: true},
+		Rounds:               []int{21, 33, 55},
+		MinCount:             2,
+		Align:                align.DefaultConfig(),
+		Locassm:              la,
+		Scaffold:             scaffold.DefaultConfig(),
+		MergeMinOverlap:      DefaultMergeMinOverlap,
+		MergeMaxMismatchFrac: DefaultMergeMaxMismatchFrac,
+		Workers:              0,
+		GPU:                  locassm.GPUConfig{Config: la, WarpPerTable: true},
 	}
 }
 
@@ -164,6 +222,12 @@ func (c *Config) Validate() error {
 	}
 	if c.MinCount < 1 {
 		return fmt.Errorf("pipeline: MinCount must be ≥ 1")
+	}
+	if c.MergeMinOverlap < 0 {
+		return fmt.Errorf("pipeline: MergeMinOverlap %d < 0", c.MergeMinOverlap)
+	}
+	if c.MergeMaxMismatchFrac < 0 || c.MergeMaxMismatchFrac >= 1 {
+		return fmt.Errorf("pipeline: MergeMaxMismatchFrac %g outside [0,1)", c.MergeMaxMismatchFrac)
 	}
 	if err := c.Align.Validate(); err != nil {
 		return err

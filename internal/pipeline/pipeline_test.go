@@ -78,6 +78,55 @@ func TestConfigValidation(t *testing.T) {
 	if cfg.Validate() == nil {
 		t.Error("MinCount 0 accepted")
 	}
+	cfg = testPipelineConfig()
+	cfg.MergeMinOverlap = -1
+	if cfg.Validate() == nil {
+		t.Error("negative MergeMinOverlap accepted")
+	}
+	cfg = testPipelineConfig()
+	cfg.MergeMaxMismatchFrac = 1.5
+	if cfg.Validate() == nil {
+		t.Error("MergeMaxMismatchFrac ≥ 1 accepted")
+	}
+	cfg = testPipelineConfig()
+	cfg.MergeMaxMismatchFrac = -0.1
+	if cfg.Validate() == nil {
+		t.Error("negative MergeMaxMismatchFrac accepted")
+	}
+}
+
+func TestMergeParamDefaults(t *testing.T) {
+	var cfg Config // zero-valued: both parameters fall back to defaults
+	ov, mm := cfg.mergeParams()
+	if ov != DefaultMergeMinOverlap || mm != DefaultMergeMaxMismatchFrac {
+		t.Errorf("zero config resolved to (%d, %g)", ov, mm)
+	}
+	cfg.MergeMinOverlap, cfg.MergeMaxMismatchFrac = 35, 0.02
+	if ov, mm = cfg.mergeParams(); ov != 35 || mm != 0.02 {
+		t.Errorf("explicit params not honored: (%d, %g)", ov, mm)
+	}
+}
+
+// TestMergeConfigChangesMerging: a min overlap larger than the true overlap
+// must prevent the pair from merging, proving the lifted parameters reach
+// the merge stage.
+func TestMergeConfigChangesMerging(t *testing.T) {
+	genome := []byte("ACGGTTAACCGGATCCGGAAGGTTCCAATTGGCCTTAGGACTGACTGAACGGTCCAAGGTT")
+	frag := genome[:50]
+	fwd := dna.Read{ID: "p/1", Seq: append([]byte(nil), frag[:30]...), Qual: bytes.Repeat([]byte("I"), 30)}
+	rev := dna.Read{ID: "p/2", Seq: dna.RevComp(frag[20:]), Qual: bytes.Repeat([]byte("I"), 30)}
+	pairs := []dna.PairedRead{{Fwd: fwd, Rev: rev}}
+
+	loose := Config{MergeMinOverlap: 5, MergeMaxMismatchFrac: 0.1}
+	ov, mm := loose.mergeParams()
+	if out := mergePairs(pairs, ov, mm); len(out) != 1 {
+		t.Fatalf("overlap 10 with min 5: pair did not merge (%d reads)", len(out))
+	}
+	strict := Config{MergeMinOverlap: 15, MergeMaxMismatchFrac: 0.1}
+	ov, mm = strict.mergeParams()
+	if out := mergePairs(pairs, ov, mm); len(out) != 2 {
+		t.Fatalf("overlap 10 with min 15: pair merged anyway")
+	}
 }
 
 func TestStageString(t *testing.T) {
@@ -114,8 +163,15 @@ func TestPipelineEndToEndCPU(t *testing.T) {
 	if maxLen < 1000 {
 		t.Errorf("largest contig only %d bases", maxLen)
 	}
-	// Timings: every stage ran.
+	// Timings: every stage ran (StageComm stays zero — a single-rank run
+	// never touches the simulated fabric).
 	for s := Stage(0); s < NumStages; s++ {
+		if s == StageComm {
+			if res.Timings.Wall[s] != 0 {
+				t.Errorf("single-rank run recorded comm time %v", res.Timings.Wall[s])
+			}
+			continue
+		}
 		if res.Timings.Wall[s] <= 0 {
 			t.Errorf("stage %s recorded no time", s)
 		}

@@ -47,7 +47,8 @@ func Run(pairs []dna.PairedRead, cfg Config) (*Result, error) {
 		}
 		res.Work.Preprocess = ppStats
 	}
-	reads := mergePairs(pairs, 20, 0.1)
+	minOverlap, maxMismatchFrac := cfg.mergeParams()
+	reads := mergePairs(pairs, minOverlap, maxMismatchFrac)
 	res.Timings.Add(StageMergeReads, time.Since(t0))
 	res.Work.MergedReads = len(reads)
 
@@ -129,7 +130,7 @@ func Run(pairs []dna.PairedRead, cfg Config) (*Result, error) {
 
 		// Stage: local assembly.
 		t0 = time.Now()
-		if err := runLocalAssembly(withReads, &cfg, workers, res); err != nil {
+		if err := runLocalAssembly(k, withReads, &cfg, workers, res); err != nil {
 			return nil, err
 		}
 		res.Timings.Add(StageLocalAssembly, time.Since(t0))
@@ -332,8 +333,12 @@ func readLess(a, b *dna.Read) bool {
 }
 
 // runLocalAssembly extends the contigs in place via the CPU reference or
-// the GPU driver, following the §3.1 binning discipline.
-func runLocalAssembly(ctgs []*locassm.CtgWithReads, cfg *Config, workers int, res *Result) error {
+// the GPU driver, following the §3.1 binning discipline — or hands the
+// round to cfg.Assembler (the distributed runtime) when one is configured.
+func runLocalAssembly(k int, ctgs []*locassm.CtgWithReads, cfg *Config, workers int, res *Result) error {
+	if cfg.Assembler != nil {
+		return cfg.Assembler.AssembleRound(k, ctgs, res)
+	}
 	var results []locassm.Result
 	if cfg.UseGPU {
 		dev := cfg.Device

@@ -130,6 +130,11 @@ type Device struct {
 	// call, for driver-level PCIe accounting.
 	bytesH2D int64
 	bytesD2H int64
+	// Lifetime totals across the default stream and every explicit Stream,
+	// never reset — the per-device PCIe odometer a multi-rank runtime
+	// reads for its per-rank traffic report.
+	totalH2D int64
+	totalD2H int64
 
 	// Persistent warp worker pool (see launch.go).
 	poolOnce  sync.Once
@@ -309,12 +314,14 @@ func (d *Device) InUse() int64 {
 func (d *Device) copyHtoD(dst Ptr, src []byte) {
 	d.mu.Lock()
 	copy(d.mem[dst:int(dst)+len(src)], src)
+	d.totalH2D += int64(len(src))
 	d.mu.Unlock()
 }
 
 func (d *Device) copyDtoH(dst []byte, src Ptr) {
 	d.mu.Lock()
 	copy(dst, d.mem[src:int(src)+len(dst)])
+	d.totalD2H += int64(len(dst))
 	d.mu.Unlock()
 }
 
@@ -324,6 +331,7 @@ func (d *Device) MemcpyHtoD(dst Ptr, src []byte) {
 	d.mu.Lock()
 	copy(d.mem[dst:int(dst)+len(src)], src)
 	d.bytesH2D += int64(len(src))
+	d.totalH2D += int64(len(src))
 	d.mu.Unlock()
 }
 
@@ -333,7 +341,18 @@ func (d *Device) MemcpyDtoH(dst []byte, src Ptr) {
 	d.mu.Lock()
 	copy(dst, d.mem[src:int(src)+len(dst)])
 	d.bytesD2H += int64(len(dst))
+	d.totalD2H += int64(len(dst))
 	d.mu.Unlock()
+}
+
+// CumTraffic returns the device's lifetime host<->device byte totals,
+// including traffic issued on explicit Streams. Unlike Traffic, it never
+// resets — callers diff successive readings for interval accounting.
+func (d *Device) CumTraffic() (h2d, d2h int64) {
+	d.mu.Lock()
+	h2d, d2h = d.totalH2D, d.totalD2H
+	d.mu.Unlock()
+	return h2d, d2h
 }
 
 // Traffic returns and clears the default stream's host<->device byte

@@ -37,6 +37,28 @@ func TestStreamTrafficIsolated(t *testing.T) {
 	}
 }
 
+func TestCumTrafficSpansStreams(t *testing.T) {
+	d := testDevice()
+	p, _ := d.Malloc(256)
+	s := d.NewStream()
+
+	d.MemcpyHtoD(p, []byte("0123456789")) // 10 on default stream
+	s.MemcpyHtoD(p+64, []byte("abcd"))    // 4 on explicit stream
+	s.MemcpyDtoH(make([]byte, 6), p)      // 6 back
+	d.MemcpyDtoH(make([]byte, 2), p)      // 2 back on default
+
+	h2d, d2h := d.CumTraffic()
+	if h2d != 14 || d2h != 8 {
+		t.Errorf("cumulative traffic %d/%d, want 14/8", h2d, d2h)
+	}
+	// The odometer survives the per-interval counters being drained.
+	d.Traffic()
+	s.Traffic()
+	if h2d, d2h = d.CumTraffic(); h2d != 14 || d2h != 8 {
+		t.Errorf("CumTraffic reset by Traffic: %d/%d", h2d, d2h)
+	}
+}
+
 func TestAllocRegionReuseAndRewind(t *testing.T) {
 	d := testDevice()
 	r1, err := d.AllocRegion(100)
