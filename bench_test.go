@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"mhm2sim/internal/cluster"
+	"mhm2sim/internal/dna"
 	"mhm2sim/internal/figures"
 	"mhm2sim/internal/locassm"
 	"mhm2sim/internal/pipeline"
@@ -227,6 +228,75 @@ func BenchmarkLocalAssemblyCPU(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCPUTableBuild isolates Algorithm 1 on the host flat-table
+// engine: the workload's read qualities all sit below the cutoff, so every
+// walk dies at its first probe and the run is dominated by table builds
+// and k-mer inserts.
+func BenchmarkCPUTableBuild(b *testing.B) {
+	s := getState(b)
+	ctgs := cloneWorkload(s.arcticRes.LAWorkload)
+	for _, c := range ctgs {
+		for _, rs := range [][]dna.Read{c.LeftReads, c.RightReads} {
+			for i := range rs {
+				for j := range rs[i].Qual {
+					rs[i].Qual[j] = dna.QualChar(5)
+				}
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := locassm.RunCPU(ctgs, s.arctic.Config.Locassm, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCPUWalk emphasizes Algorithm 2: few reads per contig (small
+// tables) but full-length walks, so lookup/visited probing dominates.
+func BenchmarkCPUWalk(b *testing.B) {
+	s := getState(b)
+	ctgs := cloneWorkload(s.arcticRes.LAWorkload)
+	const keep = 4
+	for _, c := range ctgs {
+		if len(c.LeftReads) > keep {
+			c.LeftReads = c.LeftReads[:keep]
+		}
+		if len(c.RightReads) > keep {
+			c.RightReads = c.RightReads[:keep]
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := locassm.RunCPU(ctgs, s.arctic.Config.Locassm, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// cloneWorkload deep-copies contigs and reads so a benchmark can reshape
+// them without corrupting the shared state.
+func cloneWorkload(ctgs []*locassm.CtgWithReads) []*locassm.CtgWithReads {
+	out := make([]*locassm.CtgWithReads, len(ctgs))
+	for i, c := range ctgs {
+		cc := &locassm.CtgWithReads{
+			ID:    c.ID,
+			Seq:   append([]byte(nil), c.Seq...),
+			Depth: c.Depth,
+		}
+		cc.LeftReads = make([]dna.Read, len(c.LeftReads))
+		for j := range c.LeftReads {
+			cc.LeftReads[j] = c.LeftReads[j].Clone()
+		}
+		cc.RightReads = make([]dna.Read, len(c.RightReads))
+		for j := range c.RightReads {
+			cc.RightReads[j] = c.RightReads[j].Clone()
+		}
+		out[i] = cc
+	}
+	return out
 }
 
 func BenchmarkLocalAssemblyGPUv2(b *testing.B) {

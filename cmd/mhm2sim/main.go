@@ -18,6 +18,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -48,6 +50,8 @@ type options struct {
 	doPreprocess bool
 	dumpLA       string
 	estInsert    bool
+	cpuProfile   string
+	memProfile   string
 }
 
 // parseFlags parses args (not including the program name) into options.
@@ -71,6 +75,8 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.BoolVar(&opts.doPreprocess, "preprocess", false, "adapter/quality-trim and filter reads first")
 	fs.StringVar(&opts.dumpLA, "dump-la", "", "dump the final round's local-assembly workload here (for cmd/locassm)")
 	fs.BoolVar(&opts.estInsert, "estimate-insert", true, "infer the library insert size from proper pairs")
+	fs.StringVar(&opts.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this path")
+	fs.StringVar(&opts.memProfile, "memprofile", "", "write a pprof heap profile (after the run) to this path")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -139,17 +145,46 @@ func main() {
 	}
 	fmt.Printf("input: %d read pairs\n", len(pairs))
 
+	if opts.cpuProfile != "" {
+		f, err := os.Create(opts.cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var res *pipeline.Result
 	var rep *dist.Report
 	if opts.ranks > 1 {
 		dcfg := dist.DefaultConfig(opts.ranks)
 		dcfg.Pipeline = cfg
+		// Without -gpu the ranks assemble on the host flat-table engine,
+		// mirroring the single-rank CPU path.
+		dcfg.CPUAssembly = !opts.gpu
+		dcfg.CPUWorkers = opts.workers
 		res, rep, err = dist.Run(pairs, dcfg)
 	} else {
 		res, err = pipeline.Run(pairs, cfg)
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if opts.memProfile != "" {
+		f, err := os.Create(opts.memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote heap profile to %s\n", opts.memProfile)
 	}
 
 	printBreakdown(res)
@@ -162,7 +197,7 @@ func main() {
 	if res.Work.EstimatedInsert > 0 {
 		fmt.Printf("estimated library insert size: %d bp\n", res.Work.EstimatedInsert)
 	}
-	if opts.gpu || opts.ranks > 1 {
+	if opts.gpu {
 		printGPUStats(res)
 	}
 	if rep != nil {

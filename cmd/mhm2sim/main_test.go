@@ -50,6 +50,14 @@ func TestParseFlags(t *testing.T) {
 		t.Errorf("defaults wrong: %+v", opts)
 	}
 
+	opts, err = parseFlags([]string{"-cpuprofile", "cpu.pprof", "-memprofile", "mem.pprof"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.cpuProfile != "cpu.pprof" || opts.memProfile != "mem.pprof" {
+		t.Errorf("profile flags wrong: %+v", opts)
+	}
+
 	if _, err := parseFlags([]string{"-ranks", "0"}, &stderr); err == nil {
 		t.Error("-ranks 0 accepted")
 	}

@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDistCPUAssemblyMatchesGPU: the per-rank host flat-table engine and
+// the per-rank GPU drivers assemble bit-identical contigs and scaffolds
+// (the engine-equivalence guarantee lifted to the distributed runtime),
+// and the CPU path reports host work counts instead of kernel launches.
+func TestDistCPUAssemblyMatchesGPU(t *testing.T) {
+	pairs := buildPairs(t)
+
+	gpuRes, _, err := Run(pairs, testDistConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ccfg := testDistConfig(3)
+	ccfg.CPUAssembly = true
+	cpuRes, cpuRep, err := Run(pairs, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(cpuRes.Contigs, gpuRes.Contigs) {
+		t.Error("CPU-assembly contigs differ from GPU-assembly contigs")
+	}
+	if !reflect.DeepEqual(cpuRes.Scaffolds, gpuRes.Scaffolds) {
+		t.Error("CPU-assembly scaffolds differ from GPU-assembly scaffolds")
+	}
+	if len(cpuRes.Work.GPUKernels) != 0 {
+		t.Errorf("CPU assembly launched %d kernels", len(cpuRes.Work.GPUKernels))
+	}
+	if cpuRes.Work.Locassm.KmersInserted == 0 || cpuRes.Work.Locassm.Lookups == 0 {
+		t.Errorf("CPU assembly reported no host work: %+v", cpuRes.Work.Locassm)
+	}
+	var busy int64
+	for _, rs := range cpuRep.PerRank {
+		busy += int64(rs.Busy)
+		if rs.Kernels != 0 {
+			t.Errorf("rank %d reports %d kernels under CPU assembly", rs.Rank, rs.Kernels)
+		}
+	}
+	if busy == 0 {
+		t.Error("CPU assembly reported zero modeled busy time")
+	}
+}
+
+// TestDistCPUAssemblyMatchesSingleRank: like the GPU determinism guarantee,
+// the host-engine path produces identical contigs and total work counts for
+// any rank count.
+func TestDistCPUAssemblyMatchesSingleRank(t *testing.T) {
+	pairs := buildPairs(t)
+	base := func(ranks int) Config {
+		cfg := testDistConfig(ranks)
+		cfg.CPUAssembly = true
+		return cfg
+	}
+
+	one, _, err := Run(pairs, base(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Contigs) == 0 || one.Work.Locassm.KmersInserted == 0 {
+		t.Fatalf("baseline degenerate: %d contigs, %+v", len(one.Contigs), one.Work.Locassm)
+	}
+	for _, n := range []int{2, 4} {
+		res, _, err := Run(pairs, base(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Contigs, one.Contigs) {
+			t.Errorf("ranks=%d: contigs differ from single-rank CPU run", n)
+		}
+		if res.Work.Locassm != one.Work.Locassm {
+			t.Errorf("ranks=%d: work counts %+v differ from single-rank %+v",
+				n, res.Work.Locassm, one.Work.Locassm)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"sync"
 	"time"
 
@@ -10,6 +11,14 @@ import (
 	"mhm2sim/internal/pipeline"
 	"mhm2sim/internal/simt"
 )
+
+// shardOutcome is one virtual shard's assembly output: the per-contig
+// results plus either GPU accounting or host-engine work counts.
+type shardOutcome struct {
+	results []locassm.Result
+	counts  locassm.WorkCounts
+	gpu     *locassm.GPUResult
+}
 
 // Config parameterizes a distributed run.
 type Config struct {
@@ -25,9 +34,18 @@ type Config struct {
 	// Device is the per-rank GPU (zero value = simt.V100()).
 	Device simt.DeviceConfig
 	// Pipeline configures the underlying assembly pipeline. Its Assembler
-	// and Device fields are managed by dist.Run; local assembly always
-	// executes on the per-rank devices.
+	// and Device fields are managed by dist.Run; local assembly executes
+	// on the per-rank devices (or the per-rank host engines, below).
 	Pipeline pipeline.Config
+	// CPUAssembly runs each rank's local assembly on the host flat-table
+	// engine instead of its simulated GPU — the per-rank CPU baseline the
+	// paper's speedups are measured against. Results are bit-identical to
+	// the GPU path; only the Busy accounting (modeled host time instead of
+	// kernel time) and the kernel lists (empty) change.
+	CPUAssembly bool
+	// CPUWorkers bounds each rank's worker goroutines under CPUAssembly
+	// (0 = GOMAXPROCS spread evenly across ranks).
+	CPUWorkers int
 }
 
 // DefaultConfig returns a distributed configuration over the default
@@ -142,13 +160,22 @@ func (rt *runtime) AssembleRound(k int, ctgs []*locassm.CtgWithReads, res *pipel
 	}
 
 	// Phase 2 — sharded local assembly: each rank drives its virtual
-	// shards through its own device with the pipelined batch driver,
-	// concurrently with every other rank.
+	// shards concurrently with every other rank, either through its own
+	// device with the pipelined batch driver or — under CPUAssembly —
+	// through the host flat-table engine.
 	byShard, shardIdx := shardContigs(ctgs, v)
 	gcfg := rt.cfg.Pipeline.GPU
 	gcfg.Config = rt.cfg.Pipeline.Locassm
+	cpuWorkers := rt.cfg.CPUWorkers
+	if cpuWorkers < 1 {
+		cpuWorkers = goruntime.GOMAXPROCS(0) / n
+		if cpuWorkers < 1 {
+			cpuWorkers = 1
+		}
+	}
+	cpuTime := locassm.DefaultCPUTime(cpuWorkers)
 
-	shardRes := make([]*locassm.GPUResult, v)
+	shardRes := make([]*shardOutcome, v)
 	roundBusy := make([]time.Duration, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -156,13 +183,27 @@ func (rt *runtime) AssembleRound(k int, ctgs []*locassm.CtgWithReads, res *pipel
 	for r := 0; r < n; r++ {
 		go func(r int) {
 			defer wg.Done()
-			drv, err := locassm.NewDriver(rt.devs[r], gcfg)
-			if err != nil {
-				errs[r] = err
-				return
+			var drv *locassm.Driver
+			if !rt.cfg.CPUAssembly {
+				var err error
+				drv, err = locassm.NewDriver(rt.devs[r], gcfg)
+				if err != nil {
+					errs[r] = err
+					return
+				}
 			}
 			for s := r; s < v; s += n { // virtual shard s lives on rank s mod n
 				if len(byShard[s]) == 0 {
+					continue
+				}
+				if rt.cfg.CPUAssembly {
+					cres, err := locassm.RunCPU(byShard[s], rt.cfg.Pipeline.Locassm, cpuWorkers)
+					if err != nil {
+						errs[r] = fmt.Errorf("rank %d shard %d: %w", r, s, err)
+						return
+					}
+					shardRes[s] = &shardOutcome{results: cres.Results, counts: cres.Counts}
+					roundBusy[r] += cpuTime(cres.Counts)
 					continue
 				}
 				gres, err := drv.Run(byShard[s])
@@ -170,7 +211,7 @@ func (rt *runtime) AssembleRound(k int, ctgs []*locassm.CtgWithReads, res *pipel
 					errs[r] = fmt.Errorf("rank %d shard %d: %w", r, s, err)
 					return
 				}
-				shardRes[s] = gres
+				shardRes[s] = &shardOutcome{results: gres.Results, gpu: gres}
 				roundBusy[r] += gres.TotalTime()
 			}
 		}(r)
@@ -193,16 +234,20 @@ func (rt *runtime) AssembleRound(k int, ctgs []*locassm.CtgWithReads, res *pipel
 	}
 	rt.compWall += roundMax
 	for s := 0; s < v; s++ {
-		gres := shardRes[s]
-		if gres == nil {
+		out := shardRes[s]
+		if out == nil {
 			continue
 		}
-		rt.kernels[s%n] += len(gres.Kernels)
-		res.Work.GPUKernels = append(res.Work.GPUKernels, gres.Kernels...)
-		res.Work.GPUKernelTime += gres.KernelTime
-		res.Work.GPUTransferTime += gres.TransferTime
+		if out.gpu != nil {
+			rt.kernels[s%n] += len(out.gpu.Kernels)
+			res.Work.GPUKernels = append(res.Work.GPUKernels, out.gpu.Kernels...)
+			res.Work.GPUKernelTime += out.gpu.KernelTime
+			res.Work.GPUTransferTime += out.gpu.TransferTime
+		} else {
+			res.Work.Locassm.Add(out.counts)
+		}
 		for j, gi := range shardIdx[s] {
-			ctgs[gi].Seq = gres.Results[j].ExtendedSeq(ctgs[gi].Seq)
+			ctgs[gi].Seq = out.results[j].ExtendedSeq(ctgs[gi].Seq)
 		}
 	}
 

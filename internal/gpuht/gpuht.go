@@ -82,6 +82,25 @@ func MaxKmers(maxReadLen, k, nReads int) int {
 	return (maxReadLen - k + 1) * nReads
 }
 
+// HostSlots returns the slot count the host flat-table engine uses for an
+// extension holding at most nKmers distinct k-mers: the smallest power of
+// two ≥ 2·nKmers. The device table (SlotsPerExtension) follows the paper's
+// l×r sizing because device memory is the scarce resource and a ~0.93 load
+// factor is acceptable for warp-parallel probing; the host engine instead
+// spends 2× the §3.2 (l−k+1)·r bound to keep the expected linear-probe
+// chain short on a single core, and rounds to a power of two so probe
+// wrap-around is a mask instead of a modulo.
+func HostSlots(nKmers int) int {
+	if nKmers <= 0 {
+		return 0
+	}
+	slots := 1
+	for slots < 2*nKmers {
+		slots <<= 1
+	}
+	return slots
+}
+
 // LoadFactor returns the worst-case load factor of the §3.2 sizing policy
 // for reads of length l and k-mers of length k: (l−k+1)/l.
 func LoadFactor(l, k int) float64 {

@@ -137,6 +137,26 @@ func lookupAll(t *testing.T, d *simt.Device, tab Table, arena simt.Ptr, keys map
 	return got
 }
 
+// TestHostSlots: power-of-two capacities with load factor ≤ 0.5 over the
+// exact k-mer bound, and 0 for empty builds.
+func TestHostSlots(t *testing.T) {
+	if HostSlots(0) != 0 || HostSlots(-3) != 0 {
+		t.Error("HostSlots of empty build should be 0")
+	}
+	for _, n := range []int{1, 2, 3, 7, 64, 100, 1000, 1 << 20} {
+		s := HostSlots(n)
+		if s&(s-1) != 0 {
+			t.Errorf("HostSlots(%d) = %d not a power of two", n, s)
+		}
+		if s < 2*n {
+			t.Errorf("HostSlots(%d) = %d gives load factor > 0.5", n, s)
+		}
+		if s >= 4*n {
+			t.Errorf("HostSlots(%d) = %d over-allocates", n, s)
+		}
+	}
+}
+
 func TestLoadFactorBound(t *testing.T) {
 	// §3.2: worst case (300-21+1)/300 ≈ 0.93.
 	lf := LoadFactor(300, 21)

@@ -168,6 +168,21 @@ func (k Kmer) Hash(seed uint64) uint64 {
 	return h
 }
 
+// HashK hashes only the word pairs covering klen bases, skipping the zeroed
+// tail words that Hash would mix in. For klen ≤ 64 that is a single
+// Hash64Word call, which is what makes it the hash of choice for hot
+// fixed-length probe loops (the host visited set hashes every walk cursor
+// through here). Two k-mers of the same klen hash equally iff their packed
+// prefixes are equal; hashes are only comparable at equal klen.
+func (k Kmer) HashK(klen int, seed uint64) uint64 {
+	h := seed
+	pairs := (klen + 63) / 64 // word pairs covering klen 2-bit bases
+	for j := 0; j < 2*pairs; j += 2 {
+		h = murmur.Hash64Word(k.W[j], k.W[j+1], h)
+	}
+	return h
+}
+
 // ForEach calls fn for every valid k-mer window of seq, skipping windows
 // that contain ambiguous bases. pos is the window's start offset in seq.
 func ForEach(seq []byte, k int, fn func(pos int, km Kmer)) {

@@ -160,6 +160,45 @@ func TestHashEqualityAndSpread(t *testing.T) {
 	}
 }
 
+// TestHashKProperties: HashK agrees with building the k-mer fresh (history
+// independence through clearTail), distinguishes distinct k-mers, and only
+// mixes the words a klen actually covers — so two k-mers differing beyond
+// klen hash equally at klen.
+func TestHashKProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, klen := range []int{4, 21, 32, 33, 63, 64, 65, 127, 128} {
+		s := randSeq(rng, klen)
+		a, _ := FromBytes(s, klen)
+
+		// Same k-mer arrived at by rolling: identical hash.
+		rolled := Kmer{}
+		for _, b := range s {
+			c, _ := dna.Code(b)
+			rolled = rolled.Append(klen, c)
+		}
+		if rolled.HashK(klen, 7) != a.HashK(klen, 7) {
+			t.Errorf("klen=%d: rolled k-mer hashes differently", klen)
+		}
+
+		s2 := append([]byte(nil), s...)
+		s2[klen-1] = dna.Alphabet[(s2[klen-1]-'A'+1)%4] // any different base
+		b2, ok := FromBytes(s2, klen)
+		if ok && a.HashK(klen, 7) == b2.HashK(klen, 7) {
+			t.Errorf("klen=%d: suspicious collision", klen)
+		}
+		if a.HashK(klen, 7) == a.HashK(klen, 8) {
+			t.Errorf("klen=%d: seed ignored", klen)
+		}
+	}
+
+	// klen ≤ 64 must ignore the upper words entirely.
+	var x, y Kmer
+	x.W[2], y.W[2] = 0xdead, 0xbeef
+	if x.HashK(64, 1) != y.HashK(64, 1) {
+		t.Error("HashK(64) mixed words beyond the covered pair")
+	}
+}
+
 func TestForEachWindows(t *testing.T) {
 	seq := []byte("ACGTACGTAC")
 	k := 4

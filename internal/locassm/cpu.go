@@ -5,7 +5,6 @@ import (
 	"sync"
 
 	"mhm2sim/internal/dna"
-	"mhm2sim/internal/gpuht"
 )
 
 // WorkCounts tallies the algorithmic work of a local-assembly run; the
@@ -31,10 +30,28 @@ type CPUResult struct {
 	Counts  WorkCounts
 }
 
-// RunCPU locally assembles every contig on the host, using the reference
-// implementation of Algorithms 1 and 2, fanned out over `workers`
-// goroutines (MetaHipMer uses every core on the node, §4.4). Results are
-// returned in input order.
+// workSpan is one chunk of contig indices [Lo, Hi) handed to a worker.
+// Chunking pays the channel synchronization once per span instead of once
+// per contig, which matters when the workload is many small bin-1/bin-2
+// contigs.
+type workSpan struct{ Lo, Hi int }
+
+// spanSize picks the chunk size for n contigs over `workers` goroutines:
+// small enough that the slowest worker cannot hold more than ~1/8 of a
+// worker's fair share hostage, large enough to amortize the channel.
+func spanSize(n, workers int) int {
+	chunk := n / (8 * workers)
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}
+
+// RunCPU locally assembles every contig on the host using the flat-table
+// engine, fanned out over `workers` goroutines (MetaHipMer uses every core
+// on the node, §4.4). Each worker checks a pooled workspace out once and
+// reuses it across its whole share, so steady-state extends allocate
+// nothing. Results are returned in input order.
 func RunCPU(ctgs []*CtgWithReads, cfg Config, workers int) (*CPUResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -45,21 +62,31 @@ func RunCPU(ctgs []*CtgWithReads, cfg Config, workers int) (*CPUResult, error) {
 	res := &CPUResult{Results: make([]Result, len(ctgs))}
 	counts := make([]WorkCounts, workers)
 
+	chunk := spanSize(len(ctgs), workers)
+	next := make(chan workSpan, (len(ctgs)+chunk-1)/chunk)
+	for lo := 0; lo < len(ctgs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(ctgs) {
+			hi = len(ctgs)
+		}
+		next <- workSpan{lo, hi}
+	}
+	close(next)
+
 	var wg sync.WaitGroup
-	next := make(chan int)
 	wg.Add(workers)
 	for wk := 0; wk < workers; wk++ {
 		go func(wk int) {
 			defer wg.Done()
-			for i := range next {
-				res.Results[i] = extendContigCPU(ctgs[i], &cfg, &counts[wk])
+			ws := getWorkspace()
+			defer putWorkspace(ws)
+			for span := range next {
+				for i := span.Lo; i < span.Hi; i++ {
+					res.Results[i] = extendContigCPU(ws, ctgs[i], &cfg, &counts[wk])
+				}
 			}
 		}(wk)
 	}
-	for i := range ctgs {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 
 	for i := range counts {
@@ -68,128 +95,26 @@ func RunCPU(ctgs []*CtgWithReads, cfg Config, workers int) (*CPUResult, error) {
 	return res, nil
 }
 
-// extendContigCPU runs both side extensions for one contig.
-func extendContigCPU(c *CtgWithReads, cfg *Config, wc *WorkCounts) Result {
+// extendContigCPU runs both side extensions for one contig on the
+// flat-table engine. Beyond the Result extension slices it returns (which
+// must outlive the workspace), a warm workspace makes this allocation-free.
+func extendContigCPU(ws *cpuWorkspace, c *CtgWithReads, cfg *Config, wc *WorkCounts) Result {
 	r := Result{ID: c.ID}
 
 	if len(c.RightReads) > 0 {
-		ext, state, iters := extendSideCPU(c.Seq, c.RightReads, cfg, wc)
-		r.RightExt, r.RightState = ext, state
+		ext, state, iters := ws.extendSide(c.Seq, c.RightReads, cfg, wc)
+		r.RightExt, r.RightState = cloneExt(ext), state
 		r.Iters += iters
 	}
 	if len(c.LeftReads) > 0 {
 		// Left extension reuses the rightward walker on the reverse
 		// complement, then flips the walked bases back (§2.3: the same
 		// algorithm is repeated for both sides).
-		rcSeq := dna.RevComp(c.Seq)
-		rcReads := make([]dna.Read, len(c.LeftReads))
-		for i := range c.LeftReads {
-			rcReads[i] = c.LeftReads[i].RevComp()
-		}
-		ext, state, iters := extendSideCPU(rcSeq, rcReads, cfg, wc)
-		r.LeftExt, r.LeftState = dna.RevComp(ext), state
+		rcSeq, rcReads := ws.prepLeft(c, cfg)
+		ext, state, iters := ws.extendSide(rcSeq, rcReads, cfg, wc)
+		r.LeftExt, r.LeftState = cloneExt(ext), state
+		dna.RevCompInPlace(r.LeftExt)
 		r.Iters += iters
 	}
 	return r
-}
-
-// extendSideCPU is the reference rightward extension: the §2.3 loop of
-// build-table / walk / shift-k, growing the contig across iterations.
-func extendSideCPU(ctg []byte, reads []dna.Read, cfg *Config, wc *WorkCounts) ([]byte, WalkState, int) {
-	// The walk buffer starts as the contig tail (long enough for the
-	// largest mer) and accumulates extensions.
-	tailLen := len(ctg)
-	if tailLen > cfg.MaxMer {
-		tailLen = cfg.MaxMer
-	}
-	buf := append([]byte(nil), ctg[len(ctg)-tailLen:]...)
-
-	mer := cfg.StartMer
-	if mer > tailLen {
-		mer = tailLen
-	}
-	if mer < cfg.MinMer {
-		return nil, WalkDeadEnd, 0
-	}
-
-	state := WalkDeadEnd
-	shift := 0
-	iters := 0
-	for iter := 0; iter < cfg.MaxIters; iter++ {
-		iters++
-		table := buildTableCPU(reads, mer, cfg.QualCutoff, wc)
-		var steps int64
-		state, steps = walkCPU(&buf, tailLen, table, mer, cfg, wc)
-		wc.WalkSteps += steps
-
-		next, nextShift, done := nextMer(cfg, mer, shift, state)
-		if done {
-			break
-		}
-		if next > len(buf) { // mer cannot exceed the walk buffer
-			break
-		}
-		mer, shift = next, nextShift
-	}
-	return buf[tailLen:], state, iters
-}
-
-// buildTableCPU is Algorithm 1 with a Go map: key = k-mer string, value =
-// extension object with quality-split counts of the following base.
-func buildTableCPU(reads []dna.Read, k, qualCutoff int, wc *WorkCounts) map[string]gpuht.Ext {
-	wc.TableBuilds++
-	table := make(map[string]gpuht.Ext)
-	for ri := range reads {
-		seq, qual := reads[ri].Seq, reads[ri].Qual
-		for i := 0; i+k <= len(seq); i++ {
-			wc.KmersInserted++
-			key := string(seq[i : i+k])
-			e := table[key]
-			e.Count++
-			if i+k < len(seq) {
-				c, ok := dna.Code(seq[i+k])
-				if ok {
-					if dna.QualScore(qual[i+k]) >= qualCutoff {
-						e.Hi[c]++
-					} else {
-						e.Lo[c]++
-					}
-				}
-			}
-			table[key] = e
-		}
-	}
-	return table
-}
-
-// walkCPU is Algorithm 2: slice the mer off the buffer end, look it up,
-// append the decided base, repeat. The visited set implements loop_exists.
-func walkCPU(buf *[]byte, tailLen int, table map[string]gpuht.Ext, mer int, cfg *Config, wc *WorkCounts) (WalkState, int64) {
-	visited := make(map[string]bool)
-	steps := int64(0)
-	for {
-		if len(*buf)-tailLen >= cfg.MaxWalkLen {
-			return WalkMaxLen, steps
-		}
-		cur := string((*buf)[len(*buf)-mer:])
-		if visited[cur] {
-			return WalkLoop, steps
-		}
-		visited[cur] = true
-
-		wc.Lookups++
-		e, ok := table[cur]
-		if !ok {
-			return WalkDeadEnd, steps
-		}
-		base, st := DecideExt(e, cfg.MinViableScore)
-		switch st {
-		case StepEnd:
-			return WalkDeadEnd, steps
-		case StepFork:
-			return WalkFork, steps
-		}
-		*buf = append(*buf, dna.Alphabet[base])
-		steps++
-	}
 }

@@ -1,0 +1,109 @@
+package locassm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mhm2sim/internal/dna"
+)
+
+// FuzzFlatMatchesMapRef differentially checks the flat-table engine against
+// the map reference over randomized contigs, reads, qualities (straddling
+// the cutoff), ambiguous bases, and mer-ladder configurations. Run with
+//
+//	go test -fuzz FuzzFlatMatchesMapRef ./internal/locassm
+//
+// to explore beyond the seed corpus; the corpus itself runs under plain
+// `go test` as a regression suite.
+func FuzzFlatMatchesMapRef(f *testing.F) {
+	f.Add(int64(1), uint8(40), uint8(8), uint8(30), uint8(0))
+	f.Add(int64(2), uint8(90), uint8(14), uint8(60), uint8(10))
+	f.Add(int64(3), uint8(10), uint8(2), uint8(200), uint8(50))
+	f.Add(int64(4), uint8(255), uint8(30), uint8(15), uint8(100))
+	f.Add(int64(5), uint8(0), uint8(0), uint8(0), uint8(255))
+
+	f.Fuzz(func(t *testing.T, seed int64, ctgLen, nReads, readLen, ambig uint8) {
+		rng := rand.New(rand.NewSource(seed))
+
+		cfg := testConfig()
+		cfg.MinMer = 5 + rng.Intn(8)
+		cfg.MerStep = 1 + rng.Intn(4)
+		cfg.MaxMer = cfg.MinMer + cfg.MerStep*rng.Intn(4)
+		cfg.StartMer = cfg.MinMer + cfg.MerStep*rng.Intn(1+(cfg.MaxMer-cfg.MinMer)/cfg.MerStep)
+		cfg.MaxWalkLen = 1 + rng.Intn(120)
+		cfg.MaxIters = 1 + rng.Intn(10)
+		cfg.MinViableScore = 1 + rng.Intn(5)
+		cfg.QualCutoff = 10 + rng.Intn(20)
+
+		// randBase sprinkles ambiguous bytes at a rate set by the fuzzed
+		// ambig parameter: both engines must key and compare them alike.
+		randBase := func() byte {
+			if int(ambig) > 0 && rng.Intn(512) < int(ambig) {
+				return 'N'
+			}
+			return dna.Alphabet[rng.Intn(4)]
+		}
+
+		seq := make([]byte, int(ctgLen))
+		for i := range seq {
+			seq[i] = randBase()
+		}
+		c := &CtgWithReads{ID: 1, Seq: seq}
+
+		makeRead := func() dna.Read {
+			l := int(readLen)
+			if l > 150 { // stay within the engine's MaxReadLen regime
+				l = 150
+			}
+			s := make([]byte, l)
+			q := make([]byte, l)
+			// Half the reads resample the contig tail (so walks go
+			// somewhere), half are pure noise (so lookups miss).
+			if len(seq) > 0 && rng.Intn(2) == 0 {
+				start := rng.Intn(len(seq))
+				for i := range s {
+					if start+i < len(seq) {
+						s[i] = seq[start+i]
+					} else {
+						s[i] = randBase()
+					}
+				}
+			} else {
+				for i := range s {
+					s[i] = randBase()
+				}
+			}
+			for i := range q {
+				q[i] = dna.QualChar(rng.Intn(dna.MaxQual + 1))
+			}
+			return dna.Read{ID: "f", Seq: s, Qual: q}
+		}
+		for i := 0; i < int(nReads); i++ {
+			if rng.Intn(2) == 0 {
+				c.RightReads = append(c.RightReads, makeRead())
+			} else {
+				c.LeftReads = append(c.LeftReads, makeRead())
+			}
+		}
+
+		ws := getWorkspace()
+		defer putWorkspace(ws)
+		var flatWC, refWC WorkCounts
+		flat := extendContigCPU(ws, c, &cfg, &flatWC)
+		ref := extendContigMapRef(c, &cfg, &refWC)
+
+		if !bytes.Equal(flat.RightExt, ref.RightExt) || !bytes.Equal(flat.LeftExt, ref.LeftExt) {
+			t.Fatalf("extensions diverge:\n flat L=%q R=%q\n  ref L=%q R=%q",
+				flat.LeftExt, flat.RightExt, ref.LeftExt, ref.RightExt)
+		}
+		if flat.RightState != ref.RightState || flat.LeftState != ref.LeftState || flat.Iters != ref.Iters {
+			t.Fatalf("states diverge: flat (%s,%s,%d) vs ref (%s,%s,%d)",
+				flat.LeftState, flat.RightState, flat.Iters,
+				ref.LeftState, ref.RightState, ref.Iters)
+		}
+		if flatWC != refWC {
+			t.Fatalf("work counts diverge: flat %+v vs ref %+v", flatWC, refWC)
+		}
+	})
+}

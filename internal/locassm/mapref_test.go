@@ -1,0 +1,134 @@
+package locassm
+
+import (
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/gpuht"
+)
+
+// This file preserves the original map[string]gpuht.Ext host implementation
+// of Algorithms 1 and 2 verbatim as a test-only oracle. The flat-table
+// engine in flat.go must produce bit-identical Results, WorkCounts, and
+// walk states; the differential tests in flat_test.go and the fuzz test
+// enforce that against this reference.
+
+// extendContigMapRef runs both side extensions for one contig with the map
+// reference.
+func extendContigMapRef(c *CtgWithReads, cfg *Config, wc *WorkCounts) Result {
+	r := Result{ID: c.ID}
+
+	if len(c.RightReads) > 0 {
+		ext, state, iters := extendSideMapRef(c.Seq, c.RightReads, cfg, wc)
+		r.RightExt, r.RightState = ext, state
+		r.Iters += iters
+	}
+	if len(c.LeftReads) > 0 {
+		rcSeq := dna.RevComp(c.Seq)
+		rcReads := make([]dna.Read, len(c.LeftReads))
+		for i := range c.LeftReads {
+			rcReads[i] = c.LeftReads[i].RevComp()
+		}
+		ext, state, iters := extendSideMapRef(rcSeq, rcReads, cfg, wc)
+		r.LeftExt, r.LeftState = dna.RevComp(ext), state
+		r.Iters += iters
+	}
+	return r
+}
+
+// extendSideMapRef is the reference rightward extension: the §2.3 loop of
+// build-table / walk / shift-k, growing the contig across iterations.
+func extendSideMapRef(ctg []byte, reads []dna.Read, cfg *Config, wc *WorkCounts) ([]byte, WalkState, int) {
+	tailLen := len(ctg)
+	if tailLen > cfg.MaxMer {
+		tailLen = cfg.MaxMer
+	}
+	buf := append([]byte(nil), ctg[len(ctg)-tailLen:]...)
+
+	mer := cfg.StartMer
+	if mer > tailLen {
+		mer = tailLen
+	}
+	if mer < cfg.MinMer {
+		return nil, WalkDeadEnd, 0
+	}
+
+	state := WalkDeadEnd
+	shift := 0
+	iters := 0
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		iters++
+		table := buildTableMapRef(reads, mer, cfg.QualCutoff, wc)
+		var steps int64
+		state, steps = walkMapRef(&buf, tailLen, table, mer, cfg, wc)
+		wc.WalkSteps += steps
+
+		next, nextShift, done := nextMer(cfg, mer, shift, state)
+		if done {
+			break
+		}
+		if next > len(buf) { // mer cannot exceed the walk buffer
+			break
+		}
+		mer, shift = next, nextShift
+	}
+	return buf[tailLen:], state, iters
+}
+
+// buildTableMapRef is Algorithm 1 with a Go map: key = k-mer string, value =
+// extension object with quality-split counts of the following base.
+func buildTableMapRef(reads []dna.Read, k, qualCutoff int, wc *WorkCounts) map[string]gpuht.Ext {
+	wc.TableBuilds++
+	table := make(map[string]gpuht.Ext)
+	for ri := range reads {
+		seq, qual := reads[ri].Seq, reads[ri].Qual
+		for i := 0; i+k <= len(seq); i++ {
+			wc.KmersInserted++
+			key := string(seq[i : i+k])
+			e := table[key]
+			e.Count++
+			if i+k < len(seq) {
+				c, ok := dna.Code(seq[i+k])
+				if ok {
+					if dna.QualScore(qual[i+k]) >= qualCutoff {
+						e.Hi[c]++
+					} else {
+						e.Lo[c]++
+					}
+				}
+			}
+			table[key] = e
+		}
+	}
+	return table
+}
+
+// walkMapRef is Algorithm 2: slice the mer off the buffer end, look it up,
+// append the decided base, repeat. The visited set implements loop_exists.
+func walkMapRef(buf *[]byte, tailLen int, table map[string]gpuht.Ext, mer int, cfg *Config, wc *WorkCounts) (WalkState, int64) {
+	visited := make(map[string]bool)
+	steps := int64(0)
+	for {
+		if len(*buf)-tailLen >= cfg.MaxWalkLen {
+			return WalkMaxLen, steps
+		}
+		cur := string((*buf)[len(*buf)-mer:])
+		if visited[cur] {
+			return WalkLoop, steps
+		}
+		visited[cur] = true
+
+		wc.Lookups++
+		e, ok := table[cur]
+		if !ok {
+			return WalkDeadEnd, steps
+		}
+		base, st := DecideExt(e, cfg.MinViableScore)
+		switch st {
+		case StepEnd:
+			return WalkDeadEnd, steps
+		case StepFork:
+			return WalkFork, steps
+		}
+		*buf = append(*buf, dna.Alphabet[base])
+		steps++
+	}
+}

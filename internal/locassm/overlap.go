@@ -158,20 +158,22 @@ func cpuChunk(ctgs []*CtgWithReads, cfg *Config, workers int) ([]Result, []WorkC
 		workers = len(ctgs)
 	}
 	var wg sync.WaitGroup
-	next := make(chan int)
-	wg.Add(workers)
-	for wk := 0; wk < workers; wk++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i] = extendContigCPU(ctgs[i], cfg, &counts[i])
-			}
-		}()
-	}
+	next := make(chan int, len(ctgs))
 	for i := range ctgs {
 		next <- i
 	}
 	close(next)
+	wg.Add(workers)
+	for wk := 0; wk < workers; wk++ {
+		go func() {
+			defer wg.Done()
+			ws := getWorkspace()
+			defer putWorkspace(ws)
+			for i := range next {
+				results[i] = extendContigCPU(ws, ctgs[i], cfg, &counts[i])
+			}
+		}()
+	}
 	wg.Wait()
 	return results, counts
 }
