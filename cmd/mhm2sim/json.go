@@ -34,19 +34,33 @@ type jsonGPU struct {
 
 // jsonDist is the per-rank comm/compute breakdown of a -ranks run.
 type jsonDist struct {
-	Ranks         int        `json:"ranks"`
-	VirtualShards int        `json:"virtual_shards"`
-	Rounds        int        `json:"rounds"`
-	WallNS        int64      `json:"wall_ns"`
-	CommTimeNS    int64      `json:"comm_time_ns"`
-	CommBytes     int64      `json:"comm_bytes"`
-	CommMsgs      int64      `json:"comm_msgs"`
-	Efficiency    float64    `json:"efficiency"`
-	PerRank       []jsonRank `json:"per_rank"`
+	Ranks         int           `json:"ranks"`
+	VirtualShards int           `json:"virtual_shards"`
+	Rounds        int           `json:"rounds"`
+	WallNS        int64         `json:"wall_ns"`
+	CommTimeNS    int64         `json:"comm_time_ns"`
+	CommBytes     int64         `json:"comm_bytes"`
+	CommMsgs      int64         `json:"comm_msgs"`
+	Efficiency    float64       `json:"efficiency"`
+	Faults        string        `json:"faults,omitempty"`
+	Recovery      *jsonRecovery `json:"recovery,omitempty"`
+	PerRank       []jsonRank    `json:"per_rank"`
+}
+
+// jsonRecovery reports the fault-recovery counters of a -faults run.
+type jsonRecovery struct {
+	ExchangeRetries int   `json:"exchange_retries"`
+	RetryTimeNS     int64 `json:"retry_time_ns"`
+	Evictions       int   `json:"evictions"`
+	RecoveredBytes  int64 `json:"recovered_bytes"`
+	DeviceFallbacks int   `json:"device_fallbacks"`
+	BatchResplits   int   `json:"batch_resplits"`
+	Stragglers      int   `json:"stragglers"`
 }
 
 type jsonRank struct {
 	Rank      int   `json:"rank"`
+	Alive     bool  `json:"alive"`
 	BusyNS    int64 `json:"busy_ns"`
 	CommNS    int64 `json:"comm_ns"`
 	IdleNS    int64 `json:"idle_ns"`
@@ -90,9 +104,22 @@ func buildJSONReport(res *pipeline.Result, rep *dist.Report) *jsonReport {
 			CommMsgs:      res.Work.CommMsgs,
 			Efficiency:    rep.Efficiency(),
 		}
+		if rep.Recovery.Any() {
+			jd.Faults = rep.Faults
+			jd.Recovery = &jsonRecovery{
+				ExchangeRetries: rep.Recovery.ExchangeRetries,
+				RetryTimeNS:     int64(rep.Recovery.RetryTime),
+				Evictions:       rep.Recovery.Evictions,
+				RecoveredBytes:  rep.Recovery.RecoveredBytes,
+				DeviceFallbacks: rep.Recovery.DeviceFallbacks,
+				BatchResplits:   rep.Recovery.BatchResplits,
+				Stragglers:      rep.Recovery.Stragglers,
+			}
+		}
 		for _, rs := range rep.PerRank {
 			jd.PerRank = append(jd.PerRank, jsonRank{
 				Rank:      rs.Rank,
+				Alive:     rs.Alive,
 				BusyNS:    int64(rs.Busy),
 				CommNS:    int64(rs.Comm),
 				IdleNS:    int64(rs.Idle),

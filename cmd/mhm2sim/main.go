@@ -10,9 +10,17 @@
 //	mhm2sim -preset arcticsynth [-gpu] [-rounds 21,33,55] [-out asm.fasta]
 //	mhm2sim -reads reads.fastq [-gpu]
 //	mhm2sim -ranks 4 -gpu -json run.json
+//	mhm2sim -ranks 8 -faults rank-crash=1,oom=2 -fault-seed 42
+//
+// -faults injects a seeded chaos schedule into the distributed runtime
+// (rank crashes, device faults, kernel aborts, fabric drops/corruption/
+// delays, stragglers); the run recovers and produces bit-identical output,
+// or exits with status 3 and an "unrecoverable-fault:" line if the retry
+// budget is exhausted.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +34,7 @@ import (
 
 	"mhm2sim/internal/dist"
 	"mhm2sim/internal/dna"
+	"mhm2sim/internal/faults"
 	"mhm2sim/internal/histo"
 	"mhm2sim/internal/locassm"
 	"mhm2sim/internal/pipeline"
@@ -42,6 +51,8 @@ type options struct {
 	gpuAln       bool
 	rounds       string
 	ranks        int
+	faultSpec    string
+	faultSeed    int64
 	jsonPath     string
 	out          string
 	workers      int
@@ -67,6 +78,8 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.BoolVar(&opts.gpuAln, "gpualn", false, "run the alignment SW kernel on the device (ADEPT role)")
 	fs.StringVar(&opts.rounds, "rounds", "21,33,55", "comma-separated contigging k values")
 	fs.IntVar(&opts.ranks, "ranks", 1, "simulated ranks; >1 shards local assembly over a modeled comm fabric")
+	fs.StringVar(&opts.faultSpec, "faults", "", "inject a seeded fault schedule, e.g. rank-crash=1,oom=2,drop=1 (requires -ranks > 1)")
+	fs.Int64Var(&opts.faultSeed, "fault-seed", 42, "seed of the injected fault schedule")
 	fs.StringVar(&opts.jsonPath, "json", "", "write a machine-readable run report to this path")
 	fs.StringVar(&opts.out, "out", "", "write contigs+scaffolds FASTA here")
 	fs.IntVar(&opts.workers, "workers", 0, "CPU worker goroutines (0 = GOMAXPROCS)")
@@ -83,7 +96,30 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	if opts.ranks < 1 {
 		return nil, fmt.Errorf("-ranks must be ≥ 1, got %d", opts.ranks)
 	}
+	if opts.faultSpec != "" {
+		if opts.ranks < 2 {
+			return nil, fmt.Errorf("-faults requires -ranks > 1 (faults target the distributed runtime)")
+		}
+		if _, err := faults.ParseSpec(opts.faultSpec); err != nil {
+			return nil, err
+		}
+	}
 	return opts, nil
+}
+
+// exitFault is the exit status of a run killed by an injected fault after
+// the recovery budget was exhausted — distinct from 1 (generic failure) and
+// 2 (usage errors) so chaos harnesses can tell the outcomes apart.
+const exitFault = 3
+
+// runErrorLine classifies a run error into one structured stderr line and a
+// process exit status. Unrecoverable injected faults get their own status
+// and a greppable prefix instead of a stack trace.
+func runErrorLine(err error) (string, int) {
+	if errors.Is(err, dist.ErrUnrecoverable) {
+		return fmt.Sprintf("unrecoverable-fault: %v", err), exitFault
+	}
+	return err.Error(), 1
 }
 
 // parseRounds parses a comma-separated k list ("21,33,55").
@@ -166,12 +202,22 @@ func main() {
 		// mirroring the single-rank CPU path.
 		dcfg.CPUAssembly = !opts.gpu
 		dcfg.CPUWorkers = opts.workers
+		if opts.faultSpec != "" {
+			plan, perr := faults.NewPlan(opts.faultSpec, opts.faultSeed, opts.ranks, len(cfg.Rounds))
+			if perr != nil {
+				log.Fatal(perr)
+			}
+			dcfg.Faults = plan
+			fmt.Printf("injecting faults (seed %d): %s\n", opts.faultSeed, plan)
+		}
 		res, rep, err = dist.Run(pairs, dcfg)
 	} else {
 		res, err = pipeline.Run(pairs, cfg)
 	}
 	if err != nil {
-		log.Fatal(err)
+		line, code := runErrorLine(err)
+		log.Print(line)
+		os.Exit(code)
 	}
 
 	if opts.memProfile != "" {

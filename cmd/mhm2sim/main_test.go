@@ -3,12 +3,16 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"mhm2sim/internal/dist"
+	"mhm2sim/internal/faults"
 	"mhm2sim/internal/pipeline"
 	"mhm2sim/internal/synth"
 )
@@ -66,6 +70,59 @@ func TestParseFlags(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-no-such-flag"}, &stderr); err == nil {
 		t.Error("unknown flag accepted")
+	}
+}
+
+func TestParseFlagsFaults(t *testing.T) {
+	var stderr bytes.Buffer
+	opts, err := parseFlags([]string{"-ranks", "8", "-faults", "rank-crash=1,oom=2", "-fault-seed", "7"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.faultSpec != "rank-crash=1,oom=2" || opts.faultSeed != 7 {
+		t.Errorf("fault flags wrong: %+v", opts)
+	}
+	if opts, err := parseFlags([]string{"-ranks", "4"}, &stderr); err != nil || opts.faultSeed != 42 {
+		t.Errorf("default fault seed: %v, %+v", err, opts)
+	}
+	// Faults target the distributed runtime, so a single-rank run rejects them.
+	if _, err := parseFlags([]string{"-faults", "drop=1"}, &stderr); err == nil {
+		t.Error("-faults without -ranks accepted")
+	}
+	// Malformed specs are rejected at parse time, not mid-run.
+	if _, err := parseFlags([]string{"-ranks", "4", "-faults", "explode=1"}, &stderr); err == nil {
+		t.Error("unknown fault kind accepted")
+	}
+	if _, err := parseFlags([]string{"-ranks", "4", "-faults", "drop"}, &stderr); err == nil {
+		t.Error("spec without count accepted")
+	}
+}
+
+// TestRunErrorLine pins the exhausted-retries exit contract: a distinct
+// nonzero status and one structured, greppable line — not a stack trace.
+func TestRunErrorLine(t *testing.T) {
+	wrapped := fmt.Errorf("dist: exchange 3 (read exchange k=21) still failing after 3 of 5 injected failures: %w",
+		dist.ErrUnrecoverable)
+	line, code := runErrorLine(wrapped)
+	if code != exitFault {
+		t.Errorf("unrecoverable fault exits %d, want %d", code, exitFault)
+	}
+	if !strings.HasPrefix(line, "unrecoverable-fault:") {
+		t.Errorf("line not structured: %q", line)
+	}
+	if !strings.Contains(line, "read exchange k=21") {
+		t.Errorf("line lost the failing stage: %q", line)
+	}
+	if strings.Contains(line, "goroutine") || strings.Contains(line, "\n") {
+		t.Errorf("line looks like a stack trace: %q", line)
+	}
+
+	line, code = runErrorLine(errors.New("disk full"))
+	if code != 1 || line != "disk full" {
+		t.Errorf("generic error classified as (%q, %d)", line, code)
+	}
+	if code == exitFault {
+		t.Error("generic errors must not reuse the fault exit status")
 	}
 }
 
@@ -139,8 +196,50 @@ func TestJSONReportRoundTrip(t *testing.T) {
 	var busy int64
 	for _, r := range jr.Dist.PerRank {
 		busy += r.BusyNS
+		if !r.Alive {
+			t.Errorf("rank %d dead in a fault-free run", r.Rank)
+		}
 	}
 	if busy <= 0 {
 		t.Error("no busy time in per-rank breakdown")
+	}
+	if jr.Dist.Recovery != nil {
+		t.Error("recovery section present in a fault-free run")
+	}
+}
+
+// TestJSONReportRecoverySection: a faulted run surfaces its recovery
+// counters and schedule in the JSON report.
+func TestJSONReportRecoverySection(t *testing.T) {
+	p := synth.ArcticSynthPreset()
+	p.Com.NumGenomes = 2
+	p.Com.MinGenomeLen, p.Com.MaxGenomeLen = 5_000, 7_000
+	p.Com.SharedFrac = 0
+	p.Reads.Depth = 12
+	_, pairs, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := dist.DefaultConfig(2)
+	dcfg.Pipeline = pipeline.DefaultConfig()
+	dcfg.Pipeline.Rounds = []int{21}
+	plan, err := faults.NewPlan("drop=1", 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg.Faults = plan
+	res, rep, err := dist.Run(pairs, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := buildJSONReport(res, rep)
+	if jr.Dist == nil || jr.Dist.Recovery == nil {
+		t.Fatal("recovery section missing from faulted run JSON")
+	}
+	if jr.Dist.Recovery.ExchangeRetries == 0 || jr.Dist.Recovery.RetryTimeNS <= 0 {
+		t.Errorf("retry counters empty: %+v", jr.Dist.Recovery)
+	}
+	if jr.Dist.Faults == "" || jr.Dist.Faults == "no faults" {
+		t.Errorf("fault schedule missing from JSON: %q", jr.Dist.Faults)
 	}
 }

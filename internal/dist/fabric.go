@@ -16,10 +16,18 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
+
+	"mhm2sim/internal/faults"
 )
+
+// ErrUnrecoverable marks a fault the runtime could not recover from: an
+// exchange that kept failing after the retry budget, or a crash schedule
+// that leaves no surviving rank. Callers match it with errors.Is.
+var ErrUnrecoverable = errors.New("dist: unrecoverable fault")
 
 // FabricConfig models the inter-rank network: each aggregated message pays
 // a fixed latency α, and each rank's injection/ejection port moves bytes at
@@ -35,23 +43,63 @@ type FabricConfig struct {
 	// to one peer are shipped in ceil(bytes/AggBufferBytes) messages,
 	// mirroring MHM2's buffered RPCs. 0 = DefaultAggBufferBytes.
 	AggBufferBytes int64
+	// ExchangeTimeout is the modeled time a dropped exchange attempt costs
+	// before the collective declares it failed and retries. 0 =
+	// DefaultExchangeTimeout.
+	ExchangeTimeout time.Duration
+	// MaxRetries bounds retry attempts per exchange; an exchange still
+	// failing after MaxRetries retries surfaces ErrUnrecoverable. 0 =
+	// DefaultMaxRetries.
+	MaxRetries int
+	// RetryBackoff is the base of the bounded exponential backoff between
+	// retry attempts (doubled per attempt, capped at
+	// RetryBackoff << maxBackoffShift). 0 = DefaultRetryBackoff.
+	RetryBackoff time.Duration
 }
 
 // Default fabric parameters, loosely a Summit-class EDR InfiniBand port:
 // ~2 µs end-to-end message latency and 12.5 GB/s (100 Gbit/s) per rank.
 const (
-	DefaultLatencyPerMsg  = 2 * time.Microsecond
-	DefaultBandwidthGBps  = 12.5
-	DefaultAggBufferBytes = 1 << 20
+	DefaultLatencyPerMsg   = 2 * time.Microsecond
+	DefaultBandwidthGBps   = 12.5
+	DefaultAggBufferBytes  = 1 << 20
+	DefaultExchangeTimeout = 10 * time.Millisecond
+	DefaultMaxRetries      = 3
+	DefaultRetryBackoff    = time.Millisecond
+
+	// maxBackoffShift caps the exponential backoff at base << shift.
+	maxBackoffShift = 6
 )
 
 // DefaultFabricConfig returns the Summit-like fabric model.
 func DefaultFabricConfig() FabricConfig {
-	return FabricConfig{
-		LatencyPerMsg:  DefaultLatencyPerMsg,
-		BandwidthGBps:  DefaultBandwidthGBps,
-		AggBufferBytes: DefaultAggBufferBytes,
+	return FabricConfig{}.withDefaults()
+}
+
+// withDefaults fills zero-valued fields one by one, so a partially
+// specified config (say, only BandwidthGBps overridden) inherits defaults
+// for the rest instead of failing validation or being silently replaced
+// wholesale.
+func (c FabricConfig) withDefaults() FabricConfig {
+	if c.LatencyPerMsg == 0 {
+		c.LatencyPerMsg = DefaultLatencyPerMsg
 	}
+	if c.BandwidthGBps == 0 {
+		c.BandwidthGBps = DefaultBandwidthGBps
+	}
+	if c.AggBufferBytes == 0 {
+		c.AggBufferBytes = DefaultAggBufferBytes
+	}
+	if c.ExchangeTimeout == 0 {
+		c.ExchangeTimeout = DefaultExchangeTimeout
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = DefaultMaxRetries
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = DefaultRetryBackoff
+	}
+	return c
 }
 
 // Validate checks fabric parameters.
@@ -64,6 +112,15 @@ func (c *FabricConfig) Validate() error {
 	}
 	if c.AggBufferBytes < 0 {
 		return fmt.Errorf("dist: negative aggregation buffer %d", c.AggBufferBytes)
+	}
+	if c.ExchangeTimeout < 0 {
+		return fmt.Errorf("dist: negative exchange timeout %v", c.ExchangeTimeout)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("dist: negative retry budget %d", c.MaxRetries)
+	}
+	if c.RetryBackoff < 0 {
+		return fmt.Errorf("dist: negative retry backoff %v", c.RetryBackoff)
 	}
 	return nil
 }
@@ -84,6 +141,11 @@ type StageTraffic struct {
 	// all-to-all is a collective barrier.
 	PerRank []time.Duration
 	Time    time.Duration
+	// Retries counts failed attempts of this exchange (injected drops or
+	// corruptions) before the successful one; RetryTime is the modeled time
+	// those attempts and their backoff cost, already folded into Time.
+	Retries   int
+	RetryTime time.Duration
 }
 
 // TotalBytes sums the network bytes of the exchange (each byte counted
@@ -111,12 +173,21 @@ func (st *StageTraffic) TotalMsgs() int64 {
 type Fabric struct {
 	cfg FabricConfig
 	n   int
+	inj *faults.Injector
 
-	mu     sync.Mutex
-	stages []*StageTraffic
+	mu         sync.Mutex
+	stages     []*StageTraffic
+	dead       []bool // evicted ranks no longer participate in collectives
+	evictRound []int  // round each rank was evicted at (-1 while alive)
+	failedObs  []int  // failed exchange attempts each live rank observed
+	retries    int
+	retryTime  time.Duration
 }
 
-// NewFabric creates a fabric connecting n ranks.
+// NewFabric creates a fabric connecting n ranks. Zero-valued operational
+// fields (aggregation buffer, timeout, retry budget, backoff) take their
+// defaults; latency and bandwidth are validated as given, since a zero
+// bandwidth is a configuration error, not a request for the default.
 func NewFabric(n int, cfg FabricConfig) (*Fabric, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("dist: fabric needs ≥ 1 rank, got %d", n)
@@ -124,14 +195,87 @@ func NewFabric(n int, cfg FabricConfig) (*Fabric, error) {
 	if cfg.AggBufferBytes == 0 {
 		cfg.AggBufferBytes = DefaultAggBufferBytes
 	}
+	if cfg.ExchangeTimeout == 0 {
+		cfg.ExchangeTimeout = DefaultExchangeTimeout
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Fabric{cfg: cfg, n: n}, nil
+	f := &Fabric{
+		cfg:        cfg,
+		n:          n,
+		dead:       make([]bool, n),
+		evictRound: make([]int, n),
+		failedObs:  make([]int, n),
+	}
+	for r := range f.evictRound {
+		f.evictRound[r] = -1
+	}
+	return f, nil
 }
 
 // Ranks returns the number of connected ranks.
 func (f *Fabric) Ranks() int { return f.n }
+
+// UseInjector attaches a fault injector; exchanges from then on consult it
+// by ordinal for drops, corruptions, and latency spikes. A nil injector is
+// inert.
+func (f *Fabric) UseInjector(in *faults.Injector) { f.inj = in }
+
+// Evict marks a rank dead as of the given round: it stops observing
+// collective failures and accrues no further exchange time (the runtime
+// routes no traffic through it).
+func (f *Fabric) Evict(rank, round int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if rank >= 0 && rank < f.n && !f.dead[rank] {
+		f.dead[rank] = true
+		f.evictRound[rank] = round
+	}
+}
+
+// RankHealth is the fabric's view of one rank.
+type RankHealth struct {
+	Rank  int
+	Alive bool
+	// EvictedRound is the 0-based round the rank was evicted at (-1 while
+	// alive).
+	EvictedRound int
+	// FailedAttempts counts the failed collective attempts the rank
+	// observed while alive (an all-to-all failure is seen by every live
+	// participant).
+	FailedAttempts int
+}
+
+// Health returns the per-rank health tracker state.
+func (f *Fabric) Health() []RankHealth {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]RankHealth, f.n)
+	for r := range out {
+		out[r] = RankHealth{
+			Rank:           r,
+			Alive:          !f.dead[r],
+			EvictedRound:   f.evictRound[r],
+			FailedAttempts: f.failedObs[r],
+		}
+	}
+	return out
+}
+
+// Retries returns the total failed exchange attempts recovered by retry and
+// the modeled time they cost.
+func (f *Fabric) Retries() (int, time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.retries, f.retryTime
+}
 
 // msgsFor is the number of aggregated messages needed for b bytes.
 func (f *Fabric) msgsFor(b int64) int64 {
@@ -150,6 +294,13 @@ func (f *Fabric) msgsFor(b int64) int64 {
 //	time(r)   = max(inject, eject)    (full-duplex ports)
 //
 // and the exchange completes when the slowest rank does.
+//
+// With an injector attached, the exchange's 0-based ordinal (its position
+// in the stage log) selects injected faults: a latency spike multiplies the
+// attempt time; a drop costs the timeout, a corruption the full transfer
+// (detected at ejection), and each failed attempt adds a bounded
+// exponential backoff before the retry. An exchange still failing after
+// MaxRetries retries returns ErrUnrecoverable.
 func (f *Fabric) Exchange(stage string, matrix [][]int64) (*StageTraffic, error) {
 	if len(matrix) != f.n {
 		return nil, fmt.Errorf("dist: exchange matrix has %d rows for %d ranks", len(matrix), f.n)
@@ -196,6 +347,51 @@ func (f *Fabric) Exchange(stage string, matrix [][]int64) (*StageTraffic, error)
 			st.Time = st.PerRank[r]
 		}
 	}
+
+	f.mu.Lock()
+	ordinal := len(f.stages)
+	f.mu.Unlock()
+	if factor := f.inj.ExchangeDelay(ordinal); factor != 1 {
+		for r := range st.PerRank {
+			st.PerRank[r] = time.Duration(float64(st.PerRank[r]) * factor)
+		}
+		st.Time = time.Duration(float64(st.Time) * factor)
+	}
+	if fails, corrupt := f.inj.ExchangeFailures(ordinal); fails > 0 {
+		if fails > f.cfg.MaxRetries {
+			return nil, fmt.Errorf("dist: exchange %d (%s) still failing after %d of %d injected failures: %w",
+				ordinal, stage, f.cfg.MaxRetries, fails, ErrUnrecoverable)
+		}
+		var penalty time.Duration
+		backoff := f.cfg.RetryBackoff
+		maxBackoff := f.cfg.RetryBackoff << maxBackoffShift
+		for a := 0; a < fails; a++ {
+			// A drop is detected by the collective timeout; a corruption
+			// only at ejection, after paying the full transfer.
+			cost := f.cfg.ExchangeTimeout
+			if corrupt {
+				cost = st.Time
+			}
+			penalty += cost + backoff
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		st.Retries = fails
+		st.RetryTime = penalty
+		st.Time += penalty
+		f.mu.Lock()
+		for r := range st.PerRank {
+			if !f.dead[r] {
+				st.PerRank[r] += penalty
+				f.failedObs[r] += fails
+			}
+		}
+		f.retries += fails
+		f.retryTime += penalty
+		f.mu.Unlock()
+	}
+
 	f.mu.Lock()
 	f.stages = append(f.stages, st)
 	f.mu.Unlock()

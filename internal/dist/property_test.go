@@ -123,7 +123,7 @@ func TestReadExchangeConservesReads(t *testing.T) {
 	}
 
 	for _, n := range []int{1, 2, 3, 8} {
-		matrix := readExchangeMatrix(ctgs, DefaultVirtualShards, n)
+		matrix := readExchangeMatrix(ctgs, newShardDeal(DefaultVirtualShards, liveAll(n)), n)
 		var got int64
 		for src := range matrix {
 			for _, b := range matrix[src] {
@@ -167,7 +167,7 @@ func TestAllgatherMatrixCoversAllRanks(t *testing.T) {
 		ctgBytes += int64(len(c.Seq) + recordOverheadBytes)
 	}
 	for _, n := range []int{1, 2, 3, 8} {
-		matrix := allgatherMatrix(ctgs, DefaultVirtualShards, n)
+		matrix := allgatherMatrix(ctgs, newShardDeal(DefaultVirtualShards, liveAll(n)), n)
 		var total int64
 		for src := range matrix {
 			for dst, b := range matrix[src] {

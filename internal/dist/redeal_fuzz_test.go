@@ -1,0 +1,94 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzShardRedeal drives the survivor re-deal with arbitrary rank counts
+// and death sets: ownership must stay a deterministic, collision-free
+// partition of every virtual shard over the live ranks — no shard dealt to
+// a dead rank, none orphaned, balanced round-robin, and identical to the
+// static deal when nobody died.
+func FuzzShardRedeal(f *testing.F) {
+	f.Add(uint8(8), uint16(0))
+	f.Add(uint8(8), uint16(0b0110))
+	f.Add(uint8(2), uint16(1))
+	f.Add(uint8(16), uint16(0xFFFE))
+	f.Add(uint8(3), uint16(0b101))
+	f.Fuzz(func(t *testing.T, ranks uint8, deadMask uint16) {
+		n := int(ranks%16) + 1
+		var live []int
+		for r := 0; r < n; r++ {
+			if deadMask&(1<<r) == 0 {
+				live = append(live, r)
+			}
+		}
+		if len(live) == 0 {
+			// The runtime guarantees at least one survivor; mirror that.
+			live = []int{n - 1}
+		}
+		liveSet := make(map[int]bool, len(live))
+		for _, r := range live {
+			liveSet[r] = true
+		}
+
+		deal := newShardDeal(DefaultVirtualShards, live)
+		perRank := make(map[int]int)
+		owners := make([]int, DefaultVirtualShards)
+		for s := 0; s < DefaultVirtualShards; s++ {
+			r := deal.rankOf(s)
+			if !liveSet[r] {
+				t.Fatalf("shard %d dealt to dead rank %d (live %v)", s, r, live)
+			}
+			owners[s] = r
+			perRank[r]++
+		}
+
+		// Deterministic: the same live set always yields the same deal.
+		again := newShardDeal(DefaultVirtualShards, live)
+		for s := 0; s < DefaultVirtualShards; s++ {
+			if again.rankOf(s) != owners[s] {
+				t.Fatalf("shard %d ownership flapped: %d vs %d", s, owners[s], again.rankOf(s))
+			}
+		}
+
+		// Collision-free partition of the contig space: a contig's owner is
+		// exactly its shard's owner.
+		for id := int64(0); id < 256; id++ {
+			want := owners[VirtualShard(id, DefaultVirtualShards)]
+			if got := deal.ownerRank(id); got != want {
+				t.Fatalf("contig %d owned by %d, its shard by %d", id, got, want)
+			}
+		}
+
+		// Balanced: round-robin over survivors deals ⌊V/L⌋ or ⌈V/L⌉ shards
+		// per live rank.
+		lo := DefaultVirtualShards / len(live)
+		hi := lo
+		if DefaultVirtualShards%len(live) != 0 {
+			hi++
+		}
+		for _, r := range live {
+			if c := perRank[r]; c < lo || c > hi {
+				t.Fatalf("rank %d holds %d shards, want %d..%d (live %v)", r, c, lo, hi, live)
+			}
+		}
+
+		// With every rank alive the deal reduces to the static s mod n one.
+		if len(live) == n {
+			for s := 0; s < DefaultVirtualShards; s++ {
+				if owners[s] != s%n {
+					t.Fatalf("full live set: shard %d on rank %d, want %d", s, owners[s], s%n)
+				}
+			}
+		}
+
+		// Read homes land on live ranks too.
+		for i := 0; i < 64; i++ {
+			if r := deal.readHome(fmt.Sprintf("read%d/1", i)); !liveSet[r] {
+				t.Fatalf("read homed on dead rank %d", r)
+			}
+		}
+	})
+}

@@ -21,6 +21,41 @@ type RankStats struct {
 	// Kernels counts kernel launches on the rank's device; Contigs the
 	// contigs the rank owned in the final round.
 	Kernels, Contigs int
+	// Alive is false for ranks evicted by an injected crash; EvictedRound
+	// is the 0-based round of the eviction (-1 while alive).
+	Alive        bool
+	EvictedRound int
+	// FailedAttempts counts the failed collective exchange attempts the
+	// rank observed while alive.
+	FailedAttempts int
+}
+
+// RecoveryStats summarizes the fault-recovery work of a run. All counters
+// are zero for a fault-free run.
+type RecoveryStats struct {
+	// ExchangeRetries counts failed exchange attempts recovered by retry;
+	// RetryTime is the modeled time they cost (timeouts, full corrupt
+	// transfers, and backoff).
+	ExchangeRetries int
+	RetryTime       time.Duration
+	// Evictions counts ranks removed by injected crashes; RecoveredBytes
+	// the contig bytes whose ownership moved to a survivor.
+	Evictions      int
+	RecoveredBytes int64
+	// DeviceFallbacks counts ranks that degraded to the host flat-table
+	// engine after losing their device mid-round.
+	DeviceFallbacks int
+	// BatchResplits counts batches the drivers split in half and retried
+	// after a recoverable kernel fault.
+	BatchResplits int
+	// Stragglers counts injected per-rank compute slowdowns applied.
+	Stragglers int
+}
+
+// Any reports whether any recovery machinery fired.
+func (rs *RecoveryStats) Any() bool {
+	return rs.ExchangeRetries != 0 || rs.Evictions != 0 || rs.DeviceFallbacks != 0 ||
+		rs.BatchResplits != 0 || rs.Stragglers != 0
 }
 
 // Report is the strong-scaling breakdown of one distributed run (the
@@ -37,6 +72,10 @@ type Report struct {
 	PerRank  []RankStats
 	// Stages holds every fabric exchange in execution order.
 	Stages []StageTraffic
+	// Faults describes the injected fault schedule ("no faults" without
+	// one); Recovery the recovery work it triggered.
+	Faults   string
+	Recovery RecoveryStats
 }
 
 // report assembles the Report after the pipeline has finished.
@@ -47,23 +86,30 @@ func (rt *runtime) report() *Report {
 		Rounds:        rt.rounds,
 		CommTime:      rt.fabric.TotalTime(),
 		Stages:        rt.fabric.Stages(),
+		Faults:        rt.cfg.Faults.String(),
+		Recovery:      rt.rec,
 	}
+	rep.Recovery.ExchangeRetries, rep.Recovery.RetryTime = rt.fabric.Retries()
 	rep.Wall = rt.compWall + rep.CommTime
 	rep.PerRank = make([]RankStats, rt.cfg.Ranks)
+	health := rt.fabric.Health()
 	for r := range rep.PerRank {
 		comm, sent, recv, msgs := rt.fabric.RankTotals(r)
 		h2d, d2h := rt.devs[r].CumTraffic()
 		rs := RankStats{
-			Rank:      r,
-			Busy:      rt.busy[r],
-			Comm:      comm,
-			BytesSent: sent,
-			BytesRecv: recv,
-			Msgs:      msgs,
-			PCIeH2D:   h2d,
-			PCIeD2H:   d2h,
-			Kernels:   rt.kernels[r],
-			Contigs:   rt.owned[r],
+			Rank:           r,
+			Busy:           rt.busy[r],
+			Comm:           comm,
+			BytesSent:      sent,
+			BytesRecv:      recv,
+			Msgs:           msgs,
+			PCIeH2D:        h2d,
+			PCIeD2H:        d2h,
+			Kernels:        rt.kernels[r],
+			Contigs:        rt.owned[r],
+			Alive:          health[r].Alive,
+			EvictedRound:   health[r].EvictedRound,
+			FailedAttempts: health[r].FailedAttempts,
 		}
 		if idle := rep.Wall - rs.Busy - rs.Comm; idle > 0 {
 			rs.Idle = idle
@@ -95,15 +141,30 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  %-5s %12s %12s %12s %10s %10s %6s %8s %7s\n",
 		"rank", "busy", "comm", "idle", "sent", "recv", "msgs", "kernels", "ctgs")
 	for _, rs := range r.PerRank {
-		fmt.Fprintf(&b, "  %-5d %12v %12v %12v %10s %10s %6d %8d %7d\n",
+		mark := ""
+		if !rs.Alive {
+			mark = fmt.Sprintf("  (evicted round %d)", rs.EvictedRound)
+		}
+		fmt.Fprintf(&b, "  %-5d %12v %12v %12v %10s %10s %6d %8d %7d%s\n",
 			rs.Rank, rs.Busy.Round(time.Microsecond), rs.Comm.Round(time.Microsecond),
 			rs.Idle.Round(time.Microsecond), fmtBytes(rs.BytesSent), fmtBytes(rs.BytesRecv),
-			rs.Msgs, rs.Kernels, rs.Contigs)
+			rs.Msgs, rs.Kernels, rs.Contigs, mark)
 	}
 	fmt.Fprintf(&b, "  fabric stages:\n")
 	for _, st := range r.Stages {
-		fmt.Fprintf(&b, "    %-24s %10s in %4d msgs, %v\n",
-			st.Stage, fmtBytes(st.TotalBytes()), st.TotalMsgs(), st.Time.Round(time.Microsecond))
+		retry := ""
+		if st.Retries > 0 {
+			retry = fmt.Sprintf("  (%d retries, +%v)", st.Retries, st.RetryTime.Round(time.Microsecond))
+		}
+		fmt.Fprintf(&b, "    %-24s %10s in %4d msgs, %v%s\n",
+			st.Stage, fmtBytes(st.TotalBytes()), st.TotalMsgs(), st.Time.Round(time.Microsecond), retry)
+	}
+	if r.Recovery.Any() {
+		rec := r.Recovery
+		fmt.Fprintf(&b, "  fault recovery (%s): %d exchange retries (+%v), %d evictions (%s re-dealt), %d device fallbacks, %d batch re-splits, %d stragglers\n",
+			r.Faults, rec.ExchangeRetries, rec.RetryTime.Round(time.Microsecond),
+			rec.Evictions, fmtBytes(rec.RecoveredBytes), rec.DeviceFallbacks,
+			rec.BatchResplits, rec.Stragglers)
 	}
 	return b.String()
 }

@@ -1,12 +1,16 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
 	goruntime "runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mhm2sim/internal/dna"
+	"mhm2sim/internal/faults"
+	"mhm2sim/internal/gpuht"
 	"mhm2sim/internal/locassm"
 	"mhm2sim/internal/pipeline"
 	"mhm2sim/internal/simt"
@@ -46,6 +50,13 @@ type Config struct {
 	// CPUWorkers bounds each rank's worker goroutines under CPUAssembly
 	// (0 = GOMAXPROCS spread evenly across ranks).
 	CPUWorkers int
+	// Faults is an optional seeded fault schedule (nil = fault-free run).
+	// The runtime consults it at round boundaries (rank crashes), before
+	// launches (device faults, kernel aborts), and inside fabric exchanges
+	// (drops, corruptions, latency spikes); any schedule that does not
+	// exhaust the retry budgets yields bit-identical contigs and scaffolds
+	// to the fault-free run.
+	Faults *faults.Plan
 }
 
 // DefaultConfig returns a distributed configuration over the default
@@ -60,14 +71,15 @@ func DefaultConfig(ranks int) Config {
 	}
 }
 
-// withDefaults fills zero-valued fields.
+// withDefaults fills zero-valued fields. The fabric defaults field by
+// field, so a config that overrides only (say) the bandwidth still inherits
+// the default latency, buffering, and retry budget instead of having the
+// partial struct silently replaced wholesale.
 func (c Config) withDefaults() Config {
 	if c.VirtualShards == 0 {
 		c.VirtualShards = DefaultVirtualShards
 	}
-	if c.Fabric == (FabricConfig{}) {
-		c.Fabric = DefaultFabricConfig()
-	}
+	c.Fabric = c.Fabric.withDefaults()
 	if c.Device.Name == "" {
 		c.Device = simt.V100()
 	}
@@ -86,6 +98,15 @@ func (c *Config) Validate() error {
 	if err := c.Fabric.Validate(); err != nil {
 		return err
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(c.Ranks); err != nil {
+			return err
+		}
+		if c.Faults.Rounds != len(c.Pipeline.Rounds) {
+			return fmt.Errorf("dist: fault plan built for %d rounds, run has %d",
+				c.Faults.Rounds, len(c.Pipeline.Rounds))
+		}
+	}
 	return c.Pipeline.Validate()
 }
 
@@ -97,12 +118,16 @@ type runtime struct {
 	cfg    Config
 	fabric *Fabric
 	devs   []*simt.Device // one per rank
+	inj    *faults.Injector
 
 	// Accumulated across rounds (written only between concurrent phases).
 	busy     []time.Duration // per-rank modeled GPU busy time
 	kernels  []int           // per-rank kernel launches
 	owned    []int           // per-rank owned contigs (last round)
-	compWall time.Duration   // Σ over rounds of the slowest rank's busy time
+	alive    []bool          // ranks not yet evicted by an injected crash
+	deviceOK []bool          // ranks still assembling on their device
+	rec      RecoveryStats
+	compWall time.Duration // Σ over rounds of the slowest rank's busy time
 	rounds   int
 }
 
@@ -112,17 +137,72 @@ func newRuntime(cfg Config) (*runtime, error) {
 		return nil, err
 	}
 	rt := &runtime{
-		cfg:     cfg,
-		fabric:  fabric,
-		devs:    make([]*simt.Device, cfg.Ranks),
-		busy:    make([]time.Duration, cfg.Ranks),
-		kernels: make([]int, cfg.Ranks),
-		owned:   make([]int, cfg.Ranks),
+		cfg:      cfg,
+		fabric:   fabric,
+		devs:     make([]*simt.Device, cfg.Ranks),
+		inj:      faults.NewInjector(cfg.Faults),
+		busy:     make([]time.Duration, cfg.Ranks),
+		kernels:  make([]int, cfg.Ranks),
+		owned:    make([]int, cfg.Ranks),
+		alive:    make([]bool, cfg.Ranks),
+		deviceOK: make([]bool, cfg.Ranks),
 	}
+	fabric.UseInjector(rt.inj)
 	for r := range rt.devs {
 		rt.devs[r] = simt.NewDevice(cfg.Device)
+		rt.alive[r] = true
+		rt.deviceOK[r] = true
 	}
 	return rt, nil
+}
+
+// liveRanks returns the ranks not yet evicted, ascending.
+func (rt *runtime) liveRanks() []int {
+	live := make([]int, 0, len(rt.alive))
+	for r, a := range rt.alive {
+		if a {
+			live = append(live, r)
+		}
+	}
+	return live
+}
+
+// deal returns the current shard→rank mapping over the live ranks.
+func (rt *runtime) deal() *shardDeal {
+	return newShardDeal(rt.cfg.VirtualShards, rt.liveRanks())
+}
+
+// evictCrashed applies the round's scheduled rank crashes: crashed ranks
+// leave the collective and their virtual shards are re-dealt to the
+// survivors. Contig state is replicated by the allgather, so survivors
+// adopt local copies; the bytes whose ownership moves are accounted as
+// recovered.
+func (rt *runtime) evictCrashed(round int, ctgs []*locassm.CtgWithReads) error {
+	crashes := rt.inj.CrashesAt(round)
+	if len(crashes) == 0 {
+		return nil
+	}
+	before := rt.deal()
+	for _, r := range crashes {
+		if !rt.alive[r] {
+			continue
+		}
+		if len(rt.liveRanks()) == 1 {
+			return fmt.Errorf("dist: rank %d crash at round %d leaves no survivor: %w",
+				r, round, ErrUnrecoverable)
+		}
+		rt.alive[r] = false
+		rt.fabric.Evict(r, round)
+		rt.rec.Evictions++
+	}
+	after := rt.deal()
+	for _, c := range ctgs {
+		s := VirtualShard(c.ID, rt.cfg.VirtualShards)
+		if before.rankOf(s) != after.rankOf(s) {
+			rt.rec.RecoveredBytes += int64(len(c.Seq) + recordOverheadBytes)
+		}
+	}
+	return nil
 }
 
 // scatterReads models the initial distribution of the input pairs from the
@@ -144,7 +224,24 @@ func (rt *runtime) scatterReads(pairs []dna.PairedRead) error {
 func (rt *runtime) AssembleRound(k int, ctgs []*locassm.CtgWithReads, res *pipeline.Result) error {
 	n := rt.cfg.Ranks
 	v := rt.cfg.VirtualShards
+	round := rt.rounds // 0-based, for the injector
 	rt.rounds++
+
+	// Round boundary — apply scheduled rank crashes and re-deal the dead
+	// ranks' virtual shards over the survivors, then poison any device
+	// scheduled to fail this round (its rank discovers the loss at first
+	// launch and degrades to the host engine).
+	if err := rt.evictCrashed(round, ctgs); err != nil {
+		return err
+	}
+	deal := rt.deal()
+	live := deal.live
+	nl := len(live)
+	for _, r := range live {
+		if rt.deviceOK[r] && rt.inj.DeviceFault(r, round) {
+			rt.devs[r].InjectFault(nil)
+		}
+	}
 
 	// Phase 1 — all-to-all read exchange: every rank routes the candidate
 	// reads its alignments produced to the rank owning the hit contig
@@ -153,16 +250,16 @@ func (rt *runtime) AssembleRound(k int, ctgs []*locassm.CtgWithReads, res *pipel
 		rt.owned[r] = 0
 	}
 	for _, c := range ctgs {
-		rt.owned[OwnerRank(c.ID, v, n)]++
+		rt.owned[deal.ownerRank(c.ID)]++
 	}
-	if _, err := rt.fabric.Exchange(fmt.Sprintf("read exchange k=%d", k), readExchangeMatrix(ctgs, v, n)); err != nil {
+	if _, err := rt.fabric.Exchange(fmt.Sprintf("read exchange k=%d", k), readExchangeMatrix(ctgs, deal, n)); err != nil {
 		return err
 	}
 
-	// Phase 2 — sharded local assembly: each rank drives its virtual
+	// Phase 2 — sharded local assembly: each live rank drives its virtual
 	// shards concurrently with every other rank, either through its own
-	// device with the pipelined batch driver or — under CPUAssembly —
-	// through the host flat-table engine.
+	// device with the pipelined batch driver or — under CPUAssembly or
+	// after a device fault — through the host flat-table engine.
 	byShard, shardIdx := shardContigs(ctgs, v)
 	gcfg := rt.cfg.Pipeline.GPU
 	gcfg.Config = rt.cfg.Pipeline.Locassm
@@ -177,49 +274,86 @@ func (rt *runtime) AssembleRound(k int, ctgs []*locassm.CtgWithReads, res *pipel
 
 	shardRes := make([]*shardOutcome, v)
 	roundBusy := make([]time.Duration, n)
+	fellBack := make([]bool, n)
+	resplits := make([]int, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
-	wg.Add(n)
-	for r := 0; r < n; r++ {
-		go func(r int) {
+	wg.Add(nl)
+	for i, r := range live {
+		go func(i, r int) {
 			defer wg.Done()
+			// Scheduled kernel aborts: the first aborts launches on this
+			// rank this round fail with a recoverable table fault, which
+			// the batch driver answers by re-splitting the batch.
+			var abortsLeft atomic.Int32
+			abortsLeft.Store(int32(rt.inj.KernelAborts(r, round)))
+			rcfg := gcfg
+			rcfg.FaultHook = func() error {
+				if abortsLeft.Add(-1) >= 0 {
+					return fmt.Errorf("dist: injected kernel abort: %w", gpuht.ErrTableFull)
+				}
+				return nil
+			}
+			useCPU := rt.cfg.CPUAssembly || !rt.deviceOK[r]
 			var drv *locassm.Driver
-			if !rt.cfg.CPUAssembly {
+			if !useCPU {
 				var err error
-				drv, err = locassm.NewDriver(rt.devs[r], gcfg)
+				drv, err = locassm.NewDriver(rt.devs[r], rcfg)
 				if err != nil {
 					errs[r] = err
 					return
 				}
 			}
-			for s := r; s < v; s += n { // virtual shard s lives on rank s mod n
+			for s := i; s < v; s += nl { // virtual shard s lives on live[s mod nl]
 				if len(byShard[s]) == 0 {
 					continue
 				}
-				if rt.cfg.CPUAssembly {
-					cres, err := locassm.RunCPU(byShard[s], rt.cfg.Pipeline.Locassm, cpuWorkers)
-					if err != nil {
+				if !useCPU {
+					gres, err := drv.Run(byShard[s])
+					switch {
+					case err == nil:
+						shardRes[s] = &shardOutcome{results: gres.Results, gpu: gres}
+						roundBusy[r] += gres.TotalTime()
+						resplits[r] += gres.Resplits
+						continue
+					case errors.Is(err, simt.ErrDeviceLost):
+						// Device lost mid-round: degrade this rank to its
+						// host engine and recompute the shard there. The
+						// flat-table engine is bit-identical to the GPU
+						// path, so results are unaffected.
+						useCPU = true
+						rt.deviceOK[r] = false
+						fellBack[r] = true
+					default:
 						errs[r] = fmt.Errorf("rank %d shard %d: %w", r, s, err)
 						return
 					}
-					shardRes[s] = &shardOutcome{results: cres.Results, counts: cres.Counts}
-					roundBusy[r] += cpuTime(cres.Counts)
-					continue
 				}
-				gres, err := drv.Run(byShard[s])
+				cres, err := locassm.RunCPU(byShard[s], rt.cfg.Pipeline.Locassm, cpuWorkers)
 				if err != nil {
 					errs[r] = fmt.Errorf("rank %d shard %d: %w", r, s, err)
 					return
 				}
-				shardRes[s] = &shardOutcome{results: gres.Results, gpu: gres}
-				roundBusy[r] += gres.TotalTime()
+				shardRes[s] = &shardOutcome{results: cres.Results, counts: cres.Counts}
+				roundBusy[r] += cpuTime(cres.Counts)
 			}
-		}(r)
+		}(i, r)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return err
+		}
+	}
+	for _, r := range live {
+		if fellBack[r] {
+			rt.rec.DeviceFallbacks++
+		}
+		rt.rec.BatchResplits += resplits[r]
+		// A straggler computes the same work, slower.
+		if f := rt.inj.StragglerFactor(r, round); f != 1 {
+			rt.rec.Stragglers++
+			roundBusy[r] = time.Duration(float64(roundBusy[r]) * f)
 		}
 	}
 
@@ -239,7 +373,7 @@ func (rt *runtime) AssembleRound(k int, ctgs []*locassm.CtgWithReads, res *pipel
 			continue
 		}
 		if out.gpu != nil {
-			rt.kernels[s%n] += len(out.gpu.Kernels)
+			rt.kernels[deal.rankOf(s)] += len(out.gpu.Kernels)
 			res.Work.GPUKernels = append(res.Work.GPUKernels, out.gpu.Kernels...)
 			res.Work.GPUKernelTime += out.gpu.KernelTime
 			res.Work.GPUTransferTime += out.gpu.TransferTime
@@ -252,9 +386,9 @@ func (rt *runtime) AssembleRound(k int, ctgs []*locassm.CtgWithReads, res *pipel
 	}
 
 	// Phase 3 — contig allgather: owners broadcast their extended contigs
-	// so every rank holds the replicated alignment index for the next
+	// so every live rank holds the replicated alignment index for the next
 	// round (and the final outputs).
-	_, err := rt.fabric.Exchange(fmt.Sprintf("contig allgather k=%d", k), allgatherMatrix(ctgs, v, n))
+	_, err := rt.fabric.Exchange(fmt.Sprintf("contig allgather k=%d", k), allgatherMatrix(ctgs, deal, n))
 	return err
 }
 
@@ -268,31 +402,31 @@ func newMatrix(n int) [][]int64 {
 
 // readExchangeMatrix builds the all-to-all byte matrix of the per-round
 // read routing: every candidate read travels from its home rank to the
-// rank owning the contig it aligned to, once per (contig, side) it is a
-// candidate for — exactly as MHM2 routes one aggregated record per
-// alignment.
-func readExchangeMatrix(ctgs []*locassm.CtgWithReads, shards, ranks int) [][]int64 {
+// live rank owning the contig it aligned to, once per (contig, side) it is
+// a candidate for — exactly as MHM2 routes one aggregated record per
+// alignment. Rows and columns of evicted ranks stay zero.
+func readExchangeMatrix(ctgs []*locassm.CtgWithReads, deal *shardDeal, ranks int) [][]int64 {
 	matrix := newMatrix(ranks)
 	for _, c := range ctgs {
-		owner := OwnerRank(c.ID, shards, ranks)
+		owner := deal.ownerRank(c.ID)
 		for i := range c.LeftReads {
-			matrix[ReadHomeRank(c.LeftReads[i].ID, ranks)][owner] += readMsgBytes(&c.LeftReads[i])
+			matrix[deal.readHome(c.LeftReads[i].ID)][owner] += readMsgBytes(&c.LeftReads[i])
 		}
 		for i := range c.RightReads {
-			matrix[ReadHomeRank(c.RightReads[i].ID, ranks)][owner] += readMsgBytes(&c.RightReads[i])
+			matrix[deal.readHome(c.RightReads[i].ID)][owner] += readMsgBytes(&c.RightReads[i])
 		}
 	}
 	return matrix
 }
 
 // allgatherMatrix builds the byte matrix of the post-round contig
-// broadcast: each owner ships every contig it owns to all other ranks.
-func allgatherMatrix(ctgs []*locassm.CtgWithReads, shards, ranks int) [][]int64 {
+// broadcast: each owner ships every contig it owns to all other live ranks.
+func allgatherMatrix(ctgs []*locassm.CtgWithReads, deal *shardDeal, ranks int) [][]int64 {
 	matrix := newMatrix(ranks)
 	for _, c := range ctgs {
-		owner := OwnerRank(c.ID, shards, ranks)
+		owner := deal.ownerRank(c.ID)
 		bytes := int64(len(c.Seq) + recordOverheadBytes)
-		for d := 0; d < ranks; d++ {
+		for _, d := range deal.live {
 			if d != owner {
 				matrix[owner][d] += bytes
 			}

@@ -47,6 +47,50 @@ func ReadHomeRank(id string, ranks int) int {
 	return int(murmur.Hash64A([]byte(id), readSeed) % uint64(ranks))
 }
 
+// shardDeal maps virtual shards onto the currently-live ranks. With every
+// rank alive it reduces to the static deal (shard s on rank s mod N); after
+// evictions the same shards are re-dealt round-robin over the survivors, so
+// ownership stays a deterministic, collision-free partition keyed only by
+// the live set — which is what keeps contigs bit-identical across fault
+// schedules: the shard (and its canonical batch plan) never changes, only
+// the device that executes it.
+type shardDeal struct {
+	shards int
+	live   []int // ascending rank IDs
+}
+
+// newShardDeal builds a deal of the given shard count over the live ranks
+// (which must be non-empty and sorted ascending).
+func newShardDeal(shards int, live []int) *shardDeal {
+	return &shardDeal{shards: shards, live: live}
+}
+
+// liveAll returns the full live set 0..n-1.
+func liveAll(n int) []int {
+	live := make([]int, n)
+	for i := range live {
+		live[i] = i
+	}
+	return live
+}
+
+// rankOf returns the live rank owning a virtual shard.
+func (d *shardDeal) rankOf(shard int) int {
+	return d.live[shard%len(d.live)]
+}
+
+// ownerRank returns the live rank owning a contig.
+func (d *shardDeal) ownerRank(ctgID int64) int {
+	return d.rankOf(VirtualShard(ctgID, d.shards))
+}
+
+// readHome returns the live rank holding a read: the same hash as
+// ReadHomeRank, indexed into the survivors so a crashed rank's reads have a
+// deterministic new home.
+func (d *shardDeal) readHome(id string) int {
+	return d.live[ReadHomeRank(id, len(d.live))]
+}
+
 // shardContigs partitions the round's contigs into virtual shards,
 // preserving input order inside each shard. The returned index slices map
 // each shard's contigs back to their global positions.

@@ -18,6 +18,7 @@ import (
 
 	"mhm2sim/internal/dbg"
 	"mhm2sim/internal/dna"
+	"mhm2sim/internal/gpuht"
 	"mhm2sim/internal/kmer"
 	"mhm2sim/internal/murmur"
 	"mhm2sim/internal/simt"
@@ -105,7 +106,8 @@ func Count(dev *simt.Device, seqs [][]byte, k int) (map[uint64]*dbg.Info, simt.K
 		return nil, simt.KernelResult{}, err
 	}
 
-	kern := countKernel(seqs, offs, seqBase, tabBase, uint64(slots), k, warps)
+	kernErrs := make([]error, warps)
+	kern := countKernel(seqs, offs, seqBase, tabBase, uint64(slots), k, warps, kernErrs)
 	res, err := dev.Launch(simt.KernelConfig{
 		Name:       fmt.Sprintf("kmer_count_k%d", k),
 		Warps:      warps,
@@ -113,6 +115,12 @@ func Count(dev *simt.Device, seqs [][]byte, k int) (map[uint64]*dbg.Info, simt.K
 	}, kern)
 	if err != nil {
 		return nil, simt.KernelResult{}, err
+	}
+	// Scan in warp order so the reported error is deterministic.
+	for _, kerr := range kernErrs {
+		if kerr != nil {
+			return nil, simt.KernelResult{}, kerr
+		}
 	}
 	res.Stats.Add(&clearRes.Stats)
 	res.Time += clearRes.Time
@@ -159,8 +167,10 @@ func clearTable(w *simt.Warp, base simt.Ptr, slots, totalWarps int) {
 
 // countKernel maps warps to sequences grid-strided; within a sequence,
 // lanes take consecutive k-mers (coalesced gathers, as in the v2
-// local-assembly kernel).
-func countKernel(seqs [][]byte, offs []int, seqBase, tabBase simt.Ptr, slots uint64, k, totalWarps int) func(w *simt.Warp) {
+// local-assembly kernel). Each warp records its first error in errs[w.ID]
+// (a per-warp slot, so the sink is race-free under parallel execution) and
+// stops its own work.
+func countKernel(seqs [][]byte, offs []int, seqBase, tabBase simt.Ptr, slots uint64, k, totalWarps int, errs []error) func(w *simt.Warp) {
 	return func(w *simt.Warp) {
 		for si := w.ID; si < len(seqs); si += totalWarps {
 			seq := seqs[si]
@@ -175,14 +185,18 @@ func countKernel(seqs [][]byte, offs []int, seqBase, tabBase simt.Ptr, slots uin
 					mask |= simt.LaneMask(lane)
 					positions[lane] = start + lane
 				}
-				countBatch(w, mask, seq, offs[si], positions, seqBase, tabBase, slots, k)
+				if err := countBatch(w, mask, seq, offs[si], positions, seqBase, tabBase, slots, k); err != nil {
+					errs[w.ID] = err
+					return
+				}
 			}
 		}
 	}
 }
 
-// countBatch processes one warp-width of k-mers from a single read.
-func countBatch(w *simt.Warp, mask simt.Mask, seq []byte, readOff int, positions [simt.WarpSize]int, seqBase, tabBase simt.Ptr, slots uint64, k int) {
+// countBatch processes one warp-width of k-mers from a single read. It
+// returns gpuht.ErrTableFull if the shared table has no space left.
+func countBatch(w *simt.Warp, mask simt.Mask, seq []byte, readOff int, positions [simt.WarpSize]int, seqBase, tabBase simt.Ptr, slots uint64, k int) error {
 	// Gather the k-mer bytes: ceil((k+1)/8)+1 vector loads cover the k-mer
 	// plus its neighbours for extension evidence.
 	nblk := (k + 7) / 8
@@ -264,7 +278,7 @@ func countBatch(w *simt.Warp, mask simt.Mask, seq []byte, readOff int, positions
 		lefts[lane], rights[lane] = left, right
 	}
 	if valid == 0 {
-		return
+		return nil
 	}
 
 	// Hash and insert into the shared table.
@@ -278,7 +292,7 @@ func countBatch(w *simt.Warp, mask simt.Mask, seq []byte, readOff int, positions
 	pending := valid
 	for guard := 0; pending != 0; guard++ {
 		if guard > int(slots) {
-			panic("gpucount: table full")
+			return fmt.Errorf("gpucount: %w", gpuht.ErrTableFull)
 		}
 		var stateAddrs, entries simt.Vec
 		for lane := 0; lane < simt.WarpSize; lane++ {
@@ -367,6 +381,7 @@ func countBatch(w *simt.Warp, mask simt.Mask, seq []byte, readOff int, positions
 		}
 		w.Exec(simt.ICtrl, mask)
 	}
+	return nil
 }
 
 func comp(c int) int {

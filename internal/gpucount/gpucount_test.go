@@ -1,11 +1,13 @@
 package gpucount
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"mhm2sim/internal/dbg"
 	"mhm2sim/internal/dna"
+	"mhm2sim/internal/gpuht"
 	"mhm2sim/internal/kmer"
 	"mhm2sim/internal/simt"
 )
@@ -126,5 +128,42 @@ func BenchmarkGPUCountK21(b *testing.B) {
 		if _, _, err := Count(testDev(), seqs, 21); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestCountBatchTableFullReturnsError drives countBatch against a 1-slot
+// table with distinct k-mers: the old panic("gpucount: table full") path
+// must now surface gpuht.ErrTableFull through the kernel error sink.
+func TestCountBatchTableFullReturnsError(t *testing.T) {
+	d := testDev()
+	seq := []byte("ACGTGCAT") // plenty of distinct canonical 4-mers
+	k := 4
+	seqBase, err := d.Malloc(int64(len(seq) + 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.MemcpyHtoD(seqBase, seq)
+	slots := 1
+	tabBase, err := d.Malloc(int64(slots) * entryBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var batchErr error
+	_, err = d.Launch(simt.KernelConfig{Name: "tiny", Warps: 1, Sequential: true}, func(w *simt.Warp) {
+		clearTable(w, tabBase, slots, 1)
+		var mask simt.Mask
+		var positions [simt.WarpSize]int
+		for lane := 0; lane+k <= len(seq); lane++ {
+			mask |= simt.LaneMask(lane)
+			positions[lane] = lane
+		}
+		batchErr = countBatch(w, mask, seq, 0, positions, seqBase, tabBase, uint64(slots), k)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(batchErr, gpuht.ErrTableFull) {
+		t.Fatalf("1-slot table returned %v, want gpuht.ErrTableFull", batchErr)
 	}
 }

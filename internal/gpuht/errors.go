@@ -1,0 +1,34 @@
+package gpuht
+
+import (
+	"errors"
+
+	"mhm2sim/internal/simt"
+)
+
+// Sentinel errors returned by the insert/lookup hot paths. These used to be
+// panics; the batch driver recovers from both by re-splitting the offending
+// batch, so they must be typed, matchable errors rather than process aborts.
+var (
+	// ErrTableFull means a probe sequence visited every slot without
+	// finding space or a match: the table was sized too small for the
+	// batch.
+	ErrTableFull = errors.New("gpuht: table full")
+
+	// ErrNoConverge means a warp-lockstep probe loop exceeded its bound
+	// without every lane finishing — some lane's table cannot make
+	// progress.
+	ErrNoConverge = errors.New("gpuht: probe loop did not converge")
+)
+
+// maxLaneCapacity returns the largest active lane's capacity — the probe
+// bound for the per-lane-table loops.
+func maxLaneCapacity(mask simt.Mask, capacity *[simt.WarpSize]uint64) uint64 {
+	maxCap := uint64(0)
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if mask.Has(lane) && capacity[lane] > maxCap {
+			maxCap = capacity[lane]
+		}
+	}
+	return maxCap
+}

@@ -1,0 +1,176 @@
+package gpuht
+
+import (
+	"errors"
+	"testing"
+
+	"mhm2sim/internal/simt"
+)
+
+// These tests pin the recovery contract: the overflow/convergence paths
+// that used to panic now return typed sentinel errors the driver can match
+// with errors.Is and recover from by re-splitting the batch.
+
+// TestInsertBatchTableFullReturnsError overfills a 2-slot table with 3
+// distinct k-mers: the third insert must surface ErrTableFull, not panic.
+func TestInsertBatchTableFullReturnsError(t *testing.T) {
+	d := testDevice()
+	reads := [][]byte{[]byte("ACGTG")} // 3 distinct 3-mers: ACG, CGT, GTG
+	k := 3
+	arena, offs := buildArena(t, d, reads)
+	tab := newTable(t, d, arena, k, 2)
+
+	var insErr error
+	_, err := d.Launch(simt.KernelConfig{Name: "overfill", Warps: 1}, func(w *simt.Warp) {
+		for i := 0; i+k <= len(reads[0]) && insErr == nil; i++ {
+			insErr = tab.InsertLane(w, 0, offs[0]+uint32(i), NoExt, false)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(insErr, ErrTableFull) {
+		t.Fatalf("overfilled table returned %v, want ErrTableFull", insErr)
+	}
+}
+
+// TestVisitedFullReturnsError fills a 2-slot visited table with 3 distinct
+// walk k-mers.
+func TestVisitedFullReturnsError(t *testing.T) {
+	d := testDevice()
+	buf := []byte("ACGTG")
+	base, err := d.Malloc(int64(len(buf) + 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.WriteBytes(base, buf)
+	slots := 2
+	vbase, _ := d.Malloc(VisitedBytes(slots))
+	vis := Visited{Base: vbase, Capacity: uint64(slots), BufBase: base, K: 3}
+
+	var visErr error
+	_, err = d.Launch(simt.KernelConfig{Name: "visfull", Warps: 1}, func(w *simt.Warp) {
+		ClearVisitedWarp(w, vbase, slots)
+		for i := 0; i < 3 && visErr == nil; i++ {
+			_, visErr = vis.InsertLane(w, 0, uint32(i))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(visErr, ErrTableFull) {
+		t.Fatalf("overfilled visited table returned %v, want ErrTableFull", visErr)
+	}
+}
+
+// TestLaneTablesNoConvergeReturnsError gives one lane a 2-slot table and 3
+// distinct k-mers: the lockstep insert loop must give up with ErrNoConverge
+// instead of spinning to the old 1<<22 guard and panicking.
+func TestLaneTablesNoConvergeReturnsError(t *testing.T) {
+	d := testDevice()
+	reads := [][]byte{[]byte("ACGTG")}
+	k := 3
+	arena, offs := buildArena(t, d, reads)
+	tbase, err := d.Malloc(Bytes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var tabs LaneTables
+	tabs.SeqBase = arena
+	tabs.Base[0] = uint64(tbase)
+	tabs.Capacity[0] = 2
+	tabs.K[0] = k
+
+	var insErr error
+	_, err = d.Launch(simt.KernelConfig{Name: "lanefull", Warps: 1}, func(w *simt.Warp) {
+		ClearLaneRegions(w, simt.LaneMask(0), &tabs.Base, &tabs.Capacity)
+		for i := 0; i < 3 && insErr == nil; i++ {
+			var keyOffs simt.Vec
+			keyOffs[0] = uint64(offs[0]) + uint64(i)
+			extBases := simt.Splat(uint64(NoExt))
+			insErr = tabs.InsertLanes(w, simt.LaneMask(0), &keyOffs, &extBases, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(insErr, ErrNoConverge) {
+		t.Fatalf("overfilled lane table returned %v, want ErrNoConverge", insErr)
+	}
+}
+
+// TestLaneVisitedNoConvergeReturnsError mirrors the above for the per-lane
+// visited table.
+func TestLaneVisitedNoConvergeReturnsError(t *testing.T) {
+	d := testDevice()
+	buf := []byte("ACGTG")
+	base, err := d.Malloc(int64(len(buf) + 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.WriteBytes(base, buf)
+	vbase, _ := d.Malloc(VisitedBytes(2))
+
+	var vis LaneVisited
+	vis.Base[0] = uint64(vbase)
+	vis.Capacity[0] = 2
+	vis.BufBase[0] = uint64(base)
+	vis.K[0] = 3
+
+	var visErr error
+	_, err = d.Launch(simt.KernelConfig{Name: "lanevisfull", Warps: 1}, func(w *simt.Warp) {
+		ClearLaneVisited(w, simt.LaneMask(0), &vis.Base, &vis.Capacity)
+		for i := 0; i < 3 && visErr == nil; i++ {
+			var offsV simt.Vec
+			offsV[0] = uint64(i)
+			_, visErr = vis.InsertLanes(w, simt.LaneMask(0), &offsV)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(visErr, ErrNoConverge) {
+		t.Fatalf("overfilled lane visited table returned %v, want ErrNoConverge", visErr)
+	}
+}
+
+// TestLookupLanesBoundedOnGarbageTable runs LookupLanes against a table
+// whose entries all hold colliding garbage keys; the probe loop must
+// terminate with an error instead of spinning.
+func TestLookupLanesBoundedOnGarbageTable(t *testing.T) {
+	d := testDevice()
+	reads := [][]byte{[]byte("ACGTGCAT")}
+	k := 3
+	arena, offs := buildArena(t, d, reads)
+	slots := 4
+	tbase, err := d.Malloc(Bytes(slots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill every slot with a key that is valid (points at arena offset of
+	// a different k-mer) so no probe ever hits Empty or a match.
+	for s := 0; s < slots; s++ {
+		e := tbase + simt.Ptr(s*EntryBytes)
+		d.WriteU32(e+offKeyOff, uint32(offs[0])+4) // "GCA", never looked up
+	}
+
+	var tabs LaneTables
+	tabs.SeqBase = arena
+	tabs.Base[0] = uint64(tbase)
+	tabs.Capacity[0] = uint64(slots)
+	tabs.K[0] = k
+
+	var lkErr error
+	_, err = d.Launch(simt.KernelConfig{Name: "garbage", Warps: 1}, func(w *simt.Warp) {
+		var keyAddrs simt.Vec
+		keyAddrs[0] = uint64(arena) + uint64(offs[0]) // "ACG"
+		_, _, lkErr = tabs.LookupLanes(w, simt.LaneMask(0), &keyAddrs)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(lkErr, ErrNoConverge) {
+		t.Fatalf("lookup on poisoned table returned %v, want ErrNoConverge", lkErr)
+	}
+}

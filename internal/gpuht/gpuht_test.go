@@ -109,7 +109,9 @@ func insertAll(t *testing.T, d *simt.Device, tab Table, reads [][]byte, quals []
 					hiq |= simt.LaneMask(lane)
 				}
 			}
-			tab.InsertBatch(w, mask, &keyOffs, &extBases, hiq)
+			if err := tab.InsertBatch(w, mask, &keyOffs, &extBases, hiq); err != nil {
+				t.Error(err)
+			}
 		}
 	})
 	if err != nil {
@@ -213,7 +215,9 @@ func TestInsertThreadCollision(t *testing.T) {
 	_, err := d.Launch(simt.KernelConfig{Name: "collide", Warps: 1}, func(w *simt.Warp) {
 		keyOffs := simt.Splat(uint64(offs[0]))
 		extBases := simt.Splat(uint64(NoExt))
-		tab.InsertBatch(w, simt.FullMask, &keyOffs, &extBases, 0)
+		if err := tab.InsertBatch(w, simt.FullMask, &keyOffs, &extBases, 0); err != nil {
+			t.Error(err)
+		}
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -296,7 +300,9 @@ func TestInsertLaneMatchesBatch(t *testing.T) {
 				c, _ := dna.Code(read[i+k])
 				ext, hiq = c, true
 			}
-			tabB.InsertLane(w, 0, offs[0]+uint32(i), ext, hiq)
+			if err := tabB.InsertLane(w, 0, offs[0]+uint32(i), ext, hiq); err != nil {
+				t.Error(err)
+			}
 		}
 	})
 	if err != nil {
@@ -374,12 +380,20 @@ func TestVisitedCycleDetection(t *testing.T) {
 		ClearVisited(w, vbase, slots, 1)
 		// First three k-mers are distinct: ACG, CGA, GAC.
 		for i := 0; i < 3; i++ {
-			if vis.InsertLane(w, 0, uint32(i)) {
+			seen, err := vis.InsertLane(w, 0, uint32(i))
+			if err != nil {
+				t.Error(err)
+			}
+			if seen {
 				t.Errorf("offset %d flagged as revisit on first visit", i)
 			}
 		}
 		// Offset 3 is ACG again: cycle.
-		if !vis.InsertLane(w, 0, 3) {
+		seen, err := vis.InsertLane(w, 0, 3)
+		if err != nil {
+			t.Error(err)
+		}
+		if !seen {
 			t.Error("cycle not detected")
 		}
 	})
@@ -440,7 +454,9 @@ func TestV2CoalescesBetterThanV1(t *testing.T) {
 				mask |= simt.LaneMask(lane)
 				keyOffs[lane] = uint64(kentries[start+lane])
 			}
-			tabA.InsertBatch(w, mask, &keyOffs, &extBases, 0)
+			if err := tabA.InsertBatch(w, mask, &keyOffs, &extBases, 0); err != nil {
+				t.Error(err)
+			}
 		}
 	})
 	if err != nil {
@@ -450,7 +466,9 @@ func TestV2CoalescesBetterThanV1(t *testing.T) {
 	tabB := newTable(t, d, arena, k, SlotsPerExtension(len(read), 1))
 	resV1, err := d.Launch(simt.KernelConfig{Name: "v1", Warps: 1}, func(w *simt.Warp) {
 		for _, off := range kentries {
-			tabB.InsertLane(w, 0, off, NoExt, false)
+			if err := tabB.InsertLane(w, 0, off, NoExt, false); err != nil {
+				t.Error(err)
+			}
 		}
 	})
 	if err != nil {

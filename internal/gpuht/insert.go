@@ -18,9 +18,13 @@ import "mhm2sim/internal/simt"
 // extBases the 2-bit code of the base following the k-mer (NoExt when the
 // k-mer is a read suffix); extHiQ the lanes whose extension base is
 // high-quality.
-func (t Table) InsertBatch(w *simt.Warp, mask simt.Mask, keyOffs *simt.Vec, extBases *simt.Vec, extHiQ simt.Mask) {
+//
+// Returns ErrTableFull if probing wraps the whole table without finding
+// space — the driver sized the batch wrong (or a fault was injected) and
+// should re-split it rather than die.
+func (t Table) InsertBatch(w *simt.Warp, mask simt.Mask, keyOffs *simt.Vec, extBases *simt.Vec, extHiQ simt.Mask) error {
 	if mask == 0 {
-		return
+		return nil
 	}
 	addrs := t.absKeys(keyOffs)
 	hashes := HashKmers(w, mask, &addrs, t.K)
@@ -37,7 +41,7 @@ func (t Table) InsertBatch(w *simt.Warp, mask simt.Mask, keyOffs *simt.Vec, extB
 		if probes++; probes > t.Capacity+1 {
 			// The §3.2 sizing guarantees space for every k-mer; probing
 			// past capacity means the driver mis-sized the table.
-			panic("gpuht: table full — driver sized the batch wrong")
+			return ErrTableFull
 		}
 		entries := t.entryAddr(&slots)
 
@@ -110,6 +114,7 @@ func (t Table) InsertBatch(w *simt.Warp, mask simt.Mask, keyOffs *simt.Vec, extB
 		}
 		w.Exec(simt.ICtrl, mask) // loop bookkeeping
 	}
+	return nil
 }
 
 // updateCounts bumps count and the extension counters for matched lanes.
@@ -151,7 +156,7 @@ func (t Table) updateCounts(w *simt.Warp, matched simt.Mask, entries, extBases *
 // InsertLane inserts a single k-mer from one lane (the v1 kernel's
 // one-thread-per-table construction). All other lanes are predicated off,
 // which is exactly the inefficiency Figs 8 and 10 quantify.
-func (t Table) InsertLane(w *simt.Warp, lane int, keyOff uint32, extBase byte, extHiQ bool) {
+func (t Table) InsertLane(w *simt.Warp, lane int, keyOff uint32, extBase byte, extHiQ bool) error {
 	m := simt.LaneMask(lane)
 	var keyOffs, extBases simt.Vec
 	keyOffs[lane] = uint64(keyOff)
@@ -160,7 +165,7 @@ func (t Table) InsertLane(w *simt.Warp, lane int, keyOff uint32, extBase byte, e
 	if extHiQ {
 		hiq = m
 	}
-	t.InsertBatch(w, m, &keyOffs, &extBases, hiq)
+	return t.InsertBatch(w, m, &keyOffs, &extBases, hiq)
 }
 
 // absKeys converts arena offsets to absolute device addresses.

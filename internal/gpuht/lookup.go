@@ -79,8 +79,9 @@ func VisitedBytes(slots int) int64 { return int64(slots) * 4 }
 
 // InsertLane records the k-mer starting at walk-buffer offset off, driven
 // by a single lane. It returns true if that k-mer was already present —
-// i.e. the walk has entered a cycle.
-func (v Visited) InsertLane(w *simt.Warp, lane int, off uint32) bool {
+// i.e. the walk has entered a cycle — and ErrTableFull if the walk ran
+// longer than the table was sized for.
+func (v Visited) InsertLane(w *simt.Warp, lane int, off uint32) (bool, error) {
 	m := simt.LaneMask(lane)
 	var addrs simt.Vec
 	addrs[lane] = uint64(v.BufBase) + uint64(off)
@@ -89,7 +90,7 @@ func (v Visited) InsertLane(w *simt.Warp, lane int, off uint32) bool {
 	slot := hashes[lane]
 	for probes := uint64(0); ; probes++ {
 		if probes > v.Capacity {
-			panic("gpuht: visited table full — walk longer than planned")
+			return false, ErrTableFull
 		}
 		var slotAddr simt.Vec
 		slotAddr[lane] = uint64(v.Base) + (slot%v.Capacity)*4
@@ -100,12 +101,12 @@ func (v Visited) InsertLane(w *simt.Warp, lane int, off uint32) bool {
 		observed := w.AtomicCAS(m, &slotAddr, &cmp, &val, 4)
 		w.Exec(simt.IInt, m)
 		if observed[lane] == Empty {
-			return false // claimed: first visit
+			return false, nil // claimed: first visit
 		}
 		var storedAddrs simt.Vec
 		storedAddrs[lane] = uint64(v.BufBase) + observed[lane]
 		if eq := keysEqual(w, m, &storedAddrs, &addrs, v.K); eq.Has(lane) {
-			return true // same k-mer seen before: cycle
+			return true, nil // same k-mer seen before: cycle
 		}
 		slot++
 		w.Exec(simt.ICtrl, m)

@@ -119,9 +119,11 @@ func keysEqualVar(w *simt.Warp, mask simt.Mask, addrA, addrB *simt.Vec, ks *[sim
 // InsertLanes inserts one k-mer per active lane into that lane's own
 // table. Thread collisions cannot occur across tables, so no match_any is
 // needed; hash collisions probe linearly within each lane's table.
-func (t LaneTables) InsertLanes(w *simt.Warp, mask simt.Mask, keyOffs, extBases *simt.Vec, extHiQ simt.Mask) {
+// Returns ErrNoConverge if the lockstep probe loop wraps the widest lane's
+// table without every lane finishing — some lane's table is full.
+func (t LaneTables) InsertLanes(w *simt.Warp, mask simt.Mask, keyOffs, extBases *simt.Vec, extHiQ simt.Mask) error {
 	if mask == 0 {
-		return
+		return nil
 	}
 	var addrs simt.Vec
 	for lane := 0; lane < simt.WarpSize; lane++ {
@@ -132,9 +134,10 @@ func (t LaneTables) InsertLanes(w *simt.Warp, mask simt.Mask, keyOffs, extBases 
 	slots := hashes
 	pending := mask
 	guard := uint64(0)
+	bound := maxLaneCapacity(mask, &t.Capacity) + 1
 	for pending != 0 {
-		if guard++; guard > 1<<22 {
-			panic("gpuht: lane-table insert did not converge")
+		if guard++; guard > bound {
+			return ErrNoConverge
 		}
 		var entries simt.Vec
 		for lane := 0; lane < simt.WarpSize; lane++ {
@@ -198,6 +201,7 @@ func (t LaneTables) InsertLanes(w *simt.Warp, mask simt.Mask, keyOffs, extBases 
 		}
 		w.Exec(simt.ICtrl, mask)
 	}
+	return nil
 }
 
 // updateCounts mirrors Table.updateCounts for per-lane entries.
@@ -234,20 +238,23 @@ func (t LaneTables) updateCounts(w *simt.Warp, matched simt.Mask, entries, extBa
 
 // LookupLanes probes each active lane's own table for the k-mer at that
 // lane's key address, returning per-lane extensions and the found mask.
-func (t LaneTables) LookupLanes(w *simt.Warp, mask simt.Mask, keyAddrs *simt.Vec) ([simt.WarpSize]Ext, simt.Mask) {
+// Returns ErrNoConverge if the probe loop wraps the widest lane's table
+// without resolving every lane.
+func (t LaneTables) LookupLanes(w *simt.Warp, mask simt.Mask, keyAddrs *simt.Vec) ([simt.WarpSize]Ext, simt.Mask, error) {
 	var exts [simt.WarpSize]Ext
 	var found simt.Mask
 	if mask == 0 {
-		return exts, 0
+		return exts, 0, nil
 	}
 	hashes := HashKmersVar(w, mask, keyAddrs, &t.K)
 
 	slots := hashes
 	pending := mask
 	guard := uint64(0)
+	bound := maxLaneCapacity(mask, &t.Capacity) + 1
 	for pending != 0 {
-		if guard++; guard > 1<<22 {
-			panic("gpuht: lane-table lookup did not converge")
+		if guard++; guard > bound {
+			return exts, found, ErrNoConverge
 		}
 		var entries, keyFieldAddrs simt.Vec
 		for lane := 0; lane < simt.WarpSize; lane++ {
@@ -322,7 +329,7 @@ func (t LaneTables) LookupLanes(w *simt.Warp, mask simt.Mask, keyAddrs *simt.Vec
 		}
 		w.Exec(simt.ICtrl, mask)
 	}
-	return exts, found
+	return exts, found, nil
 }
 
 // LaneVisited is the per-lane visited table (cycle detection) for v1.
@@ -335,11 +342,12 @@ type LaneVisited struct {
 
 // InsertLanes records each active lane's current walk k-mer in that lane's
 // visited table, returning the mask of lanes that had already seen theirs
-// (cycles).
-func (v LaneVisited) InsertLanes(w *simt.Warp, mask simt.Mask, offs *simt.Vec) simt.Mask {
+// (cycles). Returns ErrNoConverge if some lane's visited table fills up —
+// its walk ran longer than the table was sized for.
+func (v LaneVisited) InsertLanes(w *simt.Warp, mask simt.Mask, offs *simt.Vec) (simt.Mask, error) {
 	var seen simt.Mask
 	if mask == 0 {
-		return 0
+		return 0, nil
 	}
 	var addrs simt.Vec
 	for lane := 0; lane < simt.WarpSize; lane++ {
@@ -350,9 +358,10 @@ func (v LaneVisited) InsertLanes(w *simt.Warp, mask simt.Mask, offs *simt.Vec) s
 	slots := hashes
 	pending := mask
 	guard := uint64(0)
+	bound := maxLaneCapacity(mask, &v.Capacity) + 1
 	for pending != 0 {
-		if guard++; guard > 1<<22 {
-			panic("gpuht: lane visited insert did not converge")
+		if guard++; guard > bound {
+			return seen, ErrNoConverge
 		}
 		var slotAddrs simt.Vec
 		for lane := 0; lane < simt.WarpSize; lane++ {
@@ -395,7 +404,7 @@ func (v LaneVisited) InsertLanes(w *simt.Warp, mask simt.Mask, offs *simt.Vec) s
 		}
 		w.Exec(simt.ICtrl, mask)
 	}
-	return seen
+	return seen, nil
 }
 
 // ClearLaneRegions memsets each lane's own hash table to 0xFF (key fields

@@ -1,10 +1,12 @@
 package locassm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"mhm2sim/internal/gpuht"
 	"mhm2sim/internal/simt"
 )
 
@@ -50,6 +52,11 @@ type GPUConfig struct {
 	SmallLimit int
 	// Mode selects pipelined (default) or sequential batch processing.
 	Mode DriverMode
+	// FaultHook, when set, runs before every batch launch; a non-nil
+	// return is treated as that launch's failure. The fault-injection
+	// plane uses it to abort specific kernel launches and exercise the
+	// re-split path.
+	FaultHook func() error
 }
 
 // GPUResult is the outcome of a GPU local-assembly run.
@@ -65,6 +72,9 @@ type GPUResult struct {
 	TransferTime time.Duration
 	// Batches is the number of batches staged per side.
 	Batches int
+	// Resplits counts batches that failed with a table fault and were
+	// split in half and retried.
+	Resplits int
 }
 
 // TotalTime is the modeled GPU wall-clock: kernels plus PCIe transfers
@@ -185,6 +195,7 @@ func (d *Driver) Run(ctgs []*CtgWithReads) (*GPUResult, error) {
 		res.KernelTime += so.kernelTime
 		res.TransferTime += so.transferTime
 		res.Batches += so.batches
+		res.Resplits += so.resplits
 		for i := range so.touched {
 			if !so.touched[i] {
 				continue
@@ -201,6 +212,71 @@ func (d *Driver) Run(ctgs []*CtgWithReads) (*GPUResult, error) {
 	return res, nil
 }
 
+// maxResplitDepth bounds how many times a faulting batch is halved before
+// the driver surrenders: 4 halvings shrink any batch to 1/16th, and a
+// single-item batch that still faults cannot be split further anyway.
+const maxResplitDepth = 4
+
+// recoverableFault reports whether the error is a table fault the driver
+// can recover from by re-splitting the batch: smaller batches mean smaller
+// per-item footprints sharing the slab, and a fresh launch re-clears every
+// table.
+func recoverableFault(err error) bool {
+	return errors.Is(err, gpuht.ErrTableFull) || errors.Is(err, gpuht.ErrNoConverge)
+}
+
+// splitBatch rebuilds two half-size batches from a faulting batch's items.
+// The item plans are re-planned from their original sideItems rather than
+// re-laid-out: layoutBatch rebased each plan's readOffs in place, so
+// reusing the old plans would rebase them twice.
+func splitBatch(b *batchPlan, cfg *Config) [2]*batchPlan {
+	mid := (len(b.items) + 1) / 2
+	spans := [2][]*itemPlan{b.items[:mid], b.items[mid:]}
+	var halves [2]*batchPlan
+	for h, span := range spans {
+		nb := &batchPlan{}
+		for _, p := range span {
+			nb.items = append(nb.items, planItem(p.item, cfg))
+		}
+		layoutBatch(nb)
+		halves[h] = nb
+	}
+	return halves
+}
+
+// launchRecover launches one batch, recovering from table faults by
+// splitting the batch in half and retrying each half (recursively, up to
+// maxResplitDepth) before surrendering. Each half re-plans from scratch, so
+// its footprint is a subset of the original and always fits the slab.
+// Successfully launched (sub-)batches are handed to emit in item order; the
+// returned count is how many splits happened.
+func (d *Driver) launchRecover(stream *simt.Stream, slab simt.Region, left bool, batch *batchPlan, arena *hostArena, depth int, emit func(launchedBatch)) (int, error) {
+	lb, err := d.launchBatch(stream, slab, left, batch, arena)
+	if err == nil {
+		emit(lb)
+		return 0, nil
+	}
+	arenaPool.Put(arena)
+	if !recoverableFault(err) {
+		return 0, err
+	}
+	if len(batch.items) < 2 || depth >= maxResplitDepth {
+		return 0, fmt.Errorf("locassm: batch of %d items still faulting after %d re-splits: %w",
+			len(batch.items), depth, err)
+	}
+	resplits := 1
+	for _, half := range splitBatch(batch, &d.Cfg.Config) {
+		ha := arenaPool.Get().(*hostArena)
+		ha.stage(half)
+		n, err := d.launchRecover(stream, slab, left, half, ha, depth+1, emit)
+		resplits += n
+		if err != nil {
+			return resplits, err
+		}
+	}
+	return resplits, nil
+}
+
 // runSideSequential is the reference path: each batch is staged, launched,
 // and unpacked before the next one starts.
 func (d *Driver) runSideSequential(batches []*batchPlan, left bool, slab simt.Region, so *sideOut) error {
@@ -208,12 +284,12 @@ func (d *Driver) runSideSequential(batches []*batchPlan, left bool, slab simt.Re
 	for _, b := range batches {
 		arena := arenaPool.Get().(*hostArena)
 		arena.stage(b)
-		lb, err := d.launchBatch(stream, slab, left, b, arena)
+		n, err := d.launchRecover(stream, slab, left, b, arena, 0,
+			func(lb launchedBatch) { unpackBatch(lb, left, so) })
+		so.resplits += n
 		if err != nil {
-			arenaPool.Put(arena)
 			return err
 		}
-		unpackBatch(lb, left, so)
 	}
 	so.batches = len(batches)
 	return nil
@@ -237,20 +313,22 @@ func (d *Driver) runSidePipelined(batches []*batchPlan, left bool, slab simt.Reg
 	}()
 
 	launched := make(chan launchedBatch, pipelineDepth)
-	var launchErr error // owned by the launch goroutine until `launched` closes
+	// launchErr and resplits are owned by the launch goroutine until
+	// `launched` closes; the close is the synchronization point.
+	var launchErr error
+	var resplits int
 	go func() {
 		for sb := range staged {
 			if launchErr != nil {
 				arenaPool.Put(sb.arena)
 				continue
 			}
-			lb, err := d.launchBatch(stream, slab, left, sb.plan, sb.arena)
+			n, err := d.launchRecover(stream, slab, left, sb.plan, sb.arena, 0,
+				func(lb launchedBatch) { launched <- lb })
+			resplits += n
 			if err != nil {
 				launchErr = err
-				arenaPool.Put(sb.arena)
-				continue
 			}
-			launched <- lb
 		}
 		close(launched)
 	}()
@@ -259,5 +337,6 @@ func (d *Driver) runSidePipelined(batches []*batchPlan, left bool, slab simt.Reg
 		unpackBatch(lb, left, so)
 	}
 	so.batches = len(batches)
+	so.resplits = resplits
 	return launchErr
 }

@@ -204,7 +204,7 @@ type cpuWorkspace struct {
 
 var cpuWsPool = sync.Pool{New: func() any { return new(cpuWorkspace) }}
 
-func getWorkspace() *cpuWorkspace  { return cpuWsPool.Get().(*cpuWorkspace) }
+func getWorkspace() *cpuWorkspace   { return cpuWsPool.Get().(*cpuWorkspace) }
 func putWorkspace(ws *cpuWorkspace) { cpuWsPool.Put(ws) }
 
 // grow returns b with len n and capacity ≥ n, reusing b's storage when it

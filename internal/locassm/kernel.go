@@ -35,7 +35,11 @@ func localBytesPerLane(cfg *Config) int {
 // the full §2.3 loop — clear tables, build the k-mer table from the
 // candidate reads warp-cooperatively (Algorithm 1), mer-walk on lane 0
 // (Algorithm 2), broadcast the walk state to the warp, shift k, repeat.
-func extensionKernelV2(plan *batchPlan, dev batchDev, cfg *Config) func(w *simt.Warp) {
+//
+// A table-full or non-convergence fault aborts the warp's item and lands
+// in errs[w.ID] — a per-warp slot, so the sink is race-free — for the
+// driver to pick up after the launch and re-split the batch.
+func extensionKernelV2(plan *batchPlan, dev batchDev, cfg *Config, errs []error) func(w *simt.Warp) {
 	return func(w *simt.Warp) {
 		p := plan.items[w.ID]
 		tailLen := len(p.item.tail)
@@ -79,10 +83,18 @@ func extensionKernelV2(plan *batchPlan, dev batchDev, cfg *Config) func(w *simt.
 			gpuht.ClearEntriesWarp(w, table.Base, p.tableSlots)
 			gpuht.ClearVisitedWarp(w, vis.Base, p.visitedSlots)
 
-			buildTableV2(w, table, p, dev, cfg)
+			if err := buildTableV2(w, table, p, dev, cfg); err != nil {
+				errs[w.ID] = err
+				return
+			}
 			w.SyncWarp(simt.FullMask)
 
-			state = walkLane0(w, table, vis, walkBase, tailLen, &extLen, mer, cfg)
+			var werr error
+			state, werr = walkLane0(w, table, vis, walkBase, tailLen, &extLen, mer, cfg)
+			if werr != nil {
+				errs[w.ID] = werr
+				return
+			}
 
 			// Lane 0 broadcasts the walk state so the warp agrees on
 			// whether to rebuild at a shifted k (§3.4).
@@ -116,7 +128,7 @@ func extensionKernelV2(plan *batchPlan, dev batchDev, cfg *Config) func(w *simt.
 // map to contiguous k-mers of each candidate read (Fig 7) so the key
 // gathers coalesce, and all 32 threads participate in table construction
 // (Fig 5).
-func buildTableV2(w *simt.Warp, table gpuht.Table, p *itemPlan, dev batchDev, cfg *Config) {
+func buildTableV2(w *simt.Warp, table gpuht.Table, p *itemPlan, dev batchDev, cfg *Config) error {
 	k := table.K
 	for ri := range p.item.reads {
 		rlen := len(p.item.reads[ri].Seq)
@@ -133,10 +145,13 @@ func buildTableV2(w *simt.Warp, table gpuht.Table, p *itemPlan, dev batchDev, cf
 				keyOffs[lane] = readOff + uint64(start+lane)
 			}
 			extBases, hiq := loadExtEvidence(w, mask, &keyOffs, k, rlen, readOff, dev, cfg)
-			table.InsertBatch(w, mask, &keyOffs, &extBases, hiq)
+			if err := table.InsertBatch(w, mask, &keyOffs, &extBases, hiq); err != nil {
+				return err
+			}
 			w.Exec(simt.ICtrl, simt.FullMask)
 		}
 	}
+	return nil
 }
 
 // loadExtEvidence loads, for each active lane's k-mer, the following base
@@ -186,16 +201,20 @@ func loadExtEvidence(w *simt.Warp, mask simt.Mask, keyOffs *simt.Vec, k, rlen in
 // walkLane0 is Algorithm 2 on the device: lane 0 walks while the rest of
 // the warp is predicated off (Fig 5), appending accepted bases to the walk
 // buffer in global memory. It mirrors walkCPU step for step.
-func walkLane0(w *simt.Warp, table gpuht.Table, vis gpuht.Visited, walkBase simt.Ptr, tailLen int, extLen *int, mer int, cfg *Config) WalkState {
+func walkLane0(w *simt.Warp, table gpuht.Table, vis gpuht.Visited, walkBase simt.Ptr, tailLen int, extLen *int, mer int, cfg *Config) (WalkState, error) {
 	lane0 := simt.LaneMask(0)
 	for {
 		w.Exec(simt.ICtrl, lane0)
 		if *extLen >= cfg.MaxWalkLen {
-			return WalkMaxLen
+			return WalkMaxLen, nil
 		}
 		curOff := uint32(tailLen + *extLen - mer)
-		if vis.InsertLane(w, 0, curOff) {
-			return WalkLoop
+		seen, err := vis.InsertLane(w, 0, curOff)
+		if err != nil {
+			return WalkDeadEnd, err
+		}
+		if seen {
+			return WalkLoop, nil
 		}
 		// The walk keeps its growing sequence in a per-thread buffer; the
 		// current mer is read from there each step (local-memory traffic,
@@ -207,14 +226,14 @@ func walkLane0(w *simt.Warp, table gpuht.Table, vis gpuht.Visited, walkBase simt
 		e, ok := table.LookupLane(w, 0, uint64(walkBase)+uint64(curOff))
 		w.ExecN(simt.IInt, lane0, 8) // extension decision arithmetic
 		if !ok {
-			return WalkDeadEnd
+			return WalkDeadEnd, nil
 		}
 		base, st := DecideExt(e, cfg.MinViableScore)
 		switch st {
 		case StepEnd:
-			return WalkDeadEnd
+			return WalkDeadEnd, nil
 		case StepFork:
-			return WalkFork
+			return WalkFork, nil
 		}
 		var a, v simt.Vec
 		a[0] = uint64(walkBase) + uint64(tailLen+*extLen)

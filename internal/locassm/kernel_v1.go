@@ -24,7 +24,10 @@ type laneState struct {
 // Compared to v2 this issues far more global-memory warp instructions and
 // more transactions per instruction (nothing coalesces), and lanes whose
 // extensions finish early sit predicated off — the Fig 8 / Fig 10 story.
-func extensionKernelV1(plan *batchPlan, dev batchDev, cfg *Config) func(w *simt.Warp) {
+//
+// Table faults land in errs[w.ID] (per-warp slot, race-free) and abort the
+// warp's remaining items, mirroring extensionKernelV2.
+func extensionKernelV1(plan *batchPlan, dev batchDev, cfg *Config, errs []error) func(w *simt.Warp) {
 	return func(w *simt.Warp) {
 		first := w.ID * simt.WarpSize
 
@@ -77,9 +80,15 @@ func extensionKernelV1(plan *batchPlan, dev batchDev, cfg *Config) func(w *simt.
 			gpuht.ClearLaneRegions(w, iterMask, &tBases, &tCaps)
 			gpuht.ClearLaneVisited(w, iterMask, &vBases, &vCaps)
 
-			buildTablesV1(w, iterMask, &ls, tables, dev, cfg)
+			if err := buildTablesV1(w, iterMask, &ls, tables, dev, cfg); err != nil {
+				errs[w.ID] = err
+				return
+			}
 			w.SyncWarp(simt.FullMask)
-			walkLanesV1(w, iterMask, &ls, tables, vis, dev, cfg)
+			if err := walkLanesV1(w, iterMask, &ls, tables, vis, dev, cfg); err != nil {
+				errs[w.ID] = err
+				return
+			}
 
 			// Per-lane ladder advance; finished lanes write their outputs.
 			var finished simt.Mask
@@ -109,7 +118,7 @@ func extensionKernelV1(plan *batchPlan, dev batchDev, cfg *Config) func(w *simt.
 // k-mer cursor, each lane inserting the next k-mer of its own read set
 // into its own table. Lanes that exhaust their k-mers sit predicated off
 // until the slowest lane finishes.
-func buildTablesV1(w *simt.Warp, mask simt.Mask, ls *[simt.WarpSize]*laneState, tables gpuht.LaneTables, dev batchDev, cfg *Config) {
+func buildTablesV1(w *simt.Warp, mask simt.Mask, ls *[simt.WarpSize]*laneState, tables gpuht.LaneTables, dev batchDev, cfg *Config) error {
 	type cursor struct{ ri, ki int }
 	var cur [simt.WarpSize]cursor
 
@@ -174,16 +183,19 @@ func buildTablesV1(w *simt.Warp, mask simt.Mask, ls *[simt.WarpSize]*laneState, 
 				}
 			}
 		}
-		tables.InsertLanes(w, stepMask, &keyOffs, &extBases, hiq)
+		if err := tables.InsertLanes(w, stepMask, &keyOffs, &extBases, hiq); err != nil {
+			return err
+		}
 		w.Exec(simt.ICtrl, mask)
 	}
+	return nil
 }
 
 // walkLanesV1 is Algorithm 2 with one thread per extension, all 32 lanes
 // walking their own contigs in lockstep. Walk lengths differ wildly across
 // lanes ("up to 300 steps for some threads while another terminates right
 // at the start", §4.2), so predication mounts as lanes drop out.
-func walkLanesV1(w *simt.Warp, mask simt.Mask, ls *[simt.WarpSize]*laneState, tables gpuht.LaneTables, vis gpuht.LaneVisited, dev batchDev, cfg *Config) {
+func walkLanesV1(w *simt.Warp, mask simt.Mask, ls *[simt.WarpSize]*laneState, tables gpuht.LaneTables, vis gpuht.LaneVisited, dev batchDev, cfg *Config) error {
 	walking := mask
 	for walking != 0 {
 		w.Exec(simt.ICtrl, walking)
@@ -207,7 +219,10 @@ func walkLanesV1(w *simt.Warp, mask simt.Mask, ls *[simt.WarpSize]*laneState, ta
 				offs[lane] = uint64(st.tailLen + st.extLen - st.mer)
 			}
 		}
-		seen := vis.InsertLanes(w, walking, &offs)
+		seen, err := vis.InsertLanes(w, walking, &offs)
+		if err != nil {
+			return err
+		}
 		for lane := 0; lane < simt.WarpSize; lane++ {
 			if seen.Has(lane) {
 				ls[lane].state = WalkLoop
@@ -248,7 +263,10 @@ func walkLanesV1(w *simt.Warp, mask simt.Mask, ls *[simt.WarpSize]*laneState, ta
 				keyAddrs[lane] = vis.BufBase[lane] + offs[lane]
 			}
 		}
-		exts, found := tables.LookupLanes(w, walking, &keyAddrs)
+		exts, found, err := tables.LookupLanes(w, walking, &keyAddrs)
+		if err != nil {
+			return err
+		}
 		for lane := 0; lane < simt.WarpSize; lane++ {
 			if walking.Has(lane) && !found.Has(lane) {
 				ls[lane].state = WalkDeadEnd
@@ -299,6 +317,7 @@ func walkLanesV1(w *simt.Warp, mask simt.Mask, ls *[simt.WarpSize]*laneState, ta
 			}
 		}
 	}
+	return nil
 }
 
 // writeOutLanes stores (extLen, state, iters) records for the given lanes.

@@ -1,0 +1,87 @@
+package locassm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mhm2sim/internal/gpuht"
+	"mhm2sim/internal/simt"
+)
+
+// failFirstLaunches returns a FaultHook failing the first n launches with a
+// recoverable table fault.
+func failFirstLaunches(n int32) func() error {
+	var left atomic.Int32
+	left.Store(n)
+	return func() error {
+		if left.Add(-1) >= 0 {
+			return fmt.Errorf("injected: %w", gpuht.ErrTableFull)
+		}
+		return nil
+	}
+}
+
+// TestResplitRecoversAndMatches: a batch whose launch faults is split in
+// half and retried; the final results must be bit-identical to a fault-free
+// run, with the resplit counter visible in the result.
+func TestResplitRecoversAndMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ctgs := randomWorkload(rng, 12)
+	cpu, err := RunCPU(ctgs, testConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []DriverMode{ModeSequential, ModePipelined} {
+		for _, wpt := range []bool{true, false} {
+			label := fmt.Sprintf("mode=%d wpt=%v", mode, wpt)
+			drv := newTestDriver(t, wpt, 1<<26)
+			drv.Cfg.Mode = mode
+			drv.Cfg.FaultHook = failFirstLaunches(1)
+			gpu, err := drv.Run(ctgs)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if gpu.Resplits == 0 {
+				t.Errorf("%s: fault injected but no resplit recorded", label)
+			}
+			assertSameResults(t, label, ctgs, cpu, gpu)
+		}
+	}
+}
+
+// TestResplitSurrendersWhenExhausted: a hook that fails every launch must
+// make the driver give up with the underlying fault preserved, not loop
+// forever.
+func TestResplitSurrendersWhenExhausted(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ctgs := randomWorkload(rng, 8)
+	drv := newTestDriver(t, true, 1<<26)
+	drv.Cfg.FaultHook = func() error { return gpuht.ErrTableFull }
+	_, err := drv.Run(ctgs)
+	if err == nil {
+		t.Fatal("driver succeeded with every launch faulting")
+	}
+	if !errors.Is(err, gpuht.ErrTableFull) {
+		t.Errorf("surrender lost the fault type: %v", err)
+	}
+	if !strings.Contains(err.Error(), "re-split") {
+		t.Errorf("surrender error does not mention re-splits: %v", err)
+	}
+}
+
+// TestDeviceLostSurfacesUnrecovered: an injected device loss is not a table
+// fault, so the driver must pass it straight up without re-splitting.
+func TestDeviceLostSurfacesUnrecovered(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ctgs := randomWorkload(rng, 6)
+	drv := newTestDriver(t, true, 1<<26)
+	drv.Dev.InjectFault(nil)
+	gpu, err := drv.Run(ctgs)
+	if !errors.Is(err, simt.ErrDeviceLost) {
+		t.Fatalf("run on lost device returned (%v, %v), want ErrDeviceLost", gpu, err)
+	}
+}

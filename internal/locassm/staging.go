@@ -113,6 +113,11 @@ type launchedBatch struct {
 // is taken from this batch's traffic on the side's stream, so the total is
 // an order-independent sum over batches.
 func (d *Driver) launchBatch(stream *simt.Stream, slab simt.Region, left bool, batch *batchPlan, arena *hostArena) (launchedBatch, error) {
+	if d.Cfg.FaultHook != nil {
+		if err := d.Cfg.FaultHook(); err != nil {
+			return launchedBatch{}, err
+		}
+	}
 	bases := batch.bases(slab.Base)
 	stream.MemcpyHtoD(bases.seqBase, arena.seq)
 	stream.MemcpyHtoD(bases.qualBase, arena.qual)
@@ -123,11 +128,13 @@ func (d *Driver) launchBatch(stream *simt.Stream, slab simt.Region, left bool, b
 		side = "left"
 	}
 	version, warps := "v1", (len(batch.items)+simt.WarpSize-1)/simt.WarpSize
-	kern := extensionKernelV1(batch, bases, &d.Cfg.Config)
+	kernErrs := make([]error, warps)
+	kern := extensionKernelV1(batch, bases, &d.Cfg.Config, kernErrs)
 	if d.Cfg.WarpPerTable {
 		// v2: one warp per extension.
 		version, warps = "v2", len(batch.items)
-		kern = extensionKernelV2(batch, bases, &d.Cfg.Config)
+		kernErrs = make([]error, warps)
+		kern = extensionKernelV2(batch, bases, &d.Cfg.Config, kernErrs)
 	}
 	kres, err := d.Dev.Launch(simt.KernelConfig{
 		Name:              fmt.Sprintf("locassm_%s_ext_%s", side, version),
@@ -136,6 +143,13 @@ func (d *Driver) launchBatch(stream *simt.Stream, slab simt.Region, left bool, b
 	}, kern)
 	if err != nil {
 		return launchedBatch{}, err
+	}
+	// Scan in warp order: the first recorded fault is deterministic no
+	// matter how the warp pool interleaved the warps.
+	for _, kerr := range kernErrs {
+		if kerr != nil {
+			return launchedBatch{}, kerr
+		}
 	}
 
 	// One bulk readback of all output records, then only the extension
@@ -175,6 +189,7 @@ type sideOut struct {
 	kernelTime   time.Duration
 	transferTime time.Duration
 	batches      int
+	resplits     int
 }
 
 func newSideOut(n int) *sideOut {

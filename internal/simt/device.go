@@ -140,6 +140,37 @@ type Device struct {
 	poolOnce  sync.Once
 	closeOnce sync.Once
 	pool      chan warpJob
+
+	// fault, once injected, fails every subsequent Launch — the modeled
+	// equivalent of a device falling off the bus or exhausting memory
+	// mid-run. Guarded by mu: the pipelined driver launches from two side
+	// goroutines.
+	fault error
+}
+
+// InjectFault marks the device as lost: every subsequent Launch returns the
+// given error (ErrDeviceLost when nil). Sticky until ClearFault.
+func (d *Device) InjectFault(err error) {
+	if err == nil {
+		err = ErrDeviceLost
+	}
+	d.mu.Lock()
+	d.fault = err
+	d.mu.Unlock()
+}
+
+// ClearFault restores a faulted device (tests and recovery drills).
+func (d *Device) ClearFault() {
+	d.mu.Lock()
+	d.fault = nil
+	d.mu.Unlock()
+}
+
+// faultErr returns the injected fault, if any.
+func (d *Device) faultErr() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fault
 }
 
 // NewDevice creates a device with an empty arena.

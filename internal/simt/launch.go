@@ -1,10 +1,16 @@
 package simt
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 )
+
+// ErrDeviceLost is returned by Launch after a fault has been injected with
+// InjectFault: the modeled device is gone and the caller must fail over
+// (the dist runtime degrades the rank to its host engine).
+var ErrDeviceLost = errors.New("simt: device lost")
 
 // KernelConfig describes one kernel launch.
 type KernelConfig struct {
@@ -73,6 +79,9 @@ func (d *Device) Close() {
 // counters are deterministic regardless of worker scheduling: per-warp
 // stats land in per-warp slots and fold in warp order.
 func (d *Device) Launch(cfg KernelConfig, kern func(w *Warp)) (KernelResult, error) {
+	if err := d.faultErr(); err != nil {
+		return KernelResult{}, err
+	}
 	if cfg.Warps < 0 {
 		return KernelResult{}, fmt.Errorf("simt: negative warp count %d", cfg.Warps)
 	}
