@@ -209,7 +209,7 @@ func BenchmarkPipelineGPU(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := s.arctic.Config
-	cfg.UseGPU = true
+	cfg.Engine.Name = locassm.EngineGPU
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pipeline.Run(pairs, cfg); err != nil {

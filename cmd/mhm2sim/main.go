@@ -1,16 +1,28 @@
 // Command mhm2sim runs the full MetaHipMer2-like pipeline (Fig 1) on a
 // synthetic dataset or a FASTQ file and prints the Fig 2-style per-stage
-// breakdown, assembly statistics, and — with -gpu — the GPU local-assembly
-// kernel summary. With -ranks N the pipeline is sharded across N simulated
-// ranks over a modeled comm fabric and a Fig 9-style strong-scaling
-// breakdown is printed.
+// breakdown, assembly statistics, and — when a device engine ran — the GPU
+// local-assembly kernel summary.
+//
+// -engine selects the local-assembly engine from the unified registry:
+//
+//	auto      resolve from the other flags (-ranks > 1 → dist, -gpu → gpu,
+//	          otherwise cpu) — the default
+//	cpu       host flat-table engine
+//	gpu       single simulated V100 batch driver
+//	multigpu  one node's GPUs (see -gpus), workload sharded across devices
+//	dist      multi-rank runtime over a modeled comm fabric (requires
+//	          -ranks > 1); prints a Fig 9-style strong-scaling breakdown
 //
 // Usage:
 //
-//	mhm2sim -preset arcticsynth [-gpu] [-rounds 21,33,55] [-out asm.fasta]
-//	mhm2sim -reads reads.fastq [-gpu]
-//	mhm2sim -ranks 4 -gpu -json run.json
+//	mhm2sim -preset arcticsynth [-engine cpu|gpu|multigpu] [-rounds 21,33,55] [-out asm.fasta]
+//	mhm2sim -reads reads.fastq -engine gpu
+//	mhm2sim -engine multigpu -gpus 6
+//	mhm2sim -engine dist -ranks 4 -gpu -json run.json
 //	mhm2sim -ranks 8 -faults rank-crash=1,oom=2 -fault-seed 42
+//
+// (-gpu is the legacy spelling of -engine=gpu; -ranks N > 1 without an
+// explicit -engine keeps selecting the distributed runtime.)
 //
 // -faults injects a seeded chaos schedule into the distributed runtime
 // (rank crashes, device faults, kernel aborts, fabric drops/corruption/
@@ -47,7 +59,9 @@ import (
 type options struct {
 	preset       string
 	reads        string
+	engine       string
 	gpu          bool
+	gpus         int
 	gpuAln       bool
 	rounds       string
 	ranks        int
@@ -74,11 +88,13 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.SetOutput(stderr)
 	fs.StringVar(&opts.preset, "preset", "arcticsynth", "dataset preset (ignored when -reads is set)")
 	fs.StringVar(&opts.reads, "reads", "", "FASTQ file of paired reads (fwd,rev interleaved)")
-	fs.BoolVar(&opts.gpu, "gpu", false, "use the GPU local-assembly module (simulated V100)")
+	fs.StringVar(&opts.engine, "engine", "auto", "local-assembly engine: auto|cpu|gpu|multigpu|dist")
+	fs.BoolVar(&opts.gpu, "gpu", false, "legacy alias for -engine=gpu (also picks the per-rank GPU path under -engine=dist)")
+	fs.IntVar(&opts.gpus, "gpus", locassm.DefaultNodeGPUs, "devices for -engine=multigpu (default: one Summit node's six V100s)")
 	fs.BoolVar(&opts.gpuAln, "gpualn", false, "run the alignment SW kernel on the device (ADEPT role)")
 	fs.StringVar(&opts.rounds, "rounds", "21,33,55", "comma-separated contigging k values")
-	fs.IntVar(&opts.ranks, "ranks", 1, "simulated ranks; >1 shards local assembly over a modeled comm fabric")
-	fs.StringVar(&opts.faultSpec, "faults", "", "inject a seeded fault schedule, e.g. rank-crash=1,oom=2,drop=1 (requires -ranks > 1)")
+	fs.IntVar(&opts.ranks, "ranks", 1, "simulated ranks for -engine=dist (>1 implies dist under -engine=auto)")
+	fs.StringVar(&opts.faultSpec, "faults", "", "inject a seeded fault schedule, e.g. rank-crash=1,oom=2,drop=1 (requires the dist engine)")
 	fs.Int64Var(&opts.faultSeed, "fault-seed", 42, "seed of the injected fault schedule")
 	fs.StringVar(&opts.jsonPath, "json", "", "write a machine-readable run report to this path")
 	fs.StringVar(&opts.out, "out", "", "write contigs+scaffolds FASTA here")
@@ -96,15 +112,52 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	if opts.ranks < 1 {
 		return nil, fmt.Errorf("-ranks must be ≥ 1, got %d", opts.ranks)
 	}
+	if opts.gpus < 1 {
+		return nil, fmt.Errorf("-gpus must be ≥ 1, got %d", opts.gpus)
+	}
+	if _, err := resolveEngine(opts); err != nil {
+		return nil, err
+	}
 	if opts.faultSpec != "" {
-		if opts.ranks < 2 {
-			return nil, fmt.Errorf("-faults requires -ranks > 1 (faults target the distributed runtime)")
+		if eng, _ := resolveEngine(opts); eng != locassm.EngineDist {
+			return nil, fmt.Errorf("-faults requires the dist engine (-engine=dist or -ranks > 1)")
 		}
 		if _, err := faults.ParseSpec(opts.faultSpec); err != nil {
 			return nil, err
 		}
 	}
 	return opts, nil
+}
+
+// resolveEngine collapses the engine flags into one registered engine
+// name — the CLI's half of the EngineSpec resolution. "auto" keeps the
+// historical behaviour: -ranks > 1 meant the distributed runtime and -gpu
+// the device driver, with the host engine as the default.
+func resolveEngine(opts *options) (string, error) {
+	switch opts.engine {
+	case "", locassm.EngineAuto:
+		switch {
+		case opts.ranks > 1:
+			return locassm.EngineDist, nil
+		case opts.gpu:
+			return locassm.EngineGPU, nil
+		default:
+			return locassm.EngineCPU, nil
+		}
+	case locassm.EngineCPU, locassm.EngineGPU, locassm.EngineMultiGPU:
+		if opts.ranks > 1 {
+			return "", fmt.Errorf("-engine=%s conflicts with -ranks %d (multi-rank runs use -engine=dist)",
+				opts.engine, opts.ranks)
+		}
+		return opts.engine, nil
+	case locassm.EngineDist:
+		if opts.ranks < 2 {
+			return "", fmt.Errorf("-engine=dist requires -ranks > 1 (got %d)", opts.ranks)
+		}
+		return locassm.EngineDist, nil
+	default:
+		return "", fmt.Errorf("unknown -engine %q (auto|cpu|gpu|multigpu|dist)", opts.engine)
+	}
 }
 
 // exitFault is the exit status of a run killed by an injected fault after
@@ -139,10 +192,19 @@ func parseRounds(s string) ([]int, error) {
 	return rounds, nil
 }
 
-// buildConfig turns options into a validated pipeline config.
+// buildConfig turns options into a validated pipeline config. The dist
+// engine is not set here: main routes multi-rank runs through dist.Run,
+// which injects the runtime as the pipeline's engine.
 func buildConfig(opts *options) (pipeline.Config, error) {
 	cfg := pipeline.DefaultConfig()
-	cfg.UseGPU = opts.gpu
+	engine, err := resolveEngine(opts)
+	if err != nil {
+		return pipeline.Config{}, err
+	}
+	if engine != locassm.EngineDist {
+		cfg.Engine.Name = engine
+		cfg.Engine.GPUs = opts.gpus
+	}
 	cfg.UseGPUAln = opts.gpuAln
 	cfg.Workers = opts.workers
 	cfg.CheckpointDir = opts.checkpoint
@@ -193,9 +255,13 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	engine, err := resolveEngine(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var res *pipeline.Result
 	var rep *dist.Report
-	if opts.ranks > 1 {
+	if engine == locassm.EngineDist {
 		dcfg := dist.DefaultConfig(opts.ranks)
 		dcfg.Pipeline = cfg
 		// Without -gpu the ranks assemble on the host flat-table engine,
@@ -243,7 +309,7 @@ func main() {
 	if res.Work.EstimatedInsert > 0 {
 		fmt.Printf("estimated library insert size: %d bp\n", res.Work.EstimatedInsert)
 	}
-	if opts.gpu {
+	if len(res.Work.GPUKernels) > 0 {
 		printGPUStats(res)
 	}
 	if rep != nil {

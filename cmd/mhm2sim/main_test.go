@@ -13,6 +13,7 @@ import (
 
 	"mhm2sim/internal/dist"
 	"mhm2sim/internal/faults"
+	"mhm2sim/internal/locassm"
 	"mhm2sim/internal/pipeline"
 	"mhm2sim/internal/synth"
 )
@@ -138,8 +139,41 @@ func TestBuildConfigRejectsMalformedRounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cfg.UseGPU || !reflect.DeepEqual(cfg.Rounds, []int{21, 33}) {
-		t.Errorf("config wrong: UseGPU=%v Rounds=%v", cfg.UseGPU, cfg.Rounds)
+	if cfg.Engine.Name != locassm.EngineGPU || !reflect.DeepEqual(cfg.Rounds, []int{21, 33}) {
+		t.Errorf("config wrong: Engine=%q Rounds=%v", cfg.Engine.Name, cfg.Rounds)
+	}
+}
+
+func TestResolveEngine(t *testing.T) {
+	cases := []struct {
+		opts options
+		want string
+		err  bool
+	}{
+		{options{engine: "auto", ranks: 1}, locassm.EngineCPU, false},
+		{options{engine: "", ranks: 1, gpu: true}, locassm.EngineGPU, false},
+		{options{engine: "auto", ranks: 4}, locassm.EngineDist, false},
+		{options{engine: "cpu", ranks: 1}, locassm.EngineCPU, false},
+		{options{engine: "gpu", ranks: 1}, locassm.EngineGPU, false},
+		{options{engine: "multigpu", ranks: 1}, locassm.EngineMultiGPU, false},
+		{options{engine: "dist", ranks: 4}, locassm.EngineDist, false},
+		{options{engine: "dist", ranks: 1}, "", true},
+		{options{engine: "gpu", ranks: 2}, "", true},
+		{options{engine: "warp9", ranks: 1}, "", true},
+	}
+	for _, c := range cases {
+		got, err := resolveEngine(&c.opts)
+		if c.err {
+			if err == nil {
+				t.Errorf("resolveEngine(%+v): expected error, got %q", c.opts, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("resolveEngine(%+v): %v", c.opts, err)
+		} else if got != c.want {
+			t.Errorf("resolveEngine(%+v) = %q, want %q", c.opts, got, c.want)
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 
+	"mhm2sim/internal/locassm"
 	"mhm2sim/internal/pipeline"
 	"mhm2sim/internal/synth"
 )
@@ -45,10 +46,10 @@ func main() {
 	fmt.Printf("reads: %d pairs\n", len(pairs))
 
 	// 3. Assemble: two contigging rounds, GPU local assembly on the
-	// simulated V100.
+	// simulated V100 (engine selection via the unified registry).
 	cfg := pipeline.DefaultConfig()
 	cfg.Rounds = []int{21, 33}
-	cfg.UseGPU = true
+	cfg.Engine.Name = locassm.EngineGPU
 	res, err := pipeline.Run(pairs, cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -10,7 +10,7 @@ import (
 )
 
 // randomWorkload builds contigs with random IDs and random candidate reads,
-// the shape AssembleRound receives from the alignment stage.
+// the shape the runtime's Assemble receives from the alignment stage.
 func randomWorkload(rng *rand.Rand, nCtg int) []*locassm.CtgWithReads {
 	const bases = "ACGT"
 	randSeq := func(n int) []byte {
@@ -167,7 +167,7 @@ func TestAllgatherMatrixCoversAllRanks(t *testing.T) {
 		ctgBytes += int64(len(c.Seq) + recordOverheadBytes)
 	}
 	for _, n := range []int{1, 2, 3, 8} {
-		matrix := allgatherMatrix(ctgs, newShardDeal(DefaultVirtualShards, liveAll(n)), n)
+		matrix := allgatherMatrix(ctgs, make([]locassm.Result, len(ctgs)), newShardDeal(DefaultVirtualShards, liveAll(n)), n)
 		var total int64
 		for src := range matrix {
 			for dst, b := range matrix[src] {

@@ -17,11 +17,22 @@ import (
 )
 
 // shardOutcome is one virtual shard's assembly output: the per-contig
-// results plus either GPU accounting or host-engine work counts.
+// results plus the executing engine's unified accounting.
 type shardOutcome struct {
 	results []locassm.Result
-	counts  locassm.WorkCounts
-	gpu     *locassm.GPUResult
+	stats   locassm.Stats
+	onGPU   bool
+}
+
+func init() {
+	// Reserve the "dist" engine name in the shared registry. The
+	// distributed engine binds to a live multi-rank runtime (fabric,
+	// per-rank devices, fault injector), so it cannot be built from a
+	// declarative spec: dist.Run constructs the runtime and injects it via
+	// EngineSpec.Instance.
+	locassm.RegisterEngine(locassm.EngineDist, func(locassm.EngineSpec) (locassm.Engine, error) {
+		return nil, fmt.Errorf("dist: the %q engine requires a live multi-rank runtime; use dist.Run (mhm2sim -engine=dist)", locassm.EngineDist)
+	})
 }
 
 // Config parameterizes a distributed run.
@@ -37,9 +48,10 @@ type Config struct {
 	Fabric FabricConfig
 	// Device is the per-rank GPU (zero value = simt.V100()).
 	Device simt.DeviceConfig
-	// Pipeline configures the underlying assembly pipeline. Its Assembler
-	// and Device fields are managed by dist.Run; local assembly executes
-	// on the per-rank devices (or the per-rank host engines, below).
+	// Pipeline configures the underlying assembly pipeline. Its Engine
+	// and Device fields are managed by dist.Run (the runtime injects
+	// itself as the pipeline's engine); local assembly executes on the
+	// per-rank devices (or the per-rank host engines, below).
 	Pipeline pipeline.Config
 	// CPUAssembly runs each rank's local assembly on the host flat-table
 	// engine instead of its simulated GPU — the per-rank CPU baseline the
@@ -111,9 +123,10 @@ func (c *Config) Validate() error {
 }
 
 // runtime is the live state of one distributed run. It implements
-// pipeline.LocalAssembler: pipeline.Run hands it each round's
-// contigs-with-reads and it performs the read exchange, the sharded
-// concurrent local assembly, and the contig allgather.
+// locassm.Engine: pipeline.Run hands it each round's contigs-with-reads
+// and it performs the read exchange, the sharded concurrent local
+// assembly (each rank running a registry engine over its virtual shards),
+// and the contig allgather.
 type runtime struct {
 	cfg    Config
 	fabric *Fabric
@@ -219,9 +232,49 @@ func (rt *runtime) scatterReads(pairs []dna.PairedRead) error {
 	return err
 }
 
-// AssembleRound implements pipeline.LocalAssembler: one contigging round's
-// local assembly, distributed.
-func (rt *runtime) AssembleRound(k int, ctgs []*locassm.CtgWithReads, res *pipeline.Result) error {
+// Name implements locassm.Engine.
+func (rt *runtime) Name() string { return locassm.EngineDist }
+
+// rankEngines builds one round's engines for rank r through the shared
+// registry: the device engine over the rank's own GPU (with the round's
+// injected kernel aborts wired into the driver's fault hook), and the host
+// flat-table engine it degrades to under CPUAssembly or after a device
+// loss.
+func (rt *runtime) rankEngines(r, round, cpuWorkers int) (gpuEng, cpuEng locassm.Engine, err error) {
+	// Scheduled kernel aborts: the first aborts launches on this rank
+	// this round fail with a recoverable table fault, which the batch
+	// driver answers by re-splitting the batch.
+	var abortsLeft atomic.Int32
+	abortsLeft.Store(int32(rt.inj.KernelAborts(r, round)))
+	gcfg := rt.cfg.Pipeline.GPU
+	gcfg.FaultHook = func() error {
+		if abortsLeft.Add(-1) >= 0 {
+			return fmt.Errorf("dist: injected kernel abort: %w", gpuht.ErrTableFull)
+		}
+		return nil
+	}
+	gpuEng, err = locassm.NewEngine(locassm.EngineSpec{
+		Name:   locassm.EngineGPU,
+		Config: rt.cfg.Pipeline.Locassm,
+		GPU:    gcfg,
+		Device: rt.devs[r],
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	cpuEng, err = locassm.NewEngine(locassm.EngineSpec{
+		Name:    locassm.EngineCPU,
+		Config:  rt.cfg.Pipeline.Locassm,
+		Workers: cpuWorkers,
+	})
+	return gpuEng, cpuEng, err
+}
+
+// Assemble implements locassm.Engine: one contigging round's local
+// assembly, distributed. Per the Engine contract the input contigs are
+// not mutated; the per-contig results are returned in input order and the
+// caller (the pipeline's local-assembly stage) applies the extensions.
+func (rt *runtime) Assemble(k int, ctgs []*locassm.CtgWithReads) ([]locassm.Result, locassm.Stats, error) {
 	n := rt.cfg.Ranks
 	v := rt.cfg.VirtualShards
 	round := rt.rounds // 0-based, for the injector
@@ -232,7 +285,7 @@ func (rt *runtime) AssembleRound(k int, ctgs []*locassm.CtgWithReads, res *pipel
 	// scheduled to fail this round (its rank discovers the loss at first
 	// launch and degrades to the host engine).
 	if err := rt.evictCrashed(round, ctgs); err != nil {
-		return err
+		return nil, locassm.Stats{}, err
 	}
 	deal := rt.deal()
 	live := deal.live
@@ -253,16 +306,14 @@ func (rt *runtime) AssembleRound(k int, ctgs []*locassm.CtgWithReads, res *pipel
 		rt.owned[deal.ownerRank(c.ID)]++
 	}
 	if _, err := rt.fabric.Exchange(fmt.Sprintf("read exchange k=%d", k), readExchangeMatrix(ctgs, deal, n)); err != nil {
-		return err
+		return nil, locassm.Stats{}, err
 	}
 
 	// Phase 2 — sharded local assembly: each live rank drives its virtual
-	// shards concurrently with every other rank, either through its own
-	// device with the pipelined batch driver or — under CPUAssembly or
-	// after a device fault — through the host flat-table engine.
+	// shards concurrently with every other rank, through a registry
+	// engine — its own device's batch driver or, under CPUAssembly or
+	// after a device fault, the host flat-table engine.
 	byShard, shardIdx := shardContigs(ctgs, v)
-	gcfg := rt.cfg.Pipeline.GPU
-	gcfg.Config = rt.cfg.Pipeline.Locassm
 	cpuWorkers := rt.cfg.CPUWorkers
 	if cpuWorkers < 1 {
 		cpuWorkers = goruntime.GOMAXPROCS(0) / n
@@ -270,86 +321,59 @@ func (rt *runtime) AssembleRound(k int, ctgs []*locassm.CtgWithReads, res *pipel
 			cpuWorkers = 1
 		}
 	}
-	cpuTime := locassm.DefaultCPUTime(cpuWorkers)
 
 	shardRes := make([]*shardOutcome, v)
 	roundBusy := make([]time.Duration, n)
 	fellBack := make([]bool, n)
-	resplits := make([]int, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(nl)
 	for i, r := range live {
 		go func(i, r int) {
 			defer wg.Done()
-			// Scheduled kernel aborts: the first aborts launches on this
-			// rank this round fail with a recoverable table fault, which
-			// the batch driver answers by re-splitting the batch.
-			var abortsLeft atomic.Int32
-			abortsLeft.Store(int32(rt.inj.KernelAborts(r, round)))
-			rcfg := gcfg
-			rcfg.FaultHook = func() error {
-				if abortsLeft.Add(-1) >= 0 {
-					return fmt.Errorf("dist: injected kernel abort: %w", gpuht.ErrTableFull)
-				}
-				return nil
+			gpuEng, cpuEng, err := rt.rankEngines(r, round, cpuWorkers)
+			if err != nil {
+				errs[r] = err
+				return
 			}
-			useCPU := rt.cfg.CPUAssembly || !rt.deviceOK[r]
-			var drv *locassm.Driver
-			if !useCPU {
-				var err error
-				drv, err = locassm.NewDriver(rt.devs[r], rcfg)
-				if err != nil {
-					errs[r] = err
-					return
-				}
+			eng := gpuEng
+			if rt.cfg.CPUAssembly || !rt.deviceOK[r] {
+				eng = cpuEng
 			}
 			for s := i; s < v; s += nl { // virtual shard s lives on live[s mod nl]
 				if len(byShard[s]) == 0 {
 					continue
 				}
-				if !useCPU {
-					gres, err := drv.Run(byShard[s])
-					switch {
-					case err == nil:
-						shardRes[s] = &shardOutcome{results: gres.Results, gpu: gres}
-						roundBusy[r] += gres.TotalTime()
-						resplits[r] += gres.Resplits
-						continue
-					case errors.Is(err, simt.ErrDeviceLost):
-						// Device lost mid-round: degrade this rank to its
-						// host engine and recompute the shard there. The
-						// flat-table engine is bit-identical to the GPU
-						// path, so results are unaffected.
-						useCPU = true
-						rt.deviceOK[r] = false
-						fellBack[r] = true
-					default:
-						errs[r] = fmt.Errorf("rank %d shard %d: %w", r, s, err)
-						return
-					}
+				results, stats, err := eng.Assemble(k, byShard[s])
+				if errors.Is(err, simt.ErrDeviceLost) {
+					// Device lost mid-round: degrade this rank to its
+					// host engine and recompute the shard there. The
+					// flat-table engine is bit-identical to the GPU
+					// path, so results are unaffected.
+					eng = cpuEng
+					rt.deviceOK[r] = false
+					fellBack[r] = true
+					results, stats, err = eng.Assemble(k, byShard[s])
 				}
-				cres, err := locassm.RunCPU(byShard[s], rt.cfg.Pipeline.Locassm, cpuWorkers)
 				if err != nil {
 					errs[r] = fmt.Errorf("rank %d shard %d: %w", r, s, err)
 					return
 				}
-				shardRes[s] = &shardOutcome{results: cres.Results, counts: cres.Counts}
-				roundBusy[r] += cpuTime(cres.Counts)
+				shardRes[s] = &shardOutcome{results: results, stats: stats, onGPU: eng == gpuEng}
+				roundBusy[r] += stats.Busy
 			}
 		}(i, r)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return nil, locassm.Stats{}, err
 		}
 	}
 	for _, r := range live {
 		if fellBack[r] {
 			rt.rec.DeviceFallbacks++
 		}
-		rt.rec.BatchResplits += resplits[r]
 		// A straggler computes the same work, slower.
 		if f := rt.inj.StragglerFactor(r, round); f != 1 {
 			rt.rec.Stragglers++
@@ -367,29 +391,33 @@ func (rt *runtime) AssembleRound(k int, ctgs []*locassm.CtgWithReads, res *pipel
 		}
 	}
 	rt.compWall += roundMax
+	results := make([]locassm.Result, len(ctgs))
+	var stats locassm.Stats
 	for s := 0; s < v; s++ {
 		out := shardRes[s]
 		if out == nil {
 			continue
 		}
-		if out.gpu != nil {
-			rt.kernels[deal.rankOf(s)] += len(out.gpu.Kernels)
-			res.Work.GPUKernels = append(res.Work.GPUKernels, out.gpu.Kernels...)
-			res.Work.GPUKernelTime += out.gpu.KernelTime
-			res.Work.GPUTransferTime += out.gpu.TransferTime
-		} else {
-			res.Work.Locassm.Add(out.counts)
+		if out.onGPU {
+			rt.kernels[deal.rankOf(s)] += len(out.stats.Kernels)
 		}
+		rt.rec.BatchResplits += out.stats.Resplits
+		shardStats := out.stats
+		shardStats.Busy = 0 // ranks overlap; the round's busy wall is roundMax
+		stats.Add(shardStats)
 		for j, gi := range shardIdx[s] {
-			ctgs[gi].Seq = out.results[j].ExtendedSeq(ctgs[gi].Seq)
+			results[gi] = out.results[j]
 		}
 	}
+	stats.Busy = roundMax
 
 	// Phase 3 — contig allgather: owners broadcast their extended contigs
 	// so every live rank holds the replicated alignment index for the next
-	// round (and the final outputs).
-	_, err := rt.fabric.Exchange(fmt.Sprintf("contig allgather k=%d", k), allgatherMatrix(ctgs, deal, n))
-	return err
+	// round (and the final outputs). The extensions are not applied here
+	// (the pipeline stage does that), so the matrix accounts the extended
+	// lengths from the results.
+	_, err := rt.fabric.Exchange(fmt.Sprintf("contig allgather k=%d", k), allgatherMatrix(ctgs, results, deal, n))
+	return results, stats, err
 }
 
 func newMatrix(n int) [][]int64 {
@@ -420,12 +448,15 @@ func readExchangeMatrix(ctgs []*locassm.CtgWithReads, deal *shardDeal, ranks int
 }
 
 // allgatherMatrix builds the byte matrix of the post-round contig
-// broadcast: each owner ships every contig it owns to all other live ranks.
-func allgatherMatrix(ctgs []*locassm.CtgWithReads, deal *shardDeal, ranks int) [][]int64 {
+// broadcast: each owner ships every contig it owns — at its post-assembly
+// extended length, computed from the round's results — to all other live
+// ranks.
+func allgatherMatrix(ctgs []*locassm.CtgWithReads, results []locassm.Result, deal *shardDeal, ranks int) [][]int64 {
 	matrix := newMatrix(ranks)
-	for _, c := range ctgs {
+	for i, c := range ctgs {
 		owner := deal.ownerRank(c.ID)
-		bytes := int64(len(c.Seq) + recordOverheadBytes)
+		extended := len(results[i].LeftExt) + len(c.Seq) + len(results[i].RightExt)
+		bytes := int64(extended + recordOverheadBytes)
 		for _, d := range deal.live {
 			if d != owner {
 				matrix[owner][d] += bytes
@@ -456,7 +487,7 @@ func Run(pairs []dna.PairedRead, cfg Config) (*pipeline.Result, *Report, error) 
 	}
 
 	pcfg := cfg.Pipeline
-	pcfg.Assembler = rt
+	pcfg.Engine = locassm.EngineSpec{Name: locassm.EngineDist, Instance: rt}
 	res, err := pipeline.Run(pairs, pcfg)
 	if err != nil {
 		return nil, nil, err

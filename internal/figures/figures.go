@@ -54,7 +54,9 @@ func (s Setup) Run(useGPU bool) (*pipeline.Result, error) {
 		return nil, err
 	}
 	cfg := s.Config
-	cfg.UseGPU = useGPU
+	if useGPU {
+		cfg.Engine.Name = locassm.EngineGPU
+	}
 	return pipeline.Run(pairs, cfg)
 }
 

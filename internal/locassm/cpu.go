@@ -1,10 +1,8 @@
 package locassm
 
 import (
-	"runtime"
-	"sync"
-
 	"mhm2sim/internal/dna"
+	"mhm2sim/internal/par"
 )
 
 // WorkCounts tallies the algorithmic work of a local-assembly run; the
@@ -30,65 +28,37 @@ type CPUResult struct {
 	Counts  WorkCounts
 }
 
-// workSpan is one chunk of contig indices [Lo, Hi) handed to a worker.
-// Chunking pays the channel synchronization once per span instead of once
-// per contig, which matters when the workload is many small bin-1/bin-2
-// contigs.
-type workSpan struct{ Lo, Hi int }
-
-// spanSize picks the chunk size for n contigs over `workers` goroutines:
-// small enough that the slowest worker cannot hold more than ~1/8 of a
-// worker's fair share hostage, large enough to amortize the channel.
-func spanSize(n, workers int) int {
-	chunk := n / (8 * workers)
-	if chunk < 1 {
-		chunk = 1
-	}
-	return chunk
-}
-
 // RunCPU locally assembles every contig on the host using the flat-table
 // engine, fanned out over `workers` goroutines (MetaHipMer uses every core
-// on the node, §4.4). Each worker checks a pooled workspace out once and
-// reuses it across its whole share, so steady-state extends allocate
-// nothing. Results are returned in input order.
+// on the node, §4.4) through the shared par helper. Each worker checks a
+// pooled workspace out once — lazily, on its first span — and reuses it
+// across its whole share, so steady-state extends allocate nothing.
+// Results are returned in input order.
 func RunCPU(ctgs []*CtgWithReads, cfg Config, workers int) (*CPUResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = par.Workers(workers)
 	res := &CPUResult{Results: make([]Result, len(ctgs))}
 	counts := make([]WorkCounts, workers)
+	spaces := make([]*cpuWorkspace, workers)
 
-	chunk := spanSize(len(ctgs), workers)
-	next := make(chan workSpan, (len(ctgs)+chunk-1)/chunk)
-	for lo := 0; lo < len(ctgs); lo += chunk {
-		hi := lo + chunk
-		if hi > len(ctgs) {
-			hi = len(ctgs)
+	par.ForEachSpan(workers, len(ctgs), 0, func(wk int, s par.Span) {
+		ws := spaces[wk]
+		if ws == nil {
+			ws = getWorkspace()
+			spaces[wk] = ws
 		}
-		next <- workSpan{lo, hi}
-	}
-	close(next)
+		for i := s.Lo; i < s.Hi; i++ {
+			res.Results[i] = extendContigCPU(ws, ctgs[i], &cfg, &counts[wk])
+		}
+	})
 
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for wk := 0; wk < workers; wk++ {
-		go func(wk int) {
-			defer wg.Done()
-			ws := getWorkspace()
-			defer putWorkspace(ws)
-			for span := range next {
-				for i := span.Lo; i < span.Hi; i++ {
-					res.Results[i] = extendContigCPU(ws, ctgs[i], &cfg, &counts[wk])
-				}
-			}
-		}(wk)
+	for _, ws := range spaces {
+		if ws != nil {
+			putWorkspace(ws)
+		}
 	}
-	wg.Wait()
-
 	for i := range counts {
 		res.Counts.Add(counts[i])
 	}

@@ -1,0 +1,289 @@
+package locassm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mhm2sim/internal/par"
+	"mhm2sim/internal/simt"
+)
+
+// Engine is the uniform local-assembly execution interface: every way this
+// codebase can run the §2.3 extension algorithm — the host flat-table
+// engine, the single-GPU batch driver, the multi-GPU node driver, and the
+// distributed multi-rank runtime — sits behind it. The pipeline driver
+// resolves exactly one Engine per run and calls it once per contigging
+// round, so adding an execution substrate means registering a factory
+// here, never touching the driver loop.
+type Engine interface {
+	// Name identifies the engine (one of the Engine* constants, or a
+	// custom registered name).
+	Name() string
+	// Assemble locally assembles the contigs of round k and returns the
+	// per-contig results in input order plus unified accounting. Engines
+	// must NOT mutate ctgs (in particular ctgs[i].Seq); the caller applies
+	// the extensions. Every engine computes bit-identical Results for the
+	// same input — the package's central correctness property.
+	Assemble(k int, ctgs []*CtgWithReads) ([]Result, Stats, error)
+}
+
+// Stats is the unified accounting every engine returns for one round.
+// Host engines fill Counts; device engines fill the kernel fields; all
+// engines report Busy, the modeled busy wall-clock of the round (max over
+// devices when several run concurrently) that distributed schedulers use
+// for per-rank load accounting.
+type Stats struct {
+	// Counts tallies host-side algorithmic work (flat-table engine).
+	Counts WorkCounts
+	// Kernels holds one entry per device kernel launch, in launch order.
+	Kernels []simt.KernelResult
+	// KernelTime/TransferTime are the modeled device time components.
+	KernelTime   time.Duration
+	TransferTime time.Duration
+	// Busy is the engine's modeled busy wall-clock for the round.
+	Busy time.Duration
+	// Resplits counts batches that failed with a recoverable table fault
+	// and were halved and retried; Batches counts staged batches.
+	Resplits int
+	Batches  int
+}
+
+// Add accumulates o into s (kernel lists are appended in order).
+func (s *Stats) Add(o Stats) {
+	s.Counts.Add(o.Counts)
+	s.Kernels = append(s.Kernels, o.Kernels...)
+	s.KernelTime += o.KernelTime
+	s.TransferTime += o.TransferTime
+	s.Busy += o.Busy
+	s.Resplits += o.Resplits
+	s.Batches += o.Batches
+}
+
+// Registered engine names. EngineAuto is not itself registered: it
+// resolves to EngineCPU here (callers with more context, like the
+// pipeline or the CLI, resolve it earlier with their own defaults).
+const (
+	EngineAuto     = "auto"
+	EngineCPU      = "cpu"
+	EngineGPU      = "gpu"
+	EngineMultiGPU = "multigpu"
+	// EngineDist is registered by internal/dist; its factory refuses
+	// standalone construction because the distributed engine binds to a
+	// live multi-rank runtime (use dist.Run).
+	EngineDist = "dist"
+)
+
+// EngineSpec is the single resolved description of which engine to build
+// and how — the replacement for scattering UseGPU-style booleans through
+// configs. Zero fields default sensibly per engine.
+type EngineSpec struct {
+	// Name selects the registered engine ("", "auto" → EngineCPU).
+	Name string
+	// Instance, when non-nil, bypasses the registry entirely: NewEngine
+	// returns it as-is. The distributed runtime injects itself this way,
+	// since it cannot be built from a declarative spec alone.
+	Instance Engine
+	// Config is the walk parameterization shared by every engine. When
+	// zero, device engines fall back to GPU.Config.
+	Config Config
+	// Workers bounds the host engine's goroutines (0 = GOMAXPROCS).
+	Workers int
+	// GPU configures the device batch driver (gpu and multigpu engines).
+	GPU GPUConfig
+	// Device is an existing device for the gpu engine (nil = a fresh
+	// DeviceConfig device).
+	Device *simt.Device
+	// DeviceConfig describes fresh devices (zero Name = simt.V100()).
+	DeviceConfig simt.DeviceConfig
+	// GPUs is the multigpu engine's device count (0 = DefaultNodeGPUs).
+	GPUs int
+}
+
+// DefaultNodeGPUs is the multigpu engine's default device count — the six
+// V100s of one Summit node (§4.1).
+const DefaultNodeGPUs = 6
+
+// deviceConfig resolves the fresh-device template.
+func (s *EngineSpec) deviceConfig() simt.DeviceConfig {
+	if s.DeviceConfig.Name == "" {
+		return simt.V100()
+	}
+	return s.DeviceConfig
+}
+
+// gpuConfig resolves the device driver configuration: the spec-level walk
+// Config overrides the one embedded in GPU when set.
+func (s *EngineSpec) gpuConfig() GPUConfig {
+	gcfg := s.GPU
+	if s.Config != (Config{}) {
+		gcfg.Config = s.Config
+	}
+	return gcfg
+}
+
+// EngineFactory builds an engine from a resolved spec.
+type EngineFactory func(spec EngineSpec) (Engine, error)
+
+var (
+	engineMu  sync.RWMutex
+	engineReg = map[string]EngineFactory{}
+)
+
+// RegisterEngine adds a named engine factory. Registering an empty name or
+// a duplicate panics: the registry is assembled at init time and a
+// collision is a programming error.
+func RegisterEngine(name string, f EngineFactory) {
+	if name == "" || f == nil {
+		panic("locassm: RegisterEngine with empty name or nil factory")
+	}
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	if _, dup := engineReg[name]; dup {
+		panic(fmt.Sprintf("locassm: engine %q registered twice", name))
+	}
+	engineReg[name] = f
+}
+
+// EngineNames lists the registered engine names, sorted.
+func EngineNames() []string {
+	engineMu.RLock()
+	defer engineMu.RUnlock()
+	names := make([]string, 0, len(engineReg))
+	for n := range engineReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewEngine resolves a spec into a constructed engine: a pre-built
+// Instance wins, then the registry by Name ("" and "auto" mean cpu).
+func NewEngine(spec EngineSpec) (Engine, error) {
+	if spec.Instance != nil {
+		return spec.Instance, nil
+	}
+	name := spec.Name
+	if name == "" || name == EngineAuto {
+		name = EngineCPU
+	}
+	engineMu.RLock()
+	f, ok := engineReg[name]
+	engineMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("locassm: unknown engine %q (registered: %v)", name, EngineNames())
+	}
+	return f(spec)
+}
+
+func init() {
+	RegisterEngine(EngineCPU, newCPUEngine)
+	RegisterEngine(EngineGPU, newGPUEngine)
+	RegisterEngine(EngineMultiGPU, newMultiGPUEngine)
+}
+
+// cpuEngine wraps the zero-allocation host flat-table path (RunCPU).
+type cpuEngine struct {
+	cfg     Config
+	workers int
+	model   CPUTimeModel
+}
+
+func newCPUEngine(spec EngineSpec) (Engine, error) {
+	cfg := spec.Config
+	if cfg == (Config{}) {
+		cfg = spec.GPU.Config
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := par.Workers(spec.Workers)
+	return &cpuEngine{cfg: cfg, workers: w, model: DefaultCPUTime(w)}, nil
+}
+
+func (e *cpuEngine) Name() string { return EngineCPU }
+
+func (e *cpuEngine) Assemble(_ int, ctgs []*CtgWithReads) ([]Result, Stats, error) {
+	cres, err := RunCPU(ctgs, e.cfg, e.workers)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return cres.Results, Stats{Counts: cres.Counts, Busy: e.model(cres.Counts)}, nil
+}
+
+// gpuEngine wraps the pipelined single-device batch driver.
+type gpuEngine struct {
+	drv *Driver
+}
+
+func newGPUEngine(spec EngineSpec) (Engine, error) {
+	dev := spec.Device
+	if dev == nil {
+		dev = simt.NewDevice(spec.deviceConfig())
+	}
+	drv, err := NewDriver(dev, spec.gpuConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &gpuEngine{drv: drv}, nil
+}
+
+func (e *gpuEngine) Name() string { return EngineGPU }
+
+func (e *gpuEngine) Assemble(_ int, ctgs []*CtgWithReads) ([]Result, Stats, error) {
+	gres, err := e.drv.Run(ctgs)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return gres.Results, gpuStats(gres), nil
+}
+
+// gpuStats converts one device run's outcome into unified accounting.
+func gpuStats(gres *GPUResult) Stats {
+	return Stats{
+		Kernels:      gres.Kernels,
+		KernelTime:   gres.KernelTime,
+		TransferTime: gres.TransferTime,
+		Busy:         gres.TotalTime(),
+		Resplits:     gres.Resplits,
+		Batches:      gres.Batches,
+	}
+}
+
+// multiGPUEngine wraps the node driver: the workload is sharded across the
+// node's devices and they run concurrently, so Busy is the slowest
+// device's modeled time rather than the sum.
+type multiGPUEngine struct {
+	nd   *NodeDriver
+	gpus int
+}
+
+func newMultiGPUEngine(spec EngineSpec) (Engine, error) {
+	gpus := spec.GPUs
+	if gpus <= 0 {
+		gpus = DefaultNodeGPUs
+	}
+	nd, err := NewNodeDriver(gpus, spec.deviceConfig(), spec.gpuConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &multiGPUEngine{nd: nd, gpus: gpus}, nil
+}
+
+func (e *multiGPUEngine) Name() string { return EngineMultiGPU }
+
+func (e *multiGPUEngine) Assemble(_ int, ctgs []*CtgWithReads) ([]Result, Stats, error) {
+	nres, err := e.nd.Run(ctgs)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var stats Stats
+	for _, g := range nres.PerGPU {
+		s := gpuStats(g)
+		s.Busy = 0 // devices overlap; node busy time is the max, set below
+		stats.Add(s)
+	}
+	stats.Busy = nres.NodeTime
+	return nres.Results, stats, nil
+}

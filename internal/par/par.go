@@ -1,0 +1,82 @@
+// Package par provides the one worker-pool shape the pipeline uses
+// everywhere: fan a fixed index range out over a bounded set of goroutines
+// and wait. The alignment stage, the scaffolding pair-alignment phase, and
+// the host local-assembly engine all used to hand-roll this loop; they now
+// share this implementation, so chunking policy and shutdown behaviour are
+// defined in exactly one place.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Span is a half-open index range [Lo, Hi) handed to one worker.
+type Span struct{ Lo, Hi int }
+
+// Workers resolves a requested worker count: values ≤ 0 mean "use every
+// core" (GOMAXPROCS), mirroring the pipeline's Config.Workers convention.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SpanSize picks the chunk size for n items over `workers` goroutines:
+// small enough that the slowest worker cannot hold more than ~1/8 of a
+// worker's fair share hostage, large enough to amortize the channel
+// synchronization (the policy the flat-table CPU engine established).
+func SpanSize(n, workers int) int {
+	chunk := n / (8 * workers)
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}
+
+// ForEachSpan partitions [0, n) into chunks of `chunk` indices (≤ 0 picks
+// SpanSize automatically) and fans the spans out over `workers` goroutines
+// (≤ 0 meaning GOMAXPROCS). body receives the owning worker's index along
+// with the span; all spans for one worker run sequentially on that
+// worker's goroutine, so callers can keep per-worker state — workspaces,
+// counters — indexed by worker without locking. ForEachSpan returns when
+// every span has been processed.
+func ForEachSpan(workers, n, chunk int, body func(worker int, s Span)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if chunk <= 0 {
+		chunk = SpanSize(n, workers)
+	}
+	next := make(chan Span, (n+chunk-1)/chunk)
+	for lo := 0; lo < n; lo += chunk {
+		next <- Span{Lo: lo, Hi: min(lo+chunk, n)}
+	}
+	close(next)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for s := range next {
+				body(w, s)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForEach runs body(i) for every i in [0, n), fanned out over `workers`
+// goroutines with automatic chunking. Iteration order within a chunk is
+// ascending; chunks complete in whatever order the scheduler dictates, so
+// any output the caller aggregates must be index-addressed or re-sorted.
+func ForEach(workers, n int, body func(i int)) {
+	ForEachSpan(workers, n, 0, func(_ int, s Span) {
+		for i := s.Lo; i < s.Hi; i++ {
+			body(i)
+		}
+	})
+}

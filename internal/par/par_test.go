@@ -1,0 +1,96 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+}
+
+func TestSpanSize(t *testing.T) {
+	if got := SpanSize(1000, 4); got != 1000/(8*4) {
+		t.Errorf("SpanSize(1000,4) = %d", got)
+	}
+	if got := SpanSize(3, 8); got != 1 {
+		t.Errorf("SpanSize(3,8) = %d, want 1", got)
+	}
+}
+
+// TestForEachCoversEveryIndex: each index is visited exactly once.
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1023} {
+		for _, workers := range []int{1, 2, 5, 16} {
+			visits := make([]int32, n)
+			ForEach(workers, n, func(i int) {
+				atomic.AddInt32(&visits[i], 1)
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachSpanWorkerAffinity: per-worker state needs no locking because
+// one worker's spans run sequentially on its own goroutine.
+func TestForEachSpanWorkerAffinity(t *testing.T) {
+	const n, workers = 500, 7
+	perWorker := make([]int, workers) // written without synchronization
+	var total atomic.Int64
+	ForEachSpan(workers, n, 3, func(w int, s Span) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker index %d out of range", w)
+		}
+		if s.Lo < 0 || s.Hi > n || s.Lo >= s.Hi {
+			t.Errorf("bad span [%d,%d)", s.Lo, s.Hi)
+		}
+		perWorker[w] += s.Hi - s.Lo
+		total.Add(int64(s.Hi - s.Lo))
+	})
+	if total.Load() != n {
+		t.Fatalf("covered %d of %d indices", total.Load(), n)
+	}
+	sum := 0
+	for _, c := range perWorker {
+		sum += c
+	}
+	if sum != n {
+		t.Fatalf("per-worker tallies sum to %d, want %d (racy worker ids?)", sum, n)
+	}
+}
+
+// TestForEachSpanChunking: explicit chunk sizes are honored (except the
+// final remainder span).
+func TestForEachSpanChunking(t *testing.T) {
+	var spans atomic.Int64
+	ForEachSpan(2, 10, 4, func(_ int, s Span) {
+		spans.Add(1)
+		if got := s.Hi - s.Lo; got != 4 && s.Hi != 10 {
+			t.Errorf("span [%d,%d) has size %d, want 4", s.Lo, s.Hi, got)
+		}
+	})
+	if spans.Load() != 3 { // 4+4+2
+		t.Errorf("10 items in chunks of 4 produced %d spans, want 3", spans.Load())
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(4, 0, func(int) { called = true })
+	if called {
+		t.Error("body called for n=0")
+	}
+}

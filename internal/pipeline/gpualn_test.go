@@ -3,6 +3,8 @@ package pipeline
 import (
 	"bytes"
 	"testing"
+
+	"mhm2sim/internal/locassm"
 )
 
 // TestGPUAlignmentMatchesCPU verifies the ADEPT-role kernel end to end:
@@ -53,7 +55,7 @@ func TestFullGPUPipeline(t *testing.T) {
 	pairs := buildPairs(t)
 	cfg := testPipelineConfig()
 	cfg.Rounds = []int{21}
-	cfg.UseGPU = true
+	cfg.Engine.Name = locassm.EngineGPU
 	cfg.UseGPUAln = true
 	res, err := Run(pairs, cfg)
 	if err != nil {

@@ -1,0 +1,153 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+)
+
+// recordingObserver captures every stage callback in order.
+type recordingObserver struct {
+	starts   []StageEvent
+	finishes []StageEvent
+	walls    []time.Duration
+	timings  []Timings
+	works    []WorkRecord
+}
+
+func (o *recordingObserver) StageStart(ev StageEvent) {
+	o.starts = append(o.starts, ev)
+}
+
+func (o *recordingObserver) StageFinish(ev StageEvent, wall time.Duration, timings Timings, work WorkRecord) {
+	o.finishes = append(o.finishes, ev)
+	o.walls = append(o.walls, wall)
+	o.timings = append(o.timings, timings)
+	o.works = append(o.works, work)
+}
+
+// TestObserverStageOrder: a two-round run fires every stage exactly once per
+// round, in Fig 1 order, with start/finish pairs balanced.
+func TestObserverStageOrder(t *testing.T) {
+	pairs := buildPairs(t)
+	cfg := testPipelineConfig()
+	obs := &recordingObserver{}
+	cfg.Observer = obs
+	if _, err := Run(pairs, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []StageEvent{
+		{Stage: StageMergeReads, Round: -1},
+		{Stage: StageKmerAnalysis, Round: 0, K: 21},
+		{Stage: StageContigGen, Round: 0, K: 21},
+		{Stage: StageAlignment, Round: 0, K: 21},
+		{Stage: StageLocalAssembly, Round: 0, K: 21},
+		{Stage: StageKmerAnalysis, Round: 1, K: 33},
+		{Stage: StageContigGen, Round: 1, K: 33},
+		{Stage: StageAlignment, Round: 1, K: 33},
+		{Stage: StageLocalAssembly, Round: 1, K: 33},
+		{Stage: StageScaffolding, Round: -1},
+		{Stage: StageFileIO, Round: -1},
+	}
+	for i := range want {
+		want[i].Name = want[i].Stage.String()
+	}
+
+	if len(obs.starts) != len(want) || len(obs.finishes) != len(want) {
+		t.Fatalf("got %d starts / %d finishes, want %d each",
+			len(obs.starts), len(obs.finishes), len(want))
+	}
+	for i, ev := range want {
+		if obs.starts[i] != ev {
+			t.Errorf("start %d: got %+v, want %+v", i, obs.starts[i], ev)
+		}
+		if obs.finishes[i] != ev {
+			t.Errorf("finish %d: got %+v, want %+v", i, obs.finishes[i], ev)
+		}
+	}
+}
+
+// TestObserverDeltas: each finish carries the stage's own timing and work
+// deltas, not cumulative totals.
+func TestObserverDeltas(t *testing.T) {
+	pairs := buildPairs(t)
+	cfg := testPipelineConfig()
+	obs := &recordingObserver{}
+	cfg.Observer = obs
+	res, err := Run(pairs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sum Timings
+	mergedReads := 0
+	var distinct int64
+	for i, ev := range obs.finishes {
+		d := obs.timings[i]
+		// A non-self-timed stage's delta lands entirely in its own category.
+		if ev.Stage != StageAlignment {
+			if d.Wall[ev.Stage] <= 0 {
+				t.Errorf("%s: zero timing delta", ev.Name)
+			}
+			if d.Total() != d.Wall[ev.Stage] {
+				t.Errorf("%s: delta spills into other categories: %+v", ev.Name, d.Wall)
+			}
+		} else if d.Wall[StageAlignment]+d.Wall[StageAlnKernel] <= 0 {
+			t.Errorf("alignment: zero timing delta")
+		}
+		for s := range d.Wall {
+			sum.Wall[s] += d.Wall[s]
+		}
+		mergedReads += obs.works[i].MergedReads
+		distinct += obs.works[i].DistinctKmers
+
+		switch ev.Stage {
+		case StageLocalAssembly:
+			if obs.works[i].Locassm.TableBuilds <= 0 {
+				t.Errorf("round %d local assembly: no table builds in delta", ev.Round)
+			}
+		case StageContigGen:
+			if obs.works[i].ContigsGenerated != 0 {
+				// ContigsGenerated is only set after the round loop; stage
+				// deltas must not claim it.
+				t.Errorf("round %d contig generation: unexpected ContigsGenerated delta %d",
+					ev.Round, obs.works[i].ContigsGenerated)
+			}
+		}
+	}
+	// Deltas reassemble the final record exactly.
+	if sum != res.Timings {
+		t.Errorf("timing deltas don't sum to the result: got %+v, want %+v", sum, res.Timings)
+	}
+	if mergedReads != res.Work.MergedReads {
+		t.Errorf("merged-read deltas sum to %d, want %d", mergedReads, res.Work.MergedReads)
+	}
+	if distinct != res.Work.DistinctKmers {
+		t.Errorf("distinct-kmer deltas sum to %d, want %d", distinct, res.Work.DistinctKmers)
+	}
+}
+
+// TestObserverCheckpointIO: with checkpointing on, each round additionally
+// fires a file-I/O stage whose delta carries the bytes written.
+func TestObserverCheckpointIO(t *testing.T) {
+	pairs := buildPairs(t)
+	cfg := testPipelineConfig()
+	cfg.CheckpointDir = t.TempDir()
+	obs := &recordingObserver{}
+	cfg.Observer = obs
+	if _, err := Run(pairs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ioRounds := 0
+	for i, ev := range obs.finishes {
+		if ev.Stage == StageFileIO && ev.Round >= 0 {
+			ioRounds++
+			if obs.works[i].IOBytes <= 0 {
+				t.Errorf("round %d checkpoint: no IOBytes delta", ev.Round)
+			}
+		}
+	}
+	if ioRounds != len(cfg.Rounds) {
+		t.Errorf("%d checkpoint I/O stages for %d rounds", ioRounds, len(cfg.Rounds))
+	}
+}

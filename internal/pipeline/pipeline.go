@@ -109,15 +109,6 @@ type RoundBins struct {
 	Zero, Small, Large int
 }
 
-// LocalAssembler replaces the built-in local-assembly executor for each
-// contigging round — the hook the distributed runtime (internal/dist) uses
-// to shard the stage across ranks. Implementations must leave ctgs extended
-// exactly as the built-in path would (ctgs[i].Seq rebound to the extended
-// sequence) and may append kernel/comm accounting to res.
-type LocalAssembler interface {
-	AssembleRound(k int, ctgs []*locassm.CtgWithReads, res *Result) error
-}
-
 // Default read-merging parameters (the merge-reads stage of Fig 1).
 const (
 	// DefaultMergeMinOverlap is the minimum mate overlap to merge a pair.
@@ -163,19 +154,51 @@ type Config struct {
 	// --checkpoint).
 	CheckpointDir string
 
-	// UseGPU switches local assembly to the GPU driver.
-	UseGPU bool
+	// Engine selects the local-assembly execution substrate — the single
+	// resolved spec that replaced the old UseGPU-style boolean branching.
+	// Engine.Name picks a registered engine ("", "auto" → cpu); the
+	// distributed runtime injects itself via Engine.Instance. The walk
+	// Config, driver GPU config, Device, and Workers below are folded into
+	// the spec at resolution time, so only Name / Instance / GPUs /
+	// DeviceConfig need to be set here.
+	Engine locassm.EngineSpec
+
+	// Observer, when non-nil, receives stage start/finish callbacks with
+	// per-stage Timings and WorkRecord deltas — the seam tracing and
+	// metrics layers attach to.
+	Observer Observer
+
 	// UseGPUAln runs the alignment stage's banded-SW verification on the
 	// device (the ADEPT role, internal/gpualign) instead of the CPU.
 	UseGPUAln bool
-	// GPU configures the device driver when UseGPU is set.
+	// GPU configures the device driver for the gpu/multigpu engines.
 	GPU locassm.GPUConfig
-	// Device runs the GPU local assembly (nil: a fresh V100 per run).
+	// Device runs GPU local assembly and GPU alignment (nil: a fresh V100
+	// per run).
 	Device *simt.Device
+}
 
-	// Assembler, when non-nil, executes each round's local-assembly stage
-	// instead of the built-in CPU/GPU paths (see LocalAssembler).
-	Assembler LocalAssembler
+// resolveEngine collapses the engine-selection configuration into one
+// constructed locassm.Engine — the single decision point for where local
+// assembly executes. The pipeline-level walk config, GPU driver config,
+// device, and worker count always win over the corresponding EngineSpec
+// fields, so a spec only ever names the substrate (plus multigpu's device
+// count and fresh-device template).
+func (c *Config) resolveEngine() (locassm.Engine, error) {
+	spec := c.Engine
+	if spec.Instance != nil {
+		return spec.Instance, nil
+	}
+	spec.Config = c.Locassm
+	spec.GPU = c.GPU
+	spec.GPU.Config = c.Locassm
+	if spec.Device == nil {
+		spec.Device = c.Device
+	}
+	if spec.Workers == 0 {
+		spec.Workers = c.Workers
+	}
+	return locassm.NewEngine(spec)
 }
 
 // mergeParams resolves the effective read-merging parameters.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mhm2sim/internal/dna"
+	"mhm2sim/internal/locassm"
 	"mhm2sim/internal/preprocess"
 	"mhm2sim/internal/synth"
 )
@@ -205,7 +206,7 @@ func TestPipelineGPUMatchesCPUContigs(t *testing.T) {
 		t.Fatal(err)
 	}
 	gcfg := testPipelineConfig()
-	gcfg.UseGPU = true
+	gcfg.Engine.Name = locassm.EngineGPU
 	gpuRes, err := Run(pairs, gcfg)
 	if err != nil {
 		t.Fatal(err)

@@ -1,65 +1,49 @@
 package pipeline
 
 import (
-	"bytes"
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
-	"time"
 
-	"mhm2sim/internal/align"
 	"mhm2sim/internal/dbg"
 	"mhm2sim/internal/dna"
 	"mhm2sim/internal/locassm"
+	"mhm2sim/internal/par"
 	"mhm2sim/internal/preprocess"
-	"mhm2sim/internal/scaffold"
-	"mhm2sim/internal/simt"
 )
 
-// Run executes the full pipeline over the paired reads.
+// Run executes the full pipeline over the paired reads as an explicit
+// stage graph (Fig 1): merge reads, then per contigging round k-mer
+// analysis → contig generation → alignment → local assembly (→ checkpoint
+// I/O), then scaffolding and file I/O. The stage driver owns timing,
+// checkpointing, and the Observer callbacks; local assembly runs on the
+// one engine resolved from cfg (see locassm.Engine), so every execution
+// substrate — host, GPU, multi-GPU node, distributed ranks — flows through
+// the same loop.
 func Run(pairs []dna.PairedRead, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	eng, err := cfg.resolveEngine()
+	if err != nil {
+		return nil, err
 	}
 	res := &Result{}
 	res.Work.InputReads = 2 * len(pairs)
 	for i := range pairs {
 		res.Work.InputBases += int64(len(pairs[i].Fwd.Seq) + len(pairs[i].Rev.Seq))
 	}
-
-	// Stage: merge reads (with optional preprocessing).
-	t0 := time.Now()
-	if cfg.Preprocess != nil {
-		// Copy the pair records: trimming rebinds slice headers and the
-		// caller's slice must stay intact.
-		cp := make([]dna.PairedRead, len(pairs))
-		copy(cp, pairs)
-		var ppStats preprocess.Stats
-		var err error
-		pairs, ppStats, err = preprocess.Run(cp, *cfg.Preprocess)
-		if err != nil {
-			return nil, err
-		}
-		res.Work.Preprocess = ppStats
+	st := &runState{
+		cfg: &cfg, res: res, eng: eng,
+		workers: par.Workers(cfg.Workers), pairs: pairs,
 	}
-	minOverlap, maxMismatchFrac := cfg.mergeParams()
-	reads := mergePairs(pairs, minOverlap, maxMismatchFrac)
-	res.Timings.Add(StageMergeReads, time.Since(t0))
-	res.Work.MergedReads = len(reads)
+	d := &stageDriver{res: res, obs: cfg.Observer}
 
-	seqs := make([][]byte, len(reads))
-	for i := range reads {
-		seqs[i] = reads[i].Seq
+	if err := d.exec(outerEvent(StageMergeReads), false, st.mergeReads); err != nil {
+		return nil, err
 	}
 
-	// Iterative contigging rounds (Fig 1's "Iterate for k's").
-	var ctgSeqs [][]byte
-	var ctgs []dbg.Contig
+	// Iterative contigging rounds (Fig 1's "Iterate for k's"), resuming
+	// past checkpointed rounds when a checkpoint directory is configured.
 	skip := 0
 	if cfg.CheckpointDir != "" {
 		loaded, n, err := resumePoint(cfg.CheckpointDir, cfg.Rounds)
@@ -67,11 +51,7 @@ func Run(pairs []dna.PairedRead, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		if n > 0 {
-			ctgs = loaded
-			ctgSeqs = make([][]byte, len(ctgs))
-			for i := range ctgs {
-				ctgSeqs[i] = ctgs[i].Seq
-			}
+			st.adoptContigs(loaded)
 			skip = n
 		}
 	}
@@ -79,403 +59,219 @@ func Run(pairs []dna.PairedRead, cfg Config) (*Result, error) {
 		if ri < skip {
 			continue
 		}
-		roundSeqs := seqs
-		// Contigs from the previous round are injected (twice, so their
-		// k-mers survive the singleton filter) to carry progress forward.
-		for _, cs := range ctgSeqs {
-			roundSeqs = append(roundSeqs, cs, cs)
-		}
-
-		// Stage: k-mer analysis.
-		t0 = time.Now()
-		dcfg := dbg.Config{K: k, MinCount: cfg.MinCount, Workers: workers, MinCtgLen: k + 10}
-		table, err := dbg.Count(roundSeqs, dcfg)
-		if err != nil {
+		st.k = k
+		if err := d.exec(roundEvent(StageKmerAnalysis, ri, k), false, st.kmerAnalysis); err != nil {
 			return nil, err
 		}
-		for _, s := range roundSeqs {
-			if len(s) >= k {
-				res.Work.KmerOccurrences += int64(len(s) - k + 1)
-			}
-		}
-		table.Filter(cfg.MinCount)
-		res.Work.DistinctKmers += int64(table.Len())
-		res.Timings.Add(StageKmerAnalysis, time.Since(t0))
-
-		// Stage: contig generation.
-		t0 = time.Now()
-		ctgs = table.Contigs(dcfg)
-		res.Timings.Add(StageContigGen, time.Since(t0))
-
-		// Stage: alignment (+ aln kernel) — find candidate reads per end.
-		ctgSeqs = make([][]byte, len(ctgs))
-		for i := range ctgs {
-			ctgSeqs[i] = ctgs[i].Seq
-		}
-		withReads, aln, err := alignCandidates(reads, ctgs, &cfg, workers, res)
-		if err != nil {
+		if err := d.exec(roundEvent(StageContigGen, ri, k), false, st.contigGen); err != nil {
 			return nil, err
 		}
-		_ = aln
-
-		// Snapshot the workload before extension mutates it (struct copies
-		// keep the pre-extension sequences; read slices are shared and
-		// never mutated).
-		snapshot := make([]*locassm.CtgWithReads, len(withReads))
-		for i, c := range withReads {
-			cc := *c
-			snapshot[i] = &cc
-		}
-		res.LAWorkload = snapshot
-
-		// Stage: local assembly.
-		t0 = time.Now()
-		if err := runLocalAssembly(k, withReads, &cfg, workers, res); err != nil {
+		// Alignment is the one self-timed stage: it splits its wall time
+		// between the alignment and aln-kernel categories itself.
+		if err := d.exec(roundEvent(StageAlignment, ri, k), true, st.alignment); err != nil {
 			return nil, err
 		}
-		res.Timings.Add(StageLocalAssembly, time.Since(t0))
-
-		bins := locassm.MakeBins(withReads, cfg.GPU.SmallLimit)
-		res.Bins = append(res.Bins, RoundBins{
-			K: k, Zero: len(bins.Zero), Small: len(bins.Small), Large: len(bins.Large),
-		})
-		res.Work.CandidateCtgs = len(withReads)
-
-		// The extended contigs feed the next round (and the final output).
-		for i := range withReads {
-			ctgs[i].Seq = withReads[i].Seq
-			ctgSeqs[i] = withReads[i].Seq
+		if err := d.exec(roundEvent(StageLocalAssembly, ri, k), false, st.localAssembly); err != nil {
+			return nil, err
 		}
-
 		if cfg.CheckpointDir != "" {
-			t0 = time.Now()
-			n, err := saveRound(cfg.CheckpointDir, k, ctgs)
-			if err != nil {
+			if err := d.exec(roundEvent(StageFileIO, ri, k), false, st.saveCheckpoint); err != nil {
 				return nil, err
 			}
-			res.Work.IOBytes += n
-			res.Timings.Add(StageFileIO, time.Since(t0))
 		}
 	}
-	res.Contigs = ctgs
-	res.Work.ContigsGenerated = len(ctgs)
-	for i := range ctgs {
-		res.Work.ContigBases += int64(len(ctgs[i].Seq))
+	res.Contigs = st.ctgs
+	res.Work.ContigsGenerated = len(st.ctgs)
+	for i := range st.ctgs {
+		res.Work.ContigBases += int64(len(st.ctgs[i].Seq))
 	}
 
-	// Stage: scaffolding.
-	t0 = time.Now()
-	scaffolds, pairsUsed, estInsert, err := runScaffolding(pairs, ctgSeqs, &cfg, workers)
-	if err != nil {
+	if err := d.exec(outerEvent(StageScaffolding), false, st.scaffolding); err != nil {
 		return nil, err
 	}
-	res.Scaffolds = scaffolds
-	res.Work.ScaffoldPairs = pairsUsed
-	res.Work.EstimatedInsert = estInsert
-	res.Timings.Add(StageScaffolding, time.Since(t0))
-
-	// Stage: file I/O — serialize the outputs as the real pipeline would.
-	t0 = time.Now()
-	n, err := writeOutputs(io.Discard, res)
-	if err != nil {
+	if err := d.exec(outerEvent(StageFileIO), false, st.writeFinal); err != nil {
 		return nil, err
 	}
-	res.Work.IOBytes = n
-	res.Timings.Add(StageFileIO, time.Since(t0))
 	return res, nil
 }
 
-// alignCandidates aligns every merged read against the round's contigs and
-// buckets end-zone hits into per-contig candidate-read lists.
-func alignCandidates(reads []dna.Read, ctgs []dbg.Contig, cfg *Config, workers int, res *Result) ([]*locassm.CtgWithReads, *align.Aligner, error) {
-	ctgSeqs := make([][]byte, len(ctgs))
-	withReads := make([]*locassm.CtgWithReads, len(ctgs))
+// runState is the dataflow between stages: each stage body consumes the
+// fields earlier stages produced and fills its own. Splitting the old
+// monolithic loop this way is what lets the driver treat every stage
+// uniformly.
+type runState struct {
+	cfg     *Config
+	res     *Result
+	eng     locassm.Engine
+	workers int
+
+	pairs []dna.PairedRead // input (post-preprocess)
+	reads []dna.Read       // merged reads
+	seqs  [][]byte         // merged read sequences
+
+	k         int // current round's k-mer size
+	table     *dbg.Table
+	dcfg      dbg.Config
+	ctgs      []dbg.Contig
+	ctgSeqs   [][]byte
+	withReads []*locassm.CtgWithReads
+}
+
+// adoptContigs installs checkpointed contigs as if their rounds had run.
+func (st *runState) adoptContigs(ctgs []dbg.Contig) {
+	st.ctgs = ctgs
+	st.ctgSeqs = make([][]byte, len(ctgs))
 	for i := range ctgs {
-		ctgSeqs[i] = ctgs[i].Seq
-		withReads[i] = &locassm.CtgWithReads{ID: ctgs[i].ID, Seq: ctgs[i].Seq, Depth: ctgs[i].Depth}
-	}
-	t0 := time.Now()
-	aln, err := align.New(ctgSeqs, cfg.Align)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	endZone := cfg.EndZone
-	if endZone <= 0 {
-		maxRead := 0
-		for i := range reads {
-			if len(reads[i].Seq) > maxRead {
-				maxRead = len(reads[i].Seq)
-			}
-		}
-		endZone = maxRead + 50
-	}
-
-	classify := func(h align.Hit, read dna.Read) {
-		left, right := aln.EndCandidate(h, len(read.Seq), endZone)
-		if !left && !right {
-			return
-		}
-		r := read
-		if h.RC {
-			r = r.RevComp()
-		}
-		if left {
-			withReads[h.CtgID].LeftReads = append(withReads[h.CtgID].LeftReads, r)
-		}
-		if right {
-			withReads[h.CtgID].RightReads = append(withReads[h.CtgID].RightReads, r)
-		}
-	}
-
-	var aligned int64
-	var kernelTime time.Duration
-	if cfg.UseGPUAln {
-		dev := cfg.Device
-		if dev == nil {
-			dev = simt.NewDevice(simt.V100())
-		}
-		hits, found, kernelWall, kernels, err := gpuAlignReads(dev, aln, ctgSeqs, reads, workers)
-		if err != nil {
-			return nil, nil, err
-		}
-		for i := range reads {
-			if !found[i] {
-				continue
-			}
-			aligned++
-			classify(hits[i], reads[i])
-		}
-		kernelTime = kernelWall
-		res.Work.AlnGPUKernels = append(res.Work.AlnGPUKernels, kernels...)
-		for _, k := range kernels {
-			res.Work.AlnGPUKernelTime += k.Time
-		}
-	} else {
-		type cand struct {
-			hit  align.Hit
-			read dna.Read
-		}
-		candCh := make(chan cand, 1024)
-		var mu sync.Mutex
-
-		var collectWG sync.WaitGroup
-		collectWG.Add(1)
-		go func() {
-			defer collectWG.Done()
-			for c := range candCh {
-				classify(c.hit, c.read)
-			}
-		}()
-
-		var wg sync.WaitGroup
-		next := make(chan int)
-		wg.Add(workers)
-		for wk := 0; wk < workers; wk++ {
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					h, ok := aln.AlignRead(reads[i].Seq)
-					if !ok {
-						continue
-					}
-					mu.Lock()
-					aligned++
-					mu.Unlock()
-					candCh <- cand{hit: h, read: reads[i]}
-				}
-			}()
-		}
-		for i := range reads {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-		close(candCh)
-		collectWG.Wait()
-		kernelTime = aln.KernelTime()
-	}
-
-	// Keep candidate order deterministic despite concurrent alignment.
-	for i := range withReads {
-		sortReads(withReads[i].LeftReads)
-		sortReads(withReads[i].RightReads)
-	}
-
-	stageTime := time.Since(t0)
-	if kernelTime > stageTime {
-		kernelTime = stageTime
-	}
-	res.Timings.Add(StageAlnKernel, kernelTime)
-	res.Timings.Add(StageAlignment, stageTime-kernelTime)
-	res.Work.ReadsAligned += aligned
-	res.Work.AlnCells += aln.Cells()
-	return withReads, aln, nil
-}
-
-func sortReads(rs []dna.Read) {
-	if len(rs) < 2 {
-		return
-	}
-	// Insertion sort by ID then sequence: candidate lists are short.
-	for i := 1; i < len(rs); i++ {
-		for j := i; j > 0 && readLess(&rs[j], &rs[j-1]); j-- {
-			rs[j], rs[j-1] = rs[j-1], rs[j]
-		}
+		st.ctgSeqs[i] = ctgs[i].Seq
 	}
 }
 
-func readLess(a, b *dna.Read) bool {
-	if a.ID != b.ID {
-		return a.ID < b.ID
-	}
-	return bytes.Compare(a.Seq, b.Seq) < 0
-}
-
-// runLocalAssembly extends the contigs in place via the CPU reference or
-// the GPU driver, following the §3.1 binning discipline — or hands the
-// round to cfg.Assembler (the distributed runtime) when one is configured.
-func runLocalAssembly(k int, ctgs []*locassm.CtgWithReads, cfg *Config, workers int, res *Result) error {
-	if cfg.Assembler != nil {
-		return cfg.Assembler.AssembleRound(k, ctgs, res)
-	}
-	var results []locassm.Result
-	if cfg.UseGPU {
-		dev := cfg.Device
-		if dev == nil {
-			dev = simt.NewDevice(simt.V100())
-		}
-		gcfg := cfg.GPU
-		gcfg.Config = cfg.Locassm
-		drv, err := locassm.NewDriver(dev, gcfg)
+// mergeReads is the merge-reads stage (with optional preprocessing).
+func (st *runState) mergeReads() error {
+	pairs := st.pairs
+	if st.cfg.Preprocess != nil {
+		// Copy the pair records: trimming rebinds slice headers and the
+		// caller's slice must stay intact.
+		cp := make([]dna.PairedRead, len(pairs))
+		copy(cp, pairs)
+		var ppStats preprocess.Stats
+		var err error
+		pairs, ppStats, err = preprocess.Run(cp, *st.cfg.Preprocess)
 		if err != nil {
 			return err
 		}
-		gres, err := drv.Run(ctgs)
-		if err != nil {
-			return err
-		}
-		results = gres.Results
-		res.Work.GPUKernels = append(res.Work.GPUKernels, gres.Kernels...)
-		res.Work.GPUKernelTime += gres.KernelTime
-		res.Work.GPUTransferTime += gres.TransferTime
-	} else {
-		cres, err := locassm.RunCPU(ctgs, cfg.Locassm, workers)
-		if err != nil {
-			return err
-		}
-		results = cres.Results
-		res.Work.Locassm.Add(cres.Counts)
+		st.pairs = pairs
+		st.res.Work.Preprocess = ppStats
 	}
-	for i := range ctgs {
-		ctgs[i].Seq = results[i].ExtendedSeq(ctgs[i].Seq)
+	minOverlap, maxMismatchFrac := st.cfg.mergeParams()
+	st.reads = mergePairs(pairs, minOverlap, maxMismatchFrac)
+	st.res.Work.MergedReads = len(st.reads)
+	st.seqs = make([][]byte, len(st.reads))
+	for i := range st.reads {
+		st.seqs[i] = st.reads[i].Seq
 	}
 	return nil
 }
 
-// runScaffolding aligns the original pairs against the final contigs,
-// optionally estimates the library insert size from proper pairs, and
-// joins spanning pairs into scaffolds.
-func runScaffolding(pairs []dna.PairedRead, ctgSeqs [][]byte, cfg *Config, workers int) ([]scaffold.Scaffold, int64, int, error) {
-	aln, err := align.New(ctgSeqs, cfg.Align)
+// kmerAnalysis counts and error-filters the round's k-mers. Contigs from
+// the previous round are injected (twice, so their k-mers survive the
+// singleton filter) to carry progress forward.
+func (st *runState) kmerAnalysis() error {
+	roundSeqs := st.seqs
+	for _, cs := range st.ctgSeqs {
+		roundSeqs = append(roundSeqs, cs, cs)
+	}
+	st.dcfg = dbg.Config{
+		K: st.k, MinCount: st.cfg.MinCount, Workers: st.workers, MinCtgLen: st.k + 10,
+	}
+	table, err := dbg.Count(roundSeqs, st.dcfg)
 	if err != nil {
-		return nil, 0, 0, err
+		return err
 	}
-	lens := make([]int, len(ctgSeqs))
-	for i := range ctgSeqs {
-		lens[i] = len(ctgSeqs[i])
-	}
-
-	// Phase 1: align both mates of every pair.
-	type pairHits struct {
-		h1, h2 align.Hit
-		ok     bool
-	}
-	hits := make([]pairHits, len(pairs))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	wg.Add(workers)
-	for wk := 0; wk < workers; wk++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				h1, ok1 := aln.AlignRead(pairs[i].Fwd.Seq)
-				h2, ok2 := aln.AlignRead(pairs[i].Rev.Seq)
-				hits[i] = pairHits{h1: h1, h2: h2, ok: ok1 && ok2}
-			}
-		}()
-	}
-	for i := range pairs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	// Phase 2: insert-size estimation from proper (same-contig) pairs.
-	insertMean := cfg.Scaffold.InsertMean
-	estimated := 0
-	if cfg.EstimateInsert {
-		var obs []int
-		for i := range hits {
-			if !hits[i].ok {
-				continue
-			}
-			if ins, ok := scaffold.ProperPairInsert(hits[i].h1, hits[i].h2); ok {
-				obs = append(obs, ins)
-			}
-		}
-		if mean, _, ok := scaffold.EstimateInsert(obs, 50); ok {
-			insertMean, estimated = mean, mean
+	for _, s := range roundSeqs {
+		if len(s) >= st.k {
+			st.res.Work.KmerOccurrences += int64(len(s) - st.k + 1)
 		}
 	}
-
-	// Phase 3: votes and joining.
-	var all []scaffold.Link
-	var used int64
-	for i := range hits {
-		if !hits[i].ok {
-			continue
-		}
-		if v, ok := scaffold.PairVote(hits[i].h1, hits[i].h2, lens, insertMean); ok {
-			all = append(all, v)
-			used++
-		}
-	}
-	scfg := cfg.Scaffold
-	scfg.InsertMean = insertMean
-	scs, err := scaffold.Build(ctgSeqs, all, scfg)
-	return scs, used, estimated, err
+	table.Filter(st.cfg.MinCount)
+	st.res.Work.DistinctKmers += int64(table.Len())
+	st.table = table
+	return nil
 }
 
-// writeOutputs serializes contigs and scaffolds as FASTA, returning bytes
-// written — the file I/O stage.
-func writeOutputs(w io.Writer, res *Result) (int64, error) {
-	var buf bytes.Buffer
-	names := make([]string, len(res.Contigs))
-	seqs := make([][]byte, len(res.Contigs))
-	for i := range res.Contigs {
-		names[i] = fmt.Sprintf("contig_%d depth=%.2f", res.Contigs[i].ID, res.Contigs[i].Depth)
-		seqs[i] = res.Contigs[i].Seq
+// contigGen traverses the filtered de Bruijn graph into contigs.
+func (st *runState) contigGen() error {
+	st.ctgs = st.table.Contigs(st.dcfg)
+	st.table = nil // the table is dead weight once traversed
+	st.ctgSeqs = make([][]byte, len(st.ctgs))
+	for i := range st.ctgs {
+		st.ctgSeqs[i] = st.ctgs[i].Seq
 	}
-	if err := dna.WriteFASTA(&buf, names, seqs, 80); err != nil {
-		return 0, err
-	}
-	names = names[:0]
-	seqs = seqs[:0]
-	for i := range res.Scaffolds {
-		names = append(names, fmt.Sprintf("scaffold_%d", i))
-		seqs = append(seqs, res.Scaffolds[i].Seq)
-	}
-	if err := dna.WriteFASTA(&buf, names, seqs, 80); err != nil {
-		return 0, err
-	}
-	n, err := w.Write(buf.Bytes())
-	return int64(n), err
+	return nil
 }
 
-// WriteFASTAOutputs writes the final contigs and scaffolds to w (used by
-// the command-line tools).
-func WriteFASTAOutputs(w io.Writer, res *Result) error {
-	_, err := writeOutputs(w, res)
-	return err
+// alignment finds candidate reads per contig end (+ aln kernel) and
+// snapshots the local-assembly workload before extension mutates it.
+func (st *runState) alignment() error {
+	withReads, err := alignCandidates(st.reads, st.ctgs, st.cfg, st.workers, st.res)
+	if err != nil {
+		return err
+	}
+	st.withReads = withReads
+	// Snapshot the workload (struct copies keep the pre-extension
+	// sequences; read slices are shared and never mutated).
+	snapshot := make([]*locassm.CtgWithReads, len(withReads))
+	for i, c := range withReads {
+		cc := *c
+		snapshot[i] = &cc
+	}
+	st.res.LAWorkload = snapshot
+	return nil
+}
+
+// localAssembly extends the round's contigs through the resolved engine —
+// the one call every execution substrate is behind — then applies the
+// extensions and merges the engine's accounting.
+func (st *runState) localAssembly() error {
+	results, stats, err := st.eng.Assemble(st.k, st.withReads)
+	if err != nil {
+		return err
+	}
+	if len(results) != len(st.withReads) {
+		return fmt.Errorf("pipeline: engine %s returned %d results for %d contigs",
+			st.eng.Name(), len(results), len(st.withReads))
+	}
+	st.res.Work.GPUKernels = append(st.res.Work.GPUKernels, stats.Kernels...)
+	st.res.Work.GPUKernelTime += stats.KernelTime
+	st.res.Work.GPUTransferTime += stats.TransferTime
+	st.res.Work.Locassm.Add(stats.Counts)
+
+	bins := locassm.MakeBins(st.withReads, st.cfg.GPU.SmallLimit)
+	st.res.Bins = append(st.res.Bins, RoundBins{
+		K: st.k, Zero: len(bins.Zero), Small: len(bins.Small), Large: len(bins.Large),
+	})
+	st.res.Work.CandidateCtgs = len(st.withReads)
+
+	// The extended contigs feed the next round (and the final output).
+	for i := range st.withReads {
+		ext := results[i].ExtendedSeq(st.withReads[i].Seq)
+		st.withReads[i].Seq = ext
+		st.ctgs[i].Seq = ext
+		st.ctgSeqs[i] = ext
+	}
+	return nil
+}
+
+// saveCheckpoint persists the round's extended contigs (checkpoint I/O).
+func (st *runState) saveCheckpoint() error {
+	n, err := saveRound(st.cfg.CheckpointDir, st.k, st.ctgs)
+	if err != nil {
+		return err
+	}
+	st.res.Work.IOBytes += n
+	return nil
+}
+
+// scaffolding joins the final contigs into scaffolds using the original
+// pairs.
+func (st *runState) scaffolding() error {
+	scaffolds, pairsUsed, estInsert, err := runScaffolding(st.pairs, st.ctgSeqs, st.cfg, st.workers)
+	if err != nil {
+		return err
+	}
+	st.res.Scaffolds = scaffolds
+	st.res.Work.ScaffoldPairs = pairsUsed
+	st.res.Work.EstimatedInsert = estInsert
+	return nil
+}
+
+// writeFinal serializes the outputs as the real pipeline would (file I/O),
+// accumulating onto the bytes checkpointing already wrote.
+func (st *runState) writeFinal() error {
+	n, err := writeOutputs(io.Discard, st.res)
+	if err != nil {
+		return err
+	}
+	st.res.Work.IOBytes += n
+	return nil
 }

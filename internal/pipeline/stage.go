@@ -1,0 +1,130 @@
+package pipeline
+
+import (
+	"time"
+)
+
+// The stage graph makes the Fig 1 dataflow explicit: pipeline.Run builds a
+// sequence of stage executions — merge reads, then per contigging round
+// {k-mer analysis → contig generation → alignment → local assembly
+// [→ checkpoint I/O]}, then scaffolding and file I/O — and a small driver
+// executes them in order, owning per-stage timing, checkpoint persistence,
+// and the Observer callbacks. Stage bodies only transform runState; they
+// never touch the clock and (with one flagged exception) never write
+// Timings, so every crosscutting concern lives in exactly one place.
+
+// StageEvent identifies one execution of a stage in the Fig 1 graph.
+type StageEvent struct {
+	// Stage is the Fig 2 timing category the execution is billed to.
+	Stage Stage
+	// Name is the human-readable stage name (Stage.String()).
+	Name string
+	// Round is the 0-based contigging round, or -1 for the stages outside
+	// the round loop (merge reads, scaffolding, final file I/O).
+	Round int
+	// K is the round's k-mer size (0 outside the round loop).
+	K int
+}
+
+// Observer receives stage-lifecycle callbacks from the pipeline driver —
+// the seam tracing, metrics, and progress layers attach to. StageFinish
+// carries the stage's deltas: its wall time, the per-category Timings it
+// accumulated (usually only ev.Stage, but the alignment stage splits into
+// alignment + aln kernel), and the WorkRecord counters it added (kernel
+// lists in the delta hold only the launches of this stage). Callbacks run
+// synchronously on the pipeline goroutine, in graph order; implementations
+// must not mutate the deltas' slices.
+type Observer interface {
+	StageStart(ev StageEvent)
+	StageFinish(ev StageEvent, wall time.Duration, timings Timings, work WorkRecord)
+}
+
+// outerEvent builds the event for a stage outside the round loop.
+func outerEvent(s Stage) StageEvent {
+	return StageEvent{Stage: s, Name: s.String(), Round: -1}
+}
+
+// roundEvent builds the event for a stage inside contigging round ri (k).
+func roundEvent(s Stage, ri, k int) StageEvent {
+	return StageEvent{Stage: s, Name: s.String(), Round: ri, K: k}
+}
+
+// stageDriver executes stage bodies sequentially. It owns the clock: the
+// measured wall time of each body is credited to the event's timing
+// category, and Observer deltas are computed from Timings/WorkRecord
+// snapshots around the body.
+type stageDriver struct {
+	res *Result
+	obs Observer // nil = no observer
+}
+
+// exec runs one stage. selfTimed marks the single stage (alignment) whose
+// body splits its own wall time across two categories; for every other
+// stage the driver bills the measured wall time to ev.Stage itself.
+func (d *stageDriver) exec(ev StageEvent, selfTimed bool, body func() error) error {
+	timingsBefore := d.res.Timings
+	workBefore := d.res.Work
+	if d.obs != nil {
+		d.obs.StageStart(ev)
+	}
+	t0 := time.Now()
+	err := body()
+	wall := time.Since(t0)
+	if !selfTimed {
+		d.res.Timings.Add(ev.Stage, wall)
+	}
+	if err != nil {
+		return err
+	}
+	if d.obs != nil {
+		d.obs.StageFinish(ev, wall,
+			d.res.Timings.diff(timingsBefore), d.res.Work.diff(workBefore))
+	}
+	return nil
+}
+
+// diff returns the per-stage wall time accumulated since prev.
+func (t Timings) diff(prev Timings) Timings {
+	for s := range t.Wall {
+		t.Wall[s] -= prev.Wall[s]
+	}
+	return t
+}
+
+// diff returns the work added since prev: numeric counters are
+// subtracted, kernel lists are sliced to the newly appended launches
+// (views into the live lists — read-only for observers).
+func (w WorkRecord) diff(prev WorkRecord) WorkRecord {
+	w.InputReads -= prev.InputReads
+	w.InputBases -= prev.InputBases
+	w.MergedReads -= prev.MergedReads
+	w.KmerOccurrences -= prev.KmerOccurrences
+	w.DistinctKmers -= prev.DistinctKmers
+	w.ContigsGenerated -= prev.ContigsGenerated
+	w.ContigBases -= prev.ContigBases
+	w.ReadsAligned -= prev.ReadsAligned
+	w.AlnCells -= prev.AlnCells
+	w.CandidateCtgs -= prev.CandidateCtgs
+	w.Locassm.TableBuilds -= prev.Locassm.TableBuilds
+	w.Locassm.KmersInserted -= prev.Locassm.KmersInserted
+	w.Locassm.Lookups -= prev.Locassm.Lookups
+	w.Locassm.WalkSteps -= prev.Locassm.WalkSteps
+	w.GPUKernels = w.GPUKernels[len(prev.GPUKernels):]
+	w.GPUKernelTime -= prev.GPUKernelTime
+	w.GPUTransferTime -= prev.GPUTransferTime
+	w.AlnGPUKernels = w.AlnGPUKernels[len(prev.AlnGPUKernels):]
+	w.AlnGPUKernelTime -= prev.AlnGPUKernelTime
+	w.ScaffoldPairs -= prev.ScaffoldPairs
+	w.IOBytes -= prev.IOBytes
+	w.Preprocess.PairsIn -= prev.Preprocess.PairsIn
+	w.Preprocess.PairsOut -= prev.Preprocess.PairsOut
+	w.Preprocess.PairsDropped -= prev.Preprocess.PairsDropped
+	w.Preprocess.AdapterTrimmed -= prev.Preprocess.AdapterTrimmed
+	w.Preprocess.QualityTrimmed -= prev.Preprocess.QualityTrimmed
+	w.Preprocess.BasesRemoved -= prev.Preprocess.BasesRemoved
+	w.CommTime -= prev.CommTime
+	w.CommBytes -= prev.CommBytes
+	w.CommMsgs -= prev.CommMsgs
+	w.EstimatedInsert -= prev.EstimatedInsert
+	return w
+}

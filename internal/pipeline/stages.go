@@ -1,0 +1,246 @@
+package pipeline
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mhm2sim/internal/align"
+	"mhm2sim/internal/dbg"
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/locassm"
+	"mhm2sim/internal/par"
+	"mhm2sim/internal/scaffold"
+	"mhm2sim/internal/simt"
+)
+
+// alignCandidates aligns every merged read against the round's contigs and
+// buckets end-zone hits into per-contig candidate-read lists. It is the
+// one self-timed stage body: the measured wall time is split between the
+// aln-kernel category (time inside banded Smith-Waterman) and the
+// alignment category (everything else).
+func alignCandidates(reads []dna.Read, ctgs []dbg.Contig, cfg *Config, workers int, res *Result) ([]*locassm.CtgWithReads, error) {
+	ctgSeqs := make([][]byte, len(ctgs))
+	withReads := make([]*locassm.CtgWithReads, len(ctgs))
+	for i := range ctgs {
+		ctgSeqs[i] = ctgs[i].Seq
+		withReads[i] = &locassm.CtgWithReads{ID: ctgs[i].ID, Seq: ctgs[i].Seq, Depth: ctgs[i].Depth}
+	}
+	t0 := time.Now()
+	aln, err := align.New(ctgSeqs, cfg.Align)
+	if err != nil {
+		return nil, err
+	}
+
+	endZone := cfg.EndZone
+	if endZone <= 0 {
+		maxRead := 0
+		for i := range reads {
+			if len(reads[i].Seq) > maxRead {
+				maxRead = len(reads[i].Seq)
+			}
+		}
+		endZone = maxRead + 50
+	}
+
+	classify := func(h align.Hit, read dna.Read) {
+		left, right := aln.EndCandidate(h, len(read.Seq), endZone)
+		if !left && !right {
+			return
+		}
+		r := read
+		if h.RC {
+			r = r.RevComp()
+		}
+		if left {
+			withReads[h.CtgID].LeftReads = append(withReads[h.CtgID].LeftReads, r)
+		}
+		if right {
+			withReads[h.CtgID].RightReads = append(withReads[h.CtgID].RightReads, r)
+		}
+	}
+
+	var aligned atomic.Int64
+	var kernelTime time.Duration
+	if cfg.UseGPUAln {
+		dev := cfg.Device
+		if dev == nil {
+			dev = simt.NewDevice(simt.V100())
+		}
+		hits, found, kernelWall, kernels, err := gpuAlignReads(dev, aln, ctgSeqs, reads, workers)
+		if err != nil {
+			return nil, err
+		}
+		for i := range reads {
+			if !found[i] {
+				continue
+			}
+			aligned.Add(1)
+			classify(hits[i], reads[i])
+		}
+		kernelTime = kernelWall
+		res.Work.AlnGPUKernels = append(res.Work.AlnGPUKernels, kernels...)
+		for _, k := range kernels {
+			res.Work.AlnGPUKernelTime += k.Time
+		}
+	} else {
+		type cand struct {
+			hit  align.Hit
+			read dna.Read
+		}
+		candCh := make(chan cand, 1024)
+
+		var collectWG sync.WaitGroup
+		collectWG.Add(1)
+		go func() {
+			defer collectWG.Done()
+			for c := range candCh {
+				classify(c.hit, c.read)
+			}
+		}()
+
+		par.ForEach(workers, len(reads), func(i int) {
+			h, ok := aln.AlignRead(reads[i].Seq)
+			if !ok {
+				return
+			}
+			aligned.Add(1)
+			candCh <- cand{hit: h, read: reads[i]}
+		})
+		close(candCh)
+		collectWG.Wait()
+		kernelTime = aln.KernelTime()
+	}
+
+	// Keep candidate order deterministic despite concurrent alignment.
+	for i := range withReads {
+		sortReads(withReads[i].LeftReads)
+		sortReads(withReads[i].RightReads)
+	}
+
+	stageTime := time.Since(t0)
+	if kernelTime > stageTime {
+		kernelTime = stageTime
+	}
+	res.Timings.Add(StageAlnKernel, kernelTime)
+	res.Timings.Add(StageAlignment, stageTime-kernelTime)
+	res.Work.ReadsAligned += aligned.Load()
+	res.Work.AlnCells += aln.Cells()
+	return withReads, nil
+}
+
+func sortReads(rs []dna.Read) {
+	if len(rs) < 2 {
+		return
+	}
+	// Insertion sort by ID then sequence: candidate lists are short.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && readLess(&rs[j], &rs[j-1]); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+func readLess(a, b *dna.Read) bool {
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	return bytes.Compare(a.Seq, b.Seq) < 0
+}
+
+// runScaffolding aligns the original pairs against the final contigs,
+// optionally estimates the library insert size from proper pairs, and
+// joins spanning pairs into scaffolds.
+func runScaffolding(pairs []dna.PairedRead, ctgSeqs [][]byte, cfg *Config, workers int) ([]scaffold.Scaffold, int64, int, error) {
+	aln, err := align.New(ctgSeqs, cfg.Align)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	lens := make([]int, len(ctgSeqs))
+	for i := range ctgSeqs {
+		lens[i] = len(ctgSeqs[i])
+	}
+
+	// Phase 1: align both mates of every pair.
+	type pairHits struct {
+		h1, h2 align.Hit
+		ok     bool
+	}
+	hits := make([]pairHits, len(pairs))
+	par.ForEach(workers, len(pairs), func(i int) {
+		h1, ok1 := aln.AlignRead(pairs[i].Fwd.Seq)
+		h2, ok2 := aln.AlignRead(pairs[i].Rev.Seq)
+		hits[i] = pairHits{h1: h1, h2: h2, ok: ok1 && ok2}
+	})
+
+	// Phase 2: insert-size estimation from proper (same-contig) pairs.
+	insertMean := cfg.Scaffold.InsertMean
+	estimated := 0
+	if cfg.EstimateInsert {
+		var obs []int
+		for i := range hits {
+			if !hits[i].ok {
+				continue
+			}
+			if ins, ok := scaffold.ProperPairInsert(hits[i].h1, hits[i].h2); ok {
+				obs = append(obs, ins)
+			}
+		}
+		if mean, _, ok := scaffold.EstimateInsert(obs, 50); ok {
+			insertMean, estimated = mean, mean
+		}
+	}
+
+	// Phase 3: votes and joining.
+	var all []scaffold.Link
+	var used int64
+	for i := range hits {
+		if !hits[i].ok {
+			continue
+		}
+		if v, ok := scaffold.PairVote(hits[i].h1, hits[i].h2, lens, insertMean); ok {
+			all = append(all, v)
+			used++
+		}
+	}
+	scfg := cfg.Scaffold
+	scfg.InsertMean = insertMean
+	scs, err := scaffold.Build(ctgSeqs, all, scfg)
+	return scs, used, estimated, err
+}
+
+// writeOutputs serializes contigs and scaffolds as FASTA, returning bytes
+// written — the file I/O stage.
+func writeOutputs(w io.Writer, res *Result) (int64, error) {
+	var buf bytes.Buffer
+	names := make([]string, len(res.Contigs))
+	seqs := make([][]byte, len(res.Contigs))
+	for i := range res.Contigs {
+		names[i] = fmt.Sprintf("contig_%d depth=%.2f", res.Contigs[i].ID, res.Contigs[i].Depth)
+		seqs[i] = res.Contigs[i].Seq
+	}
+	if err := dna.WriteFASTA(&buf, names, seqs, 80); err != nil {
+		return 0, err
+	}
+	names = names[:0]
+	seqs = seqs[:0]
+	for i := range res.Scaffolds {
+		names = append(names, fmt.Sprintf("scaffold_%d", i))
+		seqs = append(seqs, res.Scaffolds[i].Seq)
+	}
+	if err := dna.WriteFASTA(&buf, names, seqs, 80); err != nil {
+		return 0, err
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// WriteFASTAOutputs writes the final contigs and scaffolds to w (used by
+// the command-line tools).
+func WriteFASTAOutputs(w io.Writer, res *Result) error {
+	_, err := writeOutputs(w, res)
+	return err
+}
