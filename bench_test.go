@@ -309,6 +309,33 @@ func BenchmarkLocalAssemblyGPUv2(b *testing.B) {
 	}
 }
 
+// BenchmarkFigureSweepGPU times one full modeled-GPU figure sweep: the
+// v1+v2 roofline kernel re-execution behind Figs 8-10 plus a warp-per-table
+// driver run — the warp-interpretation wall-clock that dominates the figure
+// suite (ROADMAP item 4). This is the headline series of the BENCH_*.json
+// perf trajectory.
+func BenchmarkFigureSweepGPU(b *testing.B) {
+	s := getState(b)
+	dev := simt.NewDevice(simt.V100())
+	defer dev.Close()
+	d, err := locassm.NewDriver(dev, locassm.GPUConfig{
+		Config:       s.arctic.Config.Locassm,
+		WarpPerTable: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.RunRoofline(s.arcticRes.LAWorkload, s.arctic.Config.Locassm, 2*s.f2); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Run(s.arcticRes.LAWorkload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDriverStaging times the GPU driver end to end on the
 // arcticsynth workload in both modes: "sequential" is the seed's
 // one-batch-at-a-time schedule, "pipelined" the staged pack → launch →

@@ -1,0 +1,177 @@
+// Command benchtrack runs the repository's key benchmarks and serializes the
+// results to a JSON trajectory file (BENCH_PR6.json at the repo root), so the
+// performance of the simulator hot path is tracked across PRs instead of
+// living only in commit messages.
+//
+// It shells out to `go test -bench` per package, parses the standard
+// benchmark output lines (name, iterations, ns/op, and with -benchmem B/op
+// and allocs/op), and writes one record per benchmark. With -gate, it exits
+// nonzero if any BenchmarkLaunchOverhead series reports a nonzero allocs/op
+// — the steady-state launch path must stay allocation-free.
+//
+// Usage:
+//
+//	benchtrack [-out BENCH_PR6.json] [-benchtime 1x] [-gate] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// suite lists one package's benchmark selection.
+type suite struct {
+	// Pkg is the package path passed to go test.
+	Pkg string
+	// Pattern selects benchmarks within the package.
+	Pattern string
+	// Slow marks suites skipped under -quick (CI smoke mode).
+	Slow bool
+}
+
+// suites is the tracked benchmark set: the simt interpreter micro-benchmarks
+// (coalesce, bulk load/store, launch overhead — the PR 6 fast paths), the
+// locassm driver staging path, the host flat-table engine, and the headline
+// modeled-GPU figure sweep.
+var suites = []suite{
+	{Pkg: "./internal/simt", Pattern: "BenchmarkCoalesce|BenchmarkLoadGlobalContiguous|BenchmarkStoreGlobalContiguous|BenchmarkLoadGlobalLane0|BenchmarkLoadLocalUniform|BenchmarkLaunchOverhead|BenchmarkLaunchHashProbe"},
+	{Pkg: "./internal/locassm", Pattern: "BenchmarkDriverStaging|BenchmarkFlatTableBuild|BenchmarkFlatWalk"},
+	{Pkg: ".", Pattern: "BenchmarkFigureSweepGPU", Slow: true},
+}
+
+// Record is one benchmark measurement.
+type Record struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// File is the serialized trajectory: environment header plus measurements.
+type File struct {
+	Schema     string   `json:"schema"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchtime  string   `json:"benchtime"`
+	UnixTime   int64    `json:"unix_time"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result line, e.g.
+//
+//	BenchmarkCoalesce/contiguous4-8  12345678  96.1 ns/op  0 B/op  0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func parse(pkg, out string) []Record {
+	var recs []Record
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		var bpo, apo int64
+		if m[4] != "" {
+			bpo, _ = strconv.ParseInt(m[4], 10, 64)
+			apo, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		recs = append(recs, Record{
+			Name:       m[1],
+			Package:    pkg,
+			Iterations: iters,
+			NsPerOp:    ns,
+			BytesPerOp: bpo, AllocsPerOp: apo,
+		})
+	}
+	return recs
+}
+
+func run(pkg, pattern, benchtime string) (string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", pattern, "-benchmem", "-benchtime", benchtime, "-count", "1", pkg)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	return string(out), err
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	gate := flag.Bool("gate", false, "fail if LaunchOverhead reports nonzero allocs/op")
+	quick := flag.Bool("quick", false, "skip slow suites (the figure sweep)")
+	flag.Parse()
+
+	file := File{
+		Schema:    "mhm2sim-bench/v1",
+		GoVersion: strings.TrimPrefix(strings.Fields(goVersion())[2], "go"),
+		GOOS:      goEnv("GOOS"),
+		GOARCH:    goEnv("GOARCH"),
+		Benchtime: *benchtime,
+		UnixTime:  time.Now().Unix(),
+	}
+	for _, s := range suites {
+		if s.Slow && *quick {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchtrack: %s -bench %s\n", s.Pkg, s.Pattern)
+		txt, err := run(s.Pkg, s.Pattern, *benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrack: %s: %v\n%s", s.Pkg, err, txt)
+			os.Exit(1)
+		}
+		file.Benchmarks = append(file.Benchmarks, parse(s.Pkg, txt)...)
+	}
+
+	if *gate {
+		bad := false
+		for _, r := range file.Benchmarks {
+			if strings.HasPrefix(r.Name, "BenchmarkLaunchOverhead") && r.AllocsPerOp > 0 {
+				fmt.Fprintf(os.Stderr, "benchtrack: GATE FAILURE: %s allocates %d objects/op; the steady-state launch path must be allocation-free\n",
+					r.Name, r.AllocsPerOp)
+				bad = true
+			}
+		}
+		if bad {
+			os.Exit(1)
+		}
+	}
+
+	blob, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrack:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrack:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchtrack: wrote %d benchmarks to %s\n", len(file.Benchmarks), *out)
+}
+
+func goVersion() string {
+	out, err := exec.Command("go", "version").Output()
+	if err != nil {
+		return "go version unknown unknown/unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func goEnv(key string) string {
+	out, err := exec.Command("go", "env", key).Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -244,7 +244,7 @@ func countBatch(w *simt.Warp, mask simt.Mask, seq []byte, readOff int, positions
 		if !mask.Has(lane) {
 			continue
 		}
-		buf := make([]byte, k)
+		var buf [MaxK]byte // k ≤ MaxK, so no per-lane heap allocation
 		okAll := true
 		for i := 0; i < k; i++ {
 			b := byte(words[lane][i/8] >> uint(8*(i%8)))
@@ -257,7 +257,7 @@ func countBatch(w *simt.Warp, mask simt.Mask, seq []byte, readOff int, positions
 		if !okAll {
 			continue
 		}
-		km, _ := kmer.FromBytes(buf, k)
+		km, _ := kmer.FromBytes(buf[:k], k)
 		canon, isSelf := km.Canonical(k)
 		left, right := -1, -1
 		if leftMask.Has(lane) {
@@ -289,9 +289,16 @@ func countBatch(w *simt.Warp, mask simt.Mask, seq []byte, readOff int, positions
 			slotsV[lane] = murmur.Hash64Word(keys[lane], uint64(k), hashSeed)
 		}
 	}
+	// Loop bookkeeping under the constant batch mask batches into one ExecN
+	// flushed at both exits (bit-identical totals).
 	pending := valid
+	iters := 0
+	cmp := simt.Splat(stateEmpty)
+	claimVal := simt.Splat(stateFull)
+	one := simt.Splat(1)
 	for guard := 0; pending != 0; guard++ {
 		if guard > int(slots) {
+			w.ExecN(simt.ICtrl, mask, iters)
 			return fmt.Errorf("gpucount: %w", gpuht.ErrTableFull)
 		}
 		var stateAddrs, entries simt.Vec
@@ -301,8 +308,6 @@ func countBatch(w *simt.Warp, mask simt.Mask, seq []byte, readOff int, positions
 				stateAddrs[lane] = entries[lane] + offState
 			}
 		}
-		cmp := simt.Splat(stateEmpty)
-		claimVal := simt.Splat(stateFull)
 		observed := w.AtomicCAS(pending, &stateAddrs, &cmp, &claimVal, 4)
 
 		var claimed, occupied simt.Mask
@@ -341,7 +346,6 @@ func countBatch(w *simt.Warp, mask simt.Mask, seq []byte, readOff int, positions
 			}
 		}
 		if matched != 0 {
-			one := simt.Splat(1)
 			var countAddrs simt.Vec
 			for lane := 0; lane < simt.WarpSize; lane++ {
 				countAddrs[lane] = entries[lane] + offCount
@@ -379,8 +383,9 @@ func countBatch(w *simt.Warp, mask simt.Mask, seq []byte, readOff int, positions
 				}
 			}
 		}
-		w.Exec(simt.ICtrl, mask)
+		iters++
 	}
+	w.ExecN(simt.ICtrl, mask, iters)
 	return nil
 }
 

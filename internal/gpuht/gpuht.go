@@ -123,12 +123,12 @@ func hashBlocks(k int) int { return (k + 7) / 8 }
 // over-read is masked out of the hash).
 func HashKmers(w *simt.Warp, mask simt.Mask, addrs *simt.Vec, k int) simt.Vec {
 	nblk := hashBlocks(k)
-	var words [simt.WarpSize][]uint64
-	for lane := 0; lane < simt.WarpSize; lane++ {
-		if mask.Has(lane) {
-			words[lane] = make([]uint64, nblk)
-		}
-	}
+	full := k / 8
+	rem := k & 7
+	// Stream each gathered block straight into the murmur state instead of
+	// materializing per-lane word slices (which cost one allocation per
+	// active lane per call on this hot path).
+	out := simt.Splat(murmur.Hash64Init(k, hashSeed))
 	for b := 0; b < nblk; b++ {
 		var ba simt.Vec
 		for lane := 0; lane < simt.WarpSize; lane++ {
@@ -142,19 +142,24 @@ func HashKmers(w *simt.Warp, mask simt.Mask, addrs *simt.Vec, k int) simt.Vec {
 			w.StoreLocal(mask, &off, 8, &loaded)
 			loaded = w.LoadLocal(mask, &off, 8)
 		}
-		for lane := 0; lane < simt.WarpSize; lane++ {
-			if mask.Has(lane) {
-				words[lane][b] = loaded[lane]
+		if b < full {
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				out[lane] = murmur.Hash64Mix(out[lane], loaded[lane])
+			}
+		} else {
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				out[lane] = murmur.Hash64Tail(out[lane], loaded[lane], rem)
 			}
 		}
 	}
 	// Mixing arithmetic: ~4 integer ops per block plus finalization.
 	w.ExecN(simt.IInt, mask, 4*nblk+3)
 
-	var out simt.Vec
 	for lane := 0; lane < simt.WarpSize; lane++ {
 		if mask.Has(lane) {
-			out[lane] = murmur.Hash64Blocks(words[lane], k, hashSeed)
+			out[lane] = murmur.Hash64Final(out[lane])
+		} else {
+			out[lane] = 0
 		}
 	}
 	return out

@@ -34,19 +34,25 @@ func (t Table) InsertBatch(w *simt.Warp, mask simt.Mask, keyOffs *simt.Vec, extB
 	// match mask is what the CUDA kernel uses to synchronize the group.
 	w.MatchAny(mask, &hashes)
 
+	// Loop bookkeeping runs under the constant launch mask, so the per-probe
+	// ICtrl accounting batches into one ExecN flushed at every exit —
+	// bit-identical totals (the counters are commutative sums), one stats
+	// update instead of one per probe.
 	slots := hashes
 	pending := mask
 	probes := uint64(0)
+	cmp := simt.Splat(Empty)
+	zero := simt.Splat(0)
 	for pending != 0 {
 		if probes++; probes > t.Capacity+1 {
 			// The §3.2 sizing guarantees space for every k-mer; probing
 			// past capacity means the driver mis-sized the table.
+			w.ExecN(simt.ICtrl, mask, int(probes-1))
 			return ErrTableFull
 		}
 		entries := t.entryAddr(&slots)
 
 		// Try to claim: CAS(keyOff, Empty, myKeyOff).
-		cmp := simt.Splat(Empty)
 		observed := w.AtomicCAS(pending, &entries, &cmp, keyOffs, 4)
 
 		var claimed, occupied simt.Mask
@@ -66,7 +72,6 @@ func (t Table) InsertBatch(w *simt.Warp, mask simt.Mask, keyOffs *simt.Vec, extB
 		// lane must zero the count and extension words before any
 		// colliding lane updates them.
 		if claimed != 0 {
-			zero := simt.Splat(0)
 			var a simt.Vec
 			for lane := 0; lane < simt.WarpSize; lane++ {
 				a[lane] = entries[lane] + offCount
@@ -112,8 +117,8 @@ func (t Table) InsertBatch(w *simt.Warp, mask simt.Mask, keyOffs *simt.Vec, extB
 				}
 			}
 		}
-		w.Exec(simt.ICtrl, mask) // loop bookkeeping
 	}
+	w.ExecN(simt.ICtrl, mask, int(probes)) // batched loop bookkeeping
 	return nil
 }
 

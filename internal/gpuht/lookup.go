@@ -13,7 +13,13 @@ func (t Table) LookupLane(w *simt.Warp, lane int, keyAddr uint64) (Ext, bool) {
 	addrs[lane] = keyAddr
 	hashes := HashKmers(w, m, &addrs, t.K)
 
+	// Per-probe accounting (one IInt after the key load, one ICtrl per
+	// continued probe) batches into two ExecN calls at the single exit
+	// point — bit-identical totals, constant-mask loop.
 	slot := hashes[lane]
+	iints, ictrls := 0, 0
+	var ext Ext
+	found := false
 	for probes := uint64(0); probes <= t.Capacity; probes++ {
 		var slots simt.Vec
 		slots[lane] = slot
@@ -22,20 +28,23 @@ func (t Table) LookupLane(w *simt.Warp, lane int, keyAddr uint64) (Ext, bool) {
 		var keyAddrVec simt.Vec
 		keyAddrVec[lane] = entries[lane] + offKeyOff
 		stored := w.LoadGlobal(m, &keyAddrVec, 4)
-		w.Exec(simt.IInt, m)
+		iints++
 		if stored[lane] == Empty {
-			return Ext{}, false
+			break
 		}
 
 		var storedAddrs simt.Vec
 		storedAddrs[lane] = uint64(t.SeqBase) + stored[lane]
 		if eq := keysEqual(w, m, &storedAddrs, &addrs, t.K); eq.Has(lane) {
-			return t.loadExt(w, lane, entries[lane]), true
+			ext, found = t.loadExt(w, lane, entries[lane]), true
+			break
 		}
 		slot++
-		w.Exec(simt.ICtrl, m)
+		ictrls++
 	}
-	return Ext{}, false
+	w.ExecN(simt.IInt, m, iints)
+	w.ExecN(simt.ICtrl, m, ictrls)
+	return ext, found
 }
 
 // loadExt reads the extension object of one entry from a single lane.
@@ -87,10 +96,16 @@ func (v Visited) InsertLane(w *simt.Warp, lane int, off uint32) (bool, error) {
 	addrs[lane] = uint64(v.BufBase) + uint64(off)
 	hashes := HashKmers(w, m, &addrs, v.K)
 
+	// Batched accounting, as in LookupLane: per-probe IInt/ICtrl counts
+	// flush at the single exit with identical totals.
 	slot := hashes[lane]
+	iints, ictrls := 0, 0
+	seen := false
+	var rerr error
 	for probes := uint64(0); ; probes++ {
 		if probes > v.Capacity {
-			return false, ErrTableFull
+			rerr = ErrTableFull
+			break
 		}
 		var slotAddr simt.Vec
 		slotAddr[lane] = uint64(v.Base) + (slot%v.Capacity)*4
@@ -99,18 +114,22 @@ func (v Visited) InsertLane(w *simt.Warp, lane int, off uint32) (bool, error) {
 		cmp[lane] = Empty
 		val[lane] = uint64(off)
 		observed := w.AtomicCAS(m, &slotAddr, &cmp, &val, 4)
-		w.Exec(simt.IInt, m)
+		iints++
 		if observed[lane] == Empty {
-			return false, nil // claimed: first visit
+			break // claimed: first visit
 		}
 		var storedAddrs simt.Vec
 		storedAddrs[lane] = uint64(v.BufBase) + observed[lane]
 		if eq := keysEqual(w, m, &storedAddrs, &addrs, v.K); eq.Has(lane) {
-			return true, nil // same k-mer seen before: cycle
+			seen = true // same k-mer seen before: cycle
+			break
 		}
 		slot++
-		w.Exec(simt.ICtrl, m)
+		ictrls++
 	}
+	w.ExecN(simt.IInt, m, iints)
+	w.ExecN(simt.ICtrl, m, ictrls)
+	return seen, rerr
 }
 
 // ClearEntriesWarp resets a run of hash-table entries using the 32 lanes

@@ -39,10 +39,13 @@ func maxBlocks(mask simt.Mask, ks *[simt.WarpSize]int) int {
 // k-mers (divergent loads) and hash them.
 func HashKmersVar(w *simt.Warp, mask simt.Mask, addrs *simt.Vec, ks *[simt.WarpSize]int) simt.Vec {
 	nblk := maxBlocks(mask, ks)
-	var words [simt.WarpSize][]uint64
+	// Stream blocks into per-lane murmur state (as in HashKmers) instead of
+	// materializing per-lane word slices — this is the v1 kernel's hash and
+	// allocated one slice per active lane per call on the hot path.
+	var out simt.Vec
 	for lane := 0; lane < simt.WarpSize; lane++ {
 		if mask.Has(lane) {
-			words[lane] = make([]uint64, hashBlocks(ks[lane]))
+			out[lane] = murmur.Hash64Init(ks[lane], hashSeed)
 		}
 	}
 	for b := 0; b < nblk; b++ {
@@ -64,17 +67,23 @@ func HashKmersVar(w *simt.Warp, mask simt.Mask, addrs *simt.Vec, ks *[simt.WarpS
 			loaded = w.LoadLocal(bm, &off, 8)
 		}
 		for lane := 0; lane < simt.WarpSize; lane++ {
-			if bm.Has(lane) {
-				words[lane][b] = loaded[lane]
+			if !bm.Has(lane) {
+				continue
+			}
+			if rem := ks[lane] & 7; b == ks[lane]/8 && rem != 0 {
+				out[lane] = murmur.Hash64Tail(out[lane], loaded[lane], rem)
+			} else {
+				out[lane] = murmur.Hash64Mix(out[lane], loaded[lane])
 			}
 		}
 	}
 	w.ExecN(simt.IInt, mask, 4*nblk+3)
 
-	var out simt.Vec
 	for lane := 0; lane < simt.WarpSize; lane++ {
 		if mask.Has(lane) {
-			out[lane] = murmur.Hash64Blocks(words[lane], ks[lane], hashSeed)
+			out[lane] = murmur.Hash64Final(out[lane])
+		} else {
+			out[lane] = 0
 		}
 	}
 	return out
@@ -135,8 +144,11 @@ func (t LaneTables) InsertLanes(w *simt.Warp, mask simt.Mask, keyOffs, extBases 
 	pending := mask
 	guard := uint64(0)
 	bound := maxLaneCapacity(mask, &t.Capacity) + 1
+	cmp := simt.Splat(Empty)
+	zero := simt.Splat(0)
 	for pending != 0 {
 		if guard++; guard > bound {
+			w.ExecN(simt.ICtrl, mask, int(guard-1))
 			return ErrNoConverge
 		}
 		var entries simt.Vec
@@ -145,7 +157,6 @@ func (t LaneTables) InsertLanes(w *simt.Warp, mask simt.Mask, keyOffs, extBases 
 				entries[lane] = t.Base[lane] + (slots[lane]%t.Capacity[lane])*EntryBytes
 			}
 		}
-		cmp := simt.Splat(Empty)
 		observed := w.AtomicCAS(pending, &entries, &cmp, keyOffs, 4)
 
 		var claimed, occupied simt.Mask
@@ -162,7 +173,6 @@ func (t LaneTables) InsertLanes(w *simt.Warp, mask simt.Mask, keyOffs, extBases 
 		// Claiming lanes initialize their entries (the clear is a 0xFF
 		// memset; see ClearLaneRegions).
 		if claimed != 0 {
-			zero := simt.Splat(0)
 			var a simt.Vec
 			for lane := 0; lane < simt.WarpSize; lane++ {
 				a[lane] = entries[lane] + offCount
@@ -199,8 +209,8 @@ func (t LaneTables) InsertLanes(w *simt.Warp, mask simt.Mask, keyOffs, extBases 
 				}
 			}
 		}
-		w.Exec(simt.ICtrl, mask)
 	}
+	w.ExecN(simt.ICtrl, mask, int(guard)) // batched loop bookkeeping
 	return nil
 }
 
@@ -254,6 +264,7 @@ func (t LaneTables) LookupLanes(w *simt.Warp, mask simt.Mask, keyAddrs *simt.Vec
 	bound := maxLaneCapacity(mask, &t.Capacity) + 1
 	for pending != 0 {
 		if guard++; guard > bound {
+			w.ExecN(simt.ICtrl, mask, int(guard-1))
 			return exts, found, ErrNoConverge
 		}
 		var entries, keyFieldAddrs simt.Vec
@@ -327,8 +338,8 @@ func (t LaneTables) LookupLanes(w *simt.Warp, mask simt.Mask, keyAddrs *simt.Vec
 				w.Exec(simt.IInt, occupied)
 			}
 		}
-		w.Exec(simt.ICtrl, mask)
 	}
+	w.ExecN(simt.ICtrl, mask, int(guard)) // batched loop bookkeeping
 	return exts, found, nil
 }
 
@@ -359,8 +370,10 @@ func (v LaneVisited) InsertLanes(w *simt.Warp, mask simt.Mask, offs *simt.Vec) (
 	pending := mask
 	guard := uint64(0)
 	bound := maxLaneCapacity(mask, &v.Capacity) + 1
+	cmp := simt.Splat(Empty)
 	for pending != 0 {
 		if guard++; guard > bound {
+			w.ExecN(simt.ICtrl, mask, int(guard-1))
 			return seen, ErrNoConverge
 		}
 		var slotAddrs simt.Vec
@@ -369,7 +382,6 @@ func (v LaneVisited) InsertLanes(w *simt.Warp, mask simt.Mask, offs *simt.Vec) (
 				slotAddrs[lane] = v.Base[lane] + (slots[lane]%v.Capacity[lane])*4
 			}
 		}
-		cmp := simt.Splat(Empty)
 		observed := w.AtomicCAS(pending, &slotAddrs, &cmp, offs, 4)
 		w.Exec(simt.IInt, pending)
 
@@ -402,8 +414,8 @@ func (v LaneVisited) InsertLanes(w *simt.Warp, mask simt.Mask, offs *simt.Vec) (
 				}
 			}
 		}
-		w.Exec(simt.ICtrl, mask)
 	}
+	w.ExecN(simt.ICtrl, mask, int(guard)) // batched loop bookkeeping
 	return seen, nil
 }
 

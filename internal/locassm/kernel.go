@@ -129,7 +129,10 @@ func extensionKernelV2(plan *batchPlan, dev batchDev, cfg *Config, errs []error)
 // gathers coalesce, and all 32 threads participate in table construction
 // (Fig 5).
 func buildTableV2(w *simt.Warp, table gpuht.Table, p *itemPlan, dev batchDev, cfg *Config) error {
+	// Per-chunk loop bookkeeping runs under the full mask regardless of the
+	// chunk's active lanes, so it batches into one ExecN per call.
 	k := table.K
+	chunks := 0
 	for ri := range p.item.reads {
 		rlen := len(p.item.reads[ri].Seq)
 		nk := rlen - k + 1
@@ -146,11 +149,13 @@ func buildTableV2(w *simt.Warp, table gpuht.Table, p *itemPlan, dev batchDev, cf
 			}
 			extBases, hiq := loadExtEvidence(w, mask, &keyOffs, k, rlen, readOff, dev, cfg)
 			if err := table.InsertBatch(w, mask, &keyOffs, &extBases, hiq); err != nil {
+				w.ExecN(simt.ICtrl, simt.FullMask, chunks)
 				return err
 			}
-			w.Exec(simt.ICtrl, simt.FullMask)
+			chunks++
 		}
 	}
+	w.ExecN(simt.ICtrl, simt.FullMask, chunks)
 	return nil
 }
 
@@ -202,19 +207,28 @@ func loadExtEvidence(w *simt.Warp, mask simt.Mask, keyOffs *simt.Vec, k, rlen in
 // the warp is predicated off (Fig 5), appending accepted bases to the walk
 // buffer in global memory. It mirrors walkCPU step for step.
 func walkLane0(w *simt.Warp, table gpuht.Table, vis gpuht.Visited, walkBase simt.Ptr, tailLen int, extLen *int, mer int, cfg *Config) (WalkState, error) {
+	// Per-step accounting (one ICtrl at the loop head, the 8-op extension
+	// decision after each lookup) is batched and flushed at the single exit
+	// — identical totals, one stats update per walk instead of per step.
 	lane0 := simt.LaneMask(0)
+	steps, lookups := 0, 0
+	state, rerr := WalkDeadEnd, error(nil)
+loop:
 	for {
-		w.Exec(simt.ICtrl, lane0)
+		steps++
 		if *extLen >= cfg.MaxWalkLen {
-			return WalkMaxLen, nil
+			state = WalkMaxLen
+			break
 		}
 		curOff := uint32(tailLen + *extLen - mer)
 		seen, err := vis.InsertLane(w, 0, curOff)
 		if err != nil {
-			return WalkDeadEnd, err
+			rerr = err
+			break
 		}
 		if seen {
-			return WalkLoop, nil
+			state = WalkLoop
+			break
 		}
 		// The walk keeps its growing sequence in a per-thread buffer; the
 		// current mer is read from there each step (local-memory traffic,
@@ -224,16 +238,17 @@ func walkLane0(w *simt.Warp, table gpuht.Table, vis gpuht.Visited, walkBase simt
 			w.LoadLocal(lane0, &off, 8)
 		}
 		e, ok := table.LookupLane(w, 0, uint64(walkBase)+uint64(curOff))
-		w.ExecN(simt.IInt, lane0, 8) // extension decision arithmetic
+		lookups++ // extension decision arithmetic, 8 ops
 		if !ok {
-			return WalkDeadEnd, nil
+			break
 		}
 		base, st := DecideExt(e, cfg.MinViableScore)
 		switch st {
 		case StepEnd:
-			return WalkDeadEnd, nil
+			break loop
 		case StepFork:
-			return WalkFork, nil
+			state = WalkFork
+			break loop
 		}
 		var a, v simt.Vec
 		a[0] = uint64(walkBase) + uint64(tailLen+*extLen)
@@ -243,4 +258,7 @@ func walkLane0(w *simt.Warp, table gpuht.Table, vis gpuht.Visited, walkBase simt
 		w.StoreLocal(lane0, &lo, 1, &v)
 		*extLen++
 	}
+	w.ExecN(simt.ICtrl, lane0, steps)
+	w.ExecN(simt.IInt, lane0, 8*lookups)
+	return state, rerr
 }

@@ -124,6 +124,50 @@ func Hash64Blocks(blocks []uint64, n int, seed uint64) uint64 {
 	return h
 }
 
+// Streaming block API: Hash64Init / Hash64Mix / Hash64Tail / Hash64Final
+// decompose Hash64Blocks so a caller that produces blocks incrementally (a
+// warp kernel gathering 8-byte vector loads) can fold each block into the
+// running state without materializing a slice. For any block sequence,
+//
+//	h := Hash64Init(n, seed)
+//	h = Hash64Mix(h, block)       // for each of the n/8 full blocks
+//	h = Hash64Tail(h, last, n&7)  // when n is not a multiple of 8
+//	Hash64Final(h) == Hash64Blocks(blocks, n, seed)
+
+const (
+	mix64 uint64 = 0xc6a4a7935bd1e995
+	rot64        = 47
+)
+
+// Hash64Init returns the initial streaming state for hashing n bytes.
+func Hash64Init(n int, seed uint64) uint64 { return seed ^ uint64(n)*mix64 }
+
+// Hash64Mix folds one full little-endian 8-byte block into the state.
+func Hash64Mix(h, block uint64) uint64 {
+	block *= mix64
+	block ^= block >> rot64
+	block *= mix64
+	h ^= block
+	h *= mix64
+	return h
+}
+
+// Hash64Tail folds the final partial block holding rem ∈ [1,7] meaningful
+// low bytes; bytes beyond rem are ignored (callers may over-read).
+func Hash64Tail(h, block uint64, rem int) uint64 {
+	h ^= block & (^uint64(0) >> uint(64-8*rem))
+	h *= mix64
+	return h
+}
+
+// Hash64Final finalizes the streaming state into the hash value.
+func Hash64Final(h uint64) uint64 {
+	h ^= h >> rot64
+	h *= mix64
+	h ^= h >> rot64
+	return h
+}
+
 // Hash32 computes the original 32-bit MurmurHash2 of data with the given
 // seed, ported from Appleby's reference implementation.
 func Hash32(data []byte, seed uint32) uint32 {

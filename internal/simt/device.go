@@ -141,6 +141,11 @@ type Device struct {
 	closeOnce sync.Once
 	pool      chan warpJob
 
+	// Launch-state and sequential warp-context pools: steady-state kernel
+	// launches reuse these instead of allocating (see launch.go).
+	lsPool  sync.Pool
+	ctxPool sync.Pool
+
 	// fault, once injected, fails every subsequent Launch — the modeled
 	// equivalent of a device falling off the bus or exhausting memory
 	// mid-run. Guarded by mu: the pipelined driver launches from two side

@@ -30,18 +30,48 @@ type KernelConfig struct {
 	Sequential bool
 }
 
+// warpCtx is a reusable warp execution context: the Warp value plus its
+// local/shared arenas. Each pool worker owns one (worker affinity, the
+// internal/par pattern), so steady-state launches allocate nothing — the
+// arenas are zeroed in place by Warp.reset instead of reallocated.
+type warpCtx struct {
+	w Warp
+}
+
+// launchState carries one Launch call's shared state to the pool workers.
+// It is pooled on the device so a launch allocates neither the state, the
+// per-warp stats slab, nor the completion group.
+type launchState struct {
+	dev     *Device
+	kern    func(w *Warp)
+	perLane int
+	perWarp []Stats
+	wg      sync.WaitGroup
+}
+
+// runWarp executes one warp on the given context. Per-warp stats land in
+// per-warp slots, so the merged counters are deterministic regardless of
+// worker scheduling.
+func (ls *launchState) runWarp(id int, ctx *warpCtx) {
+	w := &ctx.w
+	w.reset(ls.dev, id, ls.perLane)
+	w.stats.Warps = 1
+	ls.kern(w)
+	ls.perWarp[id] = w.stats
+}
+
 // warpJob is one warp's execution request on the device worker pool.
 type warpJob struct {
-	run func(id int)
-	id  int
-	wg  *sync.WaitGroup
+	ls *launchState
+	id int
 }
 
 // warpPool returns the device's persistent warp worker pool, creating it on
 // first use. The pool is created once per device and fed through a buffered
-// channel, replacing the goroutine fan-out the old Launch paid on every
-// call; concurrent Launches (pipelined batches, multiple streams) share the
-// same workers safely because every job carries its own completion group.
+// channel; concurrent Launches (pipelined batches, multiple streams) share
+// the same workers safely because every job carries its own launch state
+// and completion group. Each worker keeps a private warpCtx across jobs, so
+// per-warp arenas are reused instead of reallocated.
 func (d *Device) warpPool() chan<- warpJob {
 	d.poolOnce.Do(func() {
 		workers := runtime.GOMAXPROCS(0)
@@ -51,9 +81,10 @@ func (d *Device) warpPool() chan<- warpJob {
 		d.pool = make(chan warpJob, 8*workers)
 		for i := 0; i < workers; i++ {
 			go func() {
+				var ctx warpCtx
 				for j := range d.pool {
-					j.run(j.id)
-					j.wg.Done()
+					j.ls.runWarp(j.id, &ctx)
+					j.ls.wg.Done()
 				}
 			}()
 		}
@@ -78,6 +109,10 @@ func (d *Device) Close() {
 // deterministic as long as warps write disjoint regions, and the merged
 // counters are deterministic regardless of worker scheduling: per-warp
 // stats land in per-warp slots and fold in warp order.
+//
+// Steady-state launches are allocation-free: the launch state, stats slab,
+// and warp contexts (including local-memory arenas) are pooled with worker
+// affinity and zeroed in place.
 func (d *Device) Launch(cfg KernelConfig, kern func(w *Warp)) (KernelResult, error) {
 	if err := d.faultErr(); err != nil {
 		return KernelResult{}, err
@@ -85,38 +120,48 @@ func (d *Device) Launch(cfg KernelConfig, kern func(w *Warp)) (KernelResult, err
 	if cfg.Warps < 0 {
 		return KernelResult{}, fmt.Errorf("simt: negative warp count %d", cfg.Warps)
 	}
-	perWarp := make([]Stats, cfg.Warps)
+	if cfg.LocalBytesPerLane < 0 {
+		return KernelResult{}, fmt.Errorf("simt: negative local bytes per lane %d", cfg.LocalBytesPerLane)
+	}
 
-	runWarp := func(id int) {
-		w := &Warp{Dev: d, ID: id, perLane: cfg.LocalBytesPerLane}
-		if cfg.LocalBytesPerLane > 0 {
-			w.localMem = make([]byte, cfg.LocalBytesPerLane*WarpSize)
-		}
-		w.stats.Warps = 1
-		kern(w)
-		perWarp[id] = w.stats
+	ls, _ := d.lsPool.Get().(*launchState)
+	if ls == nil {
+		ls = &launchState{}
+	}
+	ls.dev, ls.kern, ls.perLane = d, kern, cfg.LocalBytesPerLane
+	if cap(ls.perWarp) < cfg.Warps {
+		ls.perWarp = make([]Stats, cfg.Warps)
+	} else {
+		// Every slot [0, Warps) is overwritten by runWarp; no clear needed.
+		ls.perWarp = ls.perWarp[:cfg.Warps]
 	}
 
 	if cfg.Sequential || cfg.Warps <= 1 {
-		for id := 0; id < cfg.Warps; id++ {
-			runWarp(id)
+		ctx, _ := d.ctxPool.Get().(*warpCtx)
+		if ctx == nil {
+			ctx = &warpCtx{}
 		}
+		for id := 0; id < cfg.Warps; id++ {
+			ls.runWarp(id, ctx)
+		}
+		d.ctxPool.Put(ctx)
 	} else {
 		pool := d.warpPool()
-		var wg sync.WaitGroup
-		wg.Add(cfg.Warps)
+		ls.wg.Add(cfg.Warps)
 		for id := 0; id < cfg.Warps; id++ {
-			pool <- warpJob{run: runWarp, id: id, wg: &wg}
+			pool <- warpJob{ls: ls, id: id}
 		}
-		wg.Wait()
+		ls.wg.Wait()
 	}
 
 	var res KernelResult
 	res.Kernel = cfg.Name
-	for i := range perWarp {
-		res.Stats.Add(&perWarp[i])
+	for i := range ls.perWarp {
+		res.Stats.Add(&ls.perWarp[i])
 	}
 	// Stats.Add maxes MaxSerialMemChain across warps and sums Warps.
 	res.Time, res.Bound = timeModel(d.Cfg, &res.Stats)
+	ls.dev, ls.kern = nil, nil
+	d.lsPool.Put(ls)
 	return res, nil
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package simt
+
+// raceEnabled mirrors the race detector's build state for tests: sync.Pool
+// deliberately drops items under -race to shake out reuse races, so the
+// pooled-context and zero-allocation assertions cannot hold there.
+const raceEnabled = true

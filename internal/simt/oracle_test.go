@@ -1,0 +1,592 @@
+package simt
+
+// The interpreter fast paths (fastpath.go, DESIGN.md §12) must be
+// bit-identical to the straightforward implementations they replaced: same
+// Stats counters, same device/local memory contents, same returned vectors.
+// This file keeps those original implementations verbatim as a reference
+// oracle (refWarp) and checks the live interpreter against it, both with
+// directed cases and with a differential fuzzer over random op streams.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refWarp is the pre-fast-path warp interpreter, transplanted unchanged
+// from the seed revision of warp.go. It runs against its own Device.
+type refWarp struct {
+	dev      *Device
+	stats    Stats
+	localMem []byte
+	perLane  int
+}
+
+func newRefWarp(dev *Device, perLane int) *refWarp {
+	return &refWarp{dev: dev, localMem: make([]byte, perLane*WarpSize), perLane: perLane}
+}
+
+func (w *refWarp) execN(c InstrClass, mask Mask, n int) {
+	active := uint64(mask.Count())
+	w.stats.WarpInstrs[c] += uint64(n)
+	w.stats.ThreadInstrs[c] += uint64(n) * active
+	w.stats.PredicatedOff += uint64(n) * (WarpSize - active)
+}
+
+func (w *refWarp) coalesce(mask Mask, addrs *Vec, size int) uint64 {
+	var sectors [2 * WarpSize]uint64
+	n := 0
+	sb := uint64(w.dev.Cfg.SectorBytes)
+	for lane := 0; lane < WarpSize; lane++ {
+		if !mask.Has(lane) {
+			continue
+		}
+		for s := addrs[lane] / sb; s <= (addrs[lane]+uint64(size)-1)/sb; s++ {
+			found := false
+			for i := 0; i < n; i++ {
+				if sectors[i] == s {
+					found = true
+					break
+				}
+			}
+			if !found {
+				sectors[n] = s
+				n++
+			}
+		}
+	}
+	return uint64(n)
+}
+
+func (w *refWarp) effLatency(lat int) uint64 {
+	mlp := w.dev.Cfg.MemParallelism
+	if mlp < 1 {
+		mlp = 1
+	}
+	return uint64((lat + mlp - 1) / mlp)
+}
+
+func (w *refWarp) addLocalTraffic(mask Mask, size int) {
+	bytes := mask.Count() * size
+	sb := w.dev.Cfg.SectorBytes
+	w.stats.LocalSectors += uint64((bytes + sb - 1) / sb)
+}
+
+func (w *refWarp) loadGlobal(mask Mask, addrs *Vec, size int) Vec {
+	w.execN(ILdGlobal, mask, 1)
+	w.stats.GlobalSectors += w.coalesce(mask, addrs, size)
+	w.stats.MaxSerialMemChain += w.effLatency(w.dev.Cfg.GlobalLatency)
+	var out Vec
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask.Has(lane) {
+			out[lane] = w.dev.load(Ptr(addrs[lane]), size)
+		}
+	}
+	return out
+}
+
+func (w *refWarp) storeGlobal(mask Mask, addrs *Vec, size int, vals *Vec) {
+	w.execN(IStGlobal, mask, 1)
+	w.stats.GlobalSectors += w.coalesce(mask, addrs, size)
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask.Has(lane) {
+			w.dev.store(Ptr(addrs[lane]), size, vals[lane])
+		}
+	}
+}
+
+func (w *refWarp) atomicCAS(mask Mask, addrs, compare, val *Vec, size int) Vec {
+	w.execN(IAtomic, mask, 1)
+	w.stats.AtomicSectors += w.coalesce(mask, addrs, size)
+	w.stats.MaxSerialMemChain += w.effLatency(w.dev.Cfg.GlobalLatency)
+	var out Vec
+	for lane := 0; lane < WarpSize; lane++ {
+		if !mask.Has(lane) {
+			continue
+		}
+		old := w.dev.load(Ptr(addrs[lane]), size)
+		out[lane] = old
+		if old == compare[lane] {
+			w.dev.store(Ptr(addrs[lane]), size, val[lane])
+		}
+	}
+	return out
+}
+
+func (w *refWarp) atomicAdd(mask Mask, addrs, delta *Vec, size int) Vec {
+	w.execN(IAtomic, mask, 1)
+	w.stats.AtomicSectors += w.coalesce(mask, addrs, size)
+	w.stats.MaxSerialMemChain += w.effLatency(w.dev.Cfg.GlobalLatency)
+	var out Vec
+	for lane := 0; lane < WarpSize; lane++ {
+		if !mask.Has(lane) {
+			continue
+		}
+		old := w.dev.load(Ptr(addrs[lane]), size)
+		out[lane] = old
+		w.dev.store(Ptr(addrs[lane]), size, old+delta[lane])
+	}
+	return out
+}
+
+func (w *refWarp) localAddr(lane int, off uint64) uint64 {
+	return uint64(lane)*uint64(w.perLane) + off
+}
+
+func refLoadLE(b []byte, size int) uint64 {
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func refStoreLE(b []byte, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		b[i] = byte(v >> uint(8*i))
+	}
+}
+
+func (w *refWarp) loadLocal(mask Mask, offs *Vec, size int) Vec {
+	w.execN(ILdLocal, mask, 1)
+	w.addLocalTraffic(mask, size)
+	w.stats.MaxSerialMemChain += w.effLatency(w.dev.Cfg.LocalLatency)
+	var out Vec
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask.Has(lane) {
+			out[lane] = refLoadLE(w.localMem[w.localAddr(lane, offs[lane]):], size)
+		}
+	}
+	return out
+}
+
+func (w *refWarp) storeLocal(mask Mask, offs *Vec, size int, vals *Vec) {
+	w.execN(IStLocal, mask, 1)
+	w.addLocalTraffic(mask, size)
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask.Has(lane) {
+			refStoreLE(w.localMem[w.localAddr(lane, offs[lane]):], size, vals[lane])
+		}
+	}
+}
+
+func (w *refWarp) matchAny(mask Mask, vals *Vec) [WarpSize]Mask {
+	w.execN(IMatch, mask, 1)
+	var out [WarpSize]Mask
+	for a := 0; a < WarpSize; a++ {
+		if !mask.Has(a) {
+			continue
+		}
+		for b := 0; b < WarpSize; b++ {
+			if mask.Has(b) && vals[b] == vals[a] {
+				out[a] |= LaneMask(b)
+			}
+		}
+	}
+	return out
+}
+
+func (w *refWarp) ballot(mask Mask, pred func(lane int) bool) Mask {
+	w.execN(IBallot, mask, 1)
+	var out Mask
+	for lane := 0; lane < WarpSize; lane++ {
+		if mask.Has(lane) && pred(lane) {
+			out |= LaneMask(lane)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Directed coalesce differential: every access shape the kernels produce,
+// plus adversarial ones, against the reference linear scan.
+
+func TestCoalesceMatchesReference(t *testing.T) {
+	dev := NewDevice(V100())
+	var w Warp
+	w.reset(dev, 0, 0)
+	ref := newRefWarp(dev, 0)
+
+	mk := func(f func(lane int) uint64) Vec {
+		var v Vec
+		for i := range v {
+			v[i] = f(i)
+		}
+		return v
+	}
+	cases := []struct {
+		name  string
+		mask  Mask
+		addrs Vec
+		size  int
+	}{
+		{"contiguous4", FullMask, mk(func(l int) uint64 { return 1000 + uint64(4*l) }), 4},
+		{"contiguous8", FullMask, mk(func(l int) uint64 { return 1000 + uint64(8*l) }), 8},
+		{"contiguous8_unaligned", FullMask, mk(func(l int) uint64 { return 1003 + uint64(8*l) }), 8},
+		{"contiguous1", FullMask, mk(func(l int) uint64 { return 7 + uint64(l) }), 1},
+		{"stride32", FullMask, mk(func(l int) uint64 { return uint64(32 * l) }), 4},
+		{"stride48", FullMask, mk(func(l int) uint64 { return uint64(48 * l) }), 8},
+		{"overlap1", FullMask, mk(func(l int) uint64 { return 500 + uint64(l) }), 8},
+		{"same_addr", FullMask, mk(func(l int) uint64 { return 64 }), 4},
+		{"descending", FullMask, mk(func(l int) uint64 { return uint64(8 * (WarpSize - l)) }), 8},
+		{"lane0", LaneMask(0), mk(func(l int) uint64 { return 12345 }), 8},
+		{"lane31", LaneMask(31), mk(func(l int) uint64 { return 77 }), 2},
+		{"empty", 0, Vec{}, 8},
+		{"sparse_sorted", 0x80010001, mk(func(l int) uint64 { return uint64(100 * l) }), 4},
+		{"partial_run", 0x0000ffff, mk(func(l int) uint64 { return 256 + uint64(8*l) }), 8},
+		{"dup_sorted", FullMask, mk(func(l int) uint64 { return uint64(8 * (l / 2)) }), 8},
+		{"sector_straddle", FullMask, mk(func(l int) uint64 { return 28 + uint64(64*l) }), 8},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 64; i++ {
+		cases = append(cases, struct {
+			name  string
+			mask  Mask
+			addrs Vec
+			size  int
+		}{
+			fmt.Sprintf("random%d", i),
+			Mask(rng.Uint32()),
+			mk(func(l int) uint64 { return uint64(rng.Intn(1 << 16)) }),
+			1 << rng.Intn(4),
+		})
+	}
+	for _, tc := range cases {
+		got := w.coalesce(tc.mask, &tc.addrs, tc.size)
+		want := ref.coalesce(tc.mask, &tc.addrs, tc.size)
+		if got != want {
+			t.Errorf("%s: coalesce = %d, reference = %d", tc.name, got, want)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Differential op-stream driver: the same decoded op sequence runs through a
+// live Launch and through refWarp on a second device seeded with identical
+// memory; stats, device memory, local memory, and every returned vector must
+// match exactly.
+
+const (
+	diffArena   = 4096
+	diffPerLane = 64
+)
+
+type warpOp struct {
+	kind  int // 0 ldG 1 stG 2 cas 3 add 4 ldL 5 stL 6 match 7 ballot
+	mask  Mask
+	addrs Vec
+	vals  Vec
+	cmp   Vec
+	size  int
+}
+
+// decodeOps turns a fuzz byte stream into a bounded op sequence with
+// addresses inside the arena and local offsets inside each lane's slice.
+func decodeOps(data []byte) []warpOp {
+	var ops []warpOp
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	u16 := func() uint64 { return uint64(next()) | uint64(next())<<8 }
+	for pos < len(data) && len(ops) < 64 {
+		var op warpOp
+		op.kind = int(next() % 8)
+		op.mask = Mask(uint32(u16()) | uint32(u16())<<16)
+		op.size = 1 << (next() % 4)
+		base := u16() % (diffArena - 8*WarpSize - 8)
+		pattern := next() % 5
+		seed := u16()
+		for lane := 0; lane < WarpSize; lane++ {
+			switch pattern {
+			case 0: // contiguous unit stride
+				op.addrs[lane] = base + uint64(op.size*lane)
+			case 1: // strided
+				op.addrs[lane] = base + uint64(lane)*(seed%64)
+			case 2: // uniform (same address)
+				op.addrs[lane] = base
+			case 3: // descending
+				op.addrs[lane] = base + uint64(op.size*(WarpSize-1-lane))
+			default: // scattered
+				op.addrs[lane] = (base + seed*uint64(lane)*2654435761) % (diffArena - 8)
+			}
+			if op.addrs[lane] > diffArena-8 {
+				op.addrs[lane] = diffArena - 8
+			}
+			op.vals[lane] = seed*uint64(lane+1) + uint64(pattern)
+			op.cmp[lane] = op.vals[lane] % 3 // frequent CAS hits on 0-init mem
+		}
+		if op.kind == 4 || op.kind == 5 { // local: per-lane offsets
+			for lane := 0; lane < WarpSize; lane++ {
+				op.addrs[lane] = op.addrs[lane] % (diffPerLane - 8)
+			}
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+func applyReal(w *Warp, ops []warpOp) []Vec {
+	outs := make([]Vec, 0, len(ops))
+	for i := range ops {
+		op := &ops[i]
+		switch op.kind {
+		case 0:
+			outs = append(outs, w.LoadGlobal(op.mask, &op.addrs, op.size))
+		case 1:
+			w.StoreGlobal(op.mask, &op.addrs, op.size, &op.vals)
+			outs = append(outs, Vec{})
+		case 2:
+			outs = append(outs, w.AtomicCAS(op.mask, &op.addrs, &op.cmp, &op.vals, op.size))
+		case 3:
+			outs = append(outs, w.AtomicAdd(op.mask, &op.addrs, &op.vals, op.size))
+		case 4:
+			outs = append(outs, w.LoadLocal(op.mask, &op.addrs, op.size))
+		case 5:
+			w.StoreLocal(op.mask, &op.addrs, op.size, &op.vals)
+			outs = append(outs, Vec{})
+		case 6:
+			groups := w.MatchAny(op.mask, &op.vals)
+			var v Vec
+			for lane := range groups {
+				v[lane] = uint64(groups[lane])
+			}
+			outs = append(outs, v)
+		default:
+			b := w.Ballot(op.mask, func(lane int) bool { return op.vals[lane]&1 == 1 })
+			outs = append(outs, Vec{uint64(b)})
+		}
+	}
+	return outs
+}
+
+func applyRef(w *refWarp, ops []warpOp) []Vec {
+	outs := make([]Vec, 0, len(ops))
+	for i := range ops {
+		op := &ops[i]
+		switch op.kind {
+		case 0:
+			outs = append(outs, w.loadGlobal(op.mask, &op.addrs, op.size))
+		case 1:
+			w.storeGlobal(op.mask, &op.addrs, op.size, &op.vals)
+			outs = append(outs, Vec{})
+		case 2:
+			outs = append(outs, w.atomicCAS(op.mask, &op.addrs, &op.cmp, &op.vals, op.size))
+		case 3:
+			outs = append(outs, w.atomicAdd(op.mask, &op.addrs, &op.vals, op.size))
+		case 4:
+			outs = append(outs, w.loadLocal(op.mask, &op.addrs, op.size))
+		case 5:
+			w.storeLocal(op.mask, &op.addrs, op.size, &op.vals)
+			outs = append(outs, Vec{})
+		case 6:
+			groups := w.matchAny(op.mask, &op.vals)
+			var v Vec
+			for lane := range groups {
+				v[lane] = uint64(groups[lane])
+			}
+			outs = append(outs, v)
+		default:
+			b := w.ballot(op.mask, func(lane int) bool { return op.vals[lane]&1 == 1 })
+			outs = append(outs, Vec{uint64(b)})
+		}
+	}
+	return outs
+}
+
+// checkDifferential runs one decoded op stream both ways and reports the
+// first divergence. cfg varies so the fast paths are exercised across sector
+// sizes and memory-parallelism values.
+func checkDifferential(t *testing.T, cfg DeviceConfig, data []byte) {
+	t.Helper()
+	ops := decodeOps(data)
+	if len(ops) == 0 {
+		return
+	}
+
+	seedMem := make([]byte, diffArena)
+	rng := rand.New(rand.NewSource(int64(len(data))))
+	rng.Read(seedMem)
+
+	liveDev := NewDevice(cfg)
+	if _, err := liveDev.Malloc(diffArena); err != nil {
+		t.Fatal(err)
+	}
+	liveDev.MemcpyHtoD(0, seedMem)
+	refDev := NewDevice(cfg)
+	if _, err := refDev.Malloc(diffArena); err != nil {
+		t.Fatal(err)
+	}
+	refDev.MemcpyHtoD(0, seedMem)
+
+	var liveOuts []Vec
+	res, err := liveDev.Launch(KernelConfig{
+		Name:              "diff",
+		Warps:             1,
+		Sequential:        true,
+		LocalBytesPerLane: diffPerLane,
+	}, func(w *Warp) {
+		liveOuts = applyReal(w, ops)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := newRefWarp(refDev, diffPerLane)
+	ref.stats.Warps = 1
+	ref.stats.Kernel = res.Stats.Kernel // label, set by Launch, not by ops
+	refOuts := applyRef(ref, ops)
+
+	if res.Stats != ref.stats {
+		t.Fatalf("stats diverge:\nlive %+v\nref  %+v\nops %+v", res.Stats, ref.stats, ops)
+	}
+	for i := range refOuts {
+		if liveOuts[i] != refOuts[i] {
+			t.Fatalf("op %d (%+v): outputs diverge\nlive %v\nref  %v", i, ops[i], liveOuts[i], refOuts[i])
+		}
+	}
+	if !bytes.Equal(liveDev.mem[:diffArena], refDev.mem[:diffArena]) {
+		t.Fatalf("device memory diverges (ops %+v)", ops)
+	}
+	// The live warp context is pooled; fetch its local arena for comparison.
+	// Under -race sync.Pool drops items on purpose, so the context may be
+	// gone — skip the local-memory comparison there.
+	ctx, _ := liveDev.ctxPool.Get().(*warpCtx)
+	if ctx == nil {
+		if !raceEnabled {
+			t.Fatal("sequential launch context not pooled")
+		}
+		return
+	}
+	if !bytes.Equal(ctx.w.localMem, ref.localMem) {
+		t.Fatalf("local memory diverges (ops %+v)", ops)
+	}
+}
+
+func diffConfigs() []DeviceConfig {
+	v := V100()
+	narrow := v
+	narrow.SectorBytes = 8
+	narrow.MemParallelism = 1
+	wide := v
+	wide.SectorBytes = 128
+	wide.MemParallelism = 3
+	return []DeviceConfig{v, narrow, wide}
+}
+
+func TestWarpFastpathDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 200; round++ {
+		data := make([]byte, 16+rng.Intn(512))
+		rng.Read(data)
+		for _, cfg := range diffConfigs() {
+			checkDifferential(t, cfg, data)
+		}
+	}
+}
+
+// FuzzWarpFastpath is the ISSUE's differential fuzzer: arbitrary op streams
+// must leave the live interpreter and the reference oracle in bit-identical
+// states — same Stats, same memory, same outputs.
+func FuzzWarpFastpath(f *testing.F) {
+	f.Add([]byte{0, 0xff, 0xff, 0xff, 0xff, 3, 16, 0, 0, 1, 2})
+	f.Add([]byte{2, 0x0f, 0x00, 0xf0, 0x00, 2, 0, 1, 4, 99, 9})
+	f.Add(bytes.Repeat([]byte{5, 0xaa, 0x55, 0xaa, 0x55, 1, 8, 0, 2, 7, 1}, 8))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, cfg := range diffConfigs() {
+			checkDifferential(t, cfg, data)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Satellite guards.
+
+func TestLaunchNegativeLocalBytesPerLane(t *testing.T) {
+	dev := NewDevice(V100())
+	_, err := dev.Launch(KernelConfig{Warps: 1, LocalBytesPerLane: -1, Sequential: true}, func(w *Warp) {
+		t.Error("kernel ran despite invalid config")
+	})
+	if err == nil {
+		t.Fatal("Launch accepted negative LocalBytesPerLane")
+	}
+}
+
+func TestShflGuard(t *testing.T) {
+	dev := NewDevice(V100())
+	res, err := dev.Launch(KernelConfig{Warps: 1, Sequential: true}, func(w *Warp) {
+		vals := Splat(0xdead)
+		vals[3] = 42
+
+		// Valid source lane: broadcast to active lanes only.
+		out := w.Shfl(0x0000ffff, &vals, 3)
+		for lane := 0; lane < WarpSize; lane++ {
+			want := uint64(0)
+			if lane < 16 {
+				want = 42
+			}
+			if out[lane] != want {
+				t.Errorf("Shfl valid: lane %d = %d, want %d", lane, out[lane], want)
+			}
+		}
+
+		// Inactive source lane and out-of-range lanes: defined all-zero
+		// result (undefined behavior on real hardware).
+		for _, src := range []int{16, -1, WarpSize, 1000} {
+			if out := w.Shfl(0x0000ffff, &vals, src); out != (Vec{}) {
+				t.Errorf("Shfl guarded src %d: got %v, want zero vector", src, out)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guarded shuffles still count as issued warp instructions.
+	if got := res.Stats.WarpInstrs[IShfl]; got != 5 {
+		t.Errorf("IShfl warp instrs = %d, want 5", got)
+	}
+}
+
+// TestLaunchSteadyStateAllocs is the CI allocation gate: once the device's
+// pools are warm, Launch must not allocate — in sequential and in parallel
+// mode. A regression here silently reintroduces per-launch garbage on the
+// figure-suite hot path.
+func TestLaunchSteadyStateAllocs(t *testing.T) {
+	kern := func(w *Warp) {
+		addrs := Splat(0)
+		w.LoadGlobal(FullMask, &addrs, 8)
+	}
+	for _, mode := range []struct {
+		name       string
+		sequential bool
+	}{{"sequential", true}, {"parallel", false}} {
+		t.Run(mode.name, func(t *testing.T) {
+			dev := NewDevice(V100())
+			if _, err := dev.Malloc(4096); err != nil {
+				t.Fatal(err)
+			}
+			defer dev.Close()
+			cfg := KernelConfig{Name: "gate", Warps: 64, Sequential: mode.sequential, LocalBytesPerLane: 64}
+			launch := func() {
+				if _, err := dev.Launch(cfg, kern); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 100; i++ { // warm the launch-state and warp pools
+				launch()
+			}
+			if raceEnabled {
+				t.Skip("sync.Pool drops items under -race; allocation gate not meaningful")
+			}
+			if avg := testing.AllocsPerRun(50, launch); avg > 0 {
+				t.Errorf("%s Launch allocates %.1f objects per call at steady state, want 0", mode.name, avg)
+			}
+		})
+	}
+}

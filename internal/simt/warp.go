@@ -1,6 +1,7 @@
 package simt
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 )
@@ -55,6 +56,43 @@ type Warp struct {
 	localMem  []byte // lane-private arrays, lane-major
 	sharedMem []byte // warp-shared scratch (see shared.go)
 	perLane   int
+
+	// Per-launch device constants, cached by reset so the memory-op hot
+	// path never re-reads (or re-divides) the device config.
+	sb        uint64 // sector size
+	sbShift   uint   // log2(sb) when sbPow2
+	sbPow2    bool   // sector size is a power of two (shift, don't divide)
+	effGlobal uint64 // effective global-latency chain cost per access
+	effLocal  uint64 // effective local-latency chain cost per access
+
+	// Sector-dedup scratch for coalesceScan (fastpath.go). Generation-
+	// stamped so it never needs clearing between calls or launches.
+	coSec   [coSlots]uint64
+	coStamp [coSlots]uint32
+	coGen   uint32
+}
+
+// reset (re)initializes a pooled warp context for one warp of one launch:
+// counters cleared, device constants cached, and the local/shared arenas
+// zeroed in place so a reused warp is bit-identical to a fresh one.
+func (w *Warp) reset(d *Device, id, perLane int) {
+	w.Dev = d
+	w.ID = id
+	w.perLane = perLane
+	w.stats = Stats{}
+	w.sb = uint64(d.Cfg.SectorBytes)
+	w.sbPow2 = w.sb&(w.sb-1) == 0 && w.sb != 0
+	w.sbShift = uint(bits.TrailingZeros64(w.sb))
+	w.effGlobal = effLat(d.Cfg.GlobalLatency, d.Cfg.MemParallelism)
+	w.effLocal = effLat(d.Cfg.LocalLatency, d.Cfg.MemParallelism)
+	need := perLane * WarpSize
+	if cap(w.localMem) < need {
+		w.localMem = make([]byte, need)
+	} else {
+		w.localMem = w.localMem[:need]
+		clear(w.localMem)
+	}
+	clear(w.sharedMem)
 }
 
 // Exec records one executed warp instruction of class c under mask. Kernels
@@ -70,32 +108,6 @@ func (w *Warp) ExecN(c InstrClass, mask Mask, n int) {
 	w.stats.PredicatedOff += uint64(n) * (WarpSize - active)
 }
 
-// coalesce counts the distinct sectors touched by the active lanes.
-func (w *Warp) coalesce(mask Mask, addrs *Vec, size int) uint64 {
-	var sectors [2 * WarpSize]uint64
-	n := 0
-	sb := uint64(w.Dev.Cfg.SectorBytes)
-	for lane := 0; lane < WarpSize; lane++ {
-		if !mask.Has(lane) {
-			continue
-		}
-		for s := addrs[lane] / sb; s <= (addrs[lane]+uint64(size)-1)/sb; s++ {
-			found := false
-			for i := 0; i < n; i++ {
-				if sectors[i] == s {
-					found = true
-					break
-				}
-			}
-			if !found {
-				sectors[n] = s
-				n++
-			}
-		}
-	}
-	return uint64(n)
-}
-
 // LoadGlobal performs a per-lane global load of size bytes (1, 2, 4 or 8)
 // and returns the loaded values. It records one ld.global warp instruction,
 // the coalesced sector transactions, and one global latency on the warp's
@@ -103,13 +115,9 @@ func (w *Warp) coalesce(mask Mask, addrs *Vec, size int) uint64 {
 func (w *Warp) LoadGlobal(mask Mask, addrs *Vec, size int) Vec {
 	w.ExecN(ILdGlobal, mask, 1)
 	w.stats.GlobalSectors += w.coalesce(mask, addrs, size)
-	w.stats.MaxSerialMemChain += w.effLatency(w.Dev.Cfg.GlobalLatency)
+	w.stats.MaxSerialMemChain += w.effGlobal
 	var out Vec
-	for lane := 0; lane < WarpSize; lane++ {
-		if mask.Has(lane) {
-			out[lane] = w.Dev.load(Ptr(addrs[lane]), size)
-		}
-	}
+	w.Dev.gather(mask, addrs, size, &out)
 	return out
 }
 
@@ -117,11 +125,7 @@ func (w *Warp) LoadGlobal(mask Mask, addrs *Vec, size int) Vec {
 func (w *Warp) StoreGlobal(mask Mask, addrs *Vec, size int, vals *Vec) {
 	w.ExecN(IStGlobal, mask, 1)
 	w.stats.GlobalSectors += w.coalesce(mask, addrs, size)
-	for lane := 0; lane < WarpSize; lane++ {
-		if mask.Has(lane) {
-			w.Dev.store(Ptr(addrs[lane]), size, vals[lane])
-		}
-	}
+	w.Dev.scatter(mask, addrs, size, vals)
 }
 
 // AtomicCAS performs a per-lane compare-and-swap on global memory and
@@ -132,18 +136,9 @@ func (w *Warp) StoreGlobal(mask Mask, addrs *Vec, size int, vals *Vec) {
 func (w *Warp) AtomicCAS(mask Mask, addrs, compare, val *Vec, size int) Vec {
 	w.ExecN(IAtomic, mask, 1)
 	w.stats.AtomicSectors += w.coalesce(mask, addrs, size)
-	w.stats.MaxSerialMemChain += w.effLatency(w.Dev.Cfg.GlobalLatency)
+	w.stats.MaxSerialMemChain += w.effGlobal
 	var out Vec
-	for lane := 0; lane < WarpSize; lane++ {
-		if !mask.Has(lane) {
-			continue
-		}
-		old := w.Dev.load(Ptr(addrs[lane]), size)
-		out[lane] = old
-		if old == compare[lane] {
-			w.Dev.store(Ptr(addrs[lane]), size, val[lane])
-		}
-	}
+	w.Dev.casLoop(mask, addrs, compare, val, size, &out)
 	return out
 }
 
@@ -152,16 +147,9 @@ func (w *Warp) AtomicCAS(mask Mask, addrs, compare, val *Vec, size int) Vec {
 func (w *Warp) AtomicAdd(mask Mask, addrs, delta *Vec, size int) Vec {
 	w.ExecN(IAtomic, mask, 1)
 	w.stats.AtomicSectors += w.coalesce(mask, addrs, size)
-	w.stats.MaxSerialMemChain += w.effLatency(w.Dev.Cfg.GlobalLatency)
+	w.stats.MaxSerialMemChain += w.effGlobal
 	var out Vec
-	for lane := 0; lane < WarpSize; lane++ {
-		if !mask.Has(lane) {
-			continue
-		}
-		old := w.Dev.load(Ptr(addrs[lane]), size)
-		out[lane] = old
-		w.Dev.store(Ptr(addrs[lane]), size, old+delta[lane])
-	}
+	w.Dev.addLoop(mask, addrs, delta, size, &out)
 	return out
 }
 
@@ -176,12 +164,11 @@ func (w *Warp) localAddr(lane int, off uint64) uint64 {
 func (w *Warp) LoadLocal(mask Mask, offs *Vec, size int) Vec {
 	w.ExecN(ILdLocal, mask, 1)
 	w.addLocalTraffic(mask, size)
-	w.stats.MaxSerialMemChain += w.effLatency(w.Dev.Cfg.LocalLatency)
+	w.stats.MaxSerialMemChain += w.effLocal
 	var out Vec
-	for lane := 0; lane < WarpSize; lane++ {
-		if mask.Has(lane) {
-			out[lane] = loadLE(w.localMem[w.localAddr(lane, offs[lane]):], size)
-		}
+	for m := uint32(mask); m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros32(m)
+		out[lane] = loadLE(w.localMem[w.localAddr(lane, offs[lane]):], size)
 	}
 	return out
 }
@@ -190,30 +177,15 @@ func (w *Warp) LoadLocal(mask Mask, offs *Vec, size int) Vec {
 func (w *Warp) StoreLocal(mask Mask, offs *Vec, size int, vals *Vec) {
 	w.ExecN(IStLocal, mask, 1)
 	w.addLocalTraffic(mask, size)
-	for lane := 0; lane < WarpSize; lane++ {
-		if mask.Has(lane) {
-			storeLE(w.localMem[w.localAddr(lane, offs[lane]):], size, vals[lane])
-		}
+	for m := uint32(mask); m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros32(m)
+		storeLE(w.localMem[w.localAddr(lane, offs[lane]):], size, vals[lane])
 	}
-}
-
-// effLatency is the dependent-chain cost of one memory warp instruction:
-// the raw latency divided by the warp's memory-level parallelism (the
-// scoreboard keeps several loads in flight; only every MLP-th access
-// extends the critical chain).
-func (w *Warp) effLatency(lat int) uint64 {
-	mlp := w.Dev.Cfg.MemParallelism
-	if mlp < 1 {
-		mlp = 1
-	}
-	e := (lat + mlp - 1) / mlp
-	return uint64(e)
 }
 
 func (w *Warp) addLocalTraffic(mask Mask, size int) {
-	bytes := mask.Count() * size
-	sb := w.Dev.Cfg.SectorBytes
-	w.stats.LocalSectors += uint64((bytes + sb - 1) / sb)
+	bytes := uint64(mask.Count()) * uint64(size)
+	w.stats.LocalSectors += (bytes + w.sb - 1) / w.sb
 }
 
 // LocalBytesPerLane returns the private local-memory size each lane has.
@@ -221,14 +193,20 @@ func (w *Warp) LocalBytesPerLane() int { return w.perLane }
 
 // Shfl broadcasts the value held by srcLane to every active lane
 // (__shfl_sync with a scalar source), returning the resulting vector.
+//
+// If srcLane is out of range or inactive in mask — undefined behavior on
+// real CUDA hardware — the result is defined here as all-zero lanes, so a
+// kernel bug yields a stable, testable value instead of a stale register
+// read.
 func (w *Warp) Shfl(mask Mask, vals *Vec, srcLane int) Vec {
 	w.ExecN(IShfl, mask, 1)
-	v := vals[srcLane]
 	var out Vec
-	for lane := 0; lane < WarpSize; lane++ {
-		if mask.Has(lane) {
-			out[lane] = v
-		}
+	if srcLane < 0 || srcLane >= WarpSize || !mask.Has(srcLane) {
+		return out
+	}
+	v := vals[srcLane]
+	for m := uint32(mask); m != 0; m &= m - 1 {
+		out[bits.TrailingZeros32(m)] = v
 	}
 	return out
 }
@@ -238,8 +216,9 @@ func (w *Warp) Shfl(mask Mask, vals *Vec, srcLane int) Vec {
 func (w *Warp) Ballot(mask Mask, pred func(lane int) bool) Mask {
 	w.ExecN(IBallot, mask, 1)
 	var out Mask
-	for lane := 0; lane < WarpSize; lane++ {
-		if mask.Has(lane) && pred(lane) {
+	for m := uint32(mask); m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros32(m)
+		if pred(lane) {
 			out |= LaneMask(lane)
 		}
 	}
@@ -252,14 +231,21 @@ func (w *Warp) Ballot(mask Mask, pred func(lane int) bool) Mask {
 func (w *Warp) MatchAny(mask Mask, vals *Vec) [WarpSize]Mask {
 	w.ExecN(IMatch, mask, 1)
 	var out [WarpSize]Mask
-	for a := 0; a < WarpSize; a++ {
-		if !mask.Has(a) {
-			continue
+	for ma := uint32(mask); ma != 0; ma &= ma - 1 {
+		a := bits.TrailingZeros32(ma)
+		if out[a] != 0 {
+			continue // already grouped by an earlier equal lane
 		}
-		for b := 0; b < WarpSize; b++ {
-			if mask.Has(b) && vals[b] == vals[a] {
-				out[a] |= LaneMask(b)
+		var group Mask
+		for mb := ma; mb != 0; mb &= mb - 1 {
+			b := bits.TrailingZeros32(mb)
+			if vals[b] == vals[a] {
+				group |= LaneMask(b)
 			}
+		}
+		// Every member of the group shares the same match mask.
+		for g := uint32(group); g != 0; g &= g - 1 {
+			out[bits.TrailingZeros32(g)] = group
 		}
 	}
 	return out
@@ -269,7 +255,20 @@ func (w *Warp) MatchAny(mask Mask, vals *Vec) [WarpSize]Mask {
 // call documents and costs the synchronization points of the real kernel.
 func (w *Warp) SyncWarp(mask Mask) { w.ExecN(ISync, mask, 1) }
 
+// loadLE reads size little-endian bytes. The supported power-of-two sizes
+// decode with single machine loads; anything else falls back to the byte
+// loop.
 func loadLE(b []byte, size int) uint64 {
+	switch size {
+	case 1:
+		return uint64(b[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	case 8:
+		return binary.LittleEndian.Uint64(b)
+	}
 	var v uint64
 	for i := size - 1; i >= 0; i-- {
 		v = v<<8 | uint64(b[i])
@@ -277,9 +276,21 @@ func loadLE(b []byte, size int) uint64 {
 	return v
 }
 
+// storeLE writes size little-endian bytes, mirroring loadLE.
 func storeLE(b []byte, size int, v uint64) {
-	for i := 0; i < size; i++ {
-		b[i] = byte(v >> uint(8*i))
+	switch size {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(b, v)
+	default:
+		for i := 0; i < size; i++ {
+			b[i] = byte(v >> uint(8*i))
+		}
 	}
 }
 
