@@ -1,147 +1,14 @@
 package main
 
 import (
-	"encoding/json"
-	"os"
-
 	"mhm2sim/internal/dist"
 	"mhm2sim/internal/pipeline"
+	"mhm2sim/internal/report"
 )
 
-// jsonReport is the machine-readable run summary written by -json. All
-// durations are nanoseconds.
-type jsonReport struct {
-	StagesNS map[string]int64 `json:"stages_ns"`
-	TotalNS  int64            `json:"total_ns"`
-	Assembly assemblyStats    `json:"assembly"`
-	Bins     []jsonBins       `json:"bins"`
-	GPU      *jsonGPU         `json:"gpu,omitempty"`
-	Dist     *jsonDist        `json:"dist,omitempty"`
-}
-
-type jsonBins struct {
-	K     int `json:"k"`
-	Zero  int `json:"bin1_zero"`
-	Small int `json:"bin2_small"`
-	Large int `json:"bin3_large"`
-}
-
-type jsonGPU struct {
-	KernelTimeNS   int64 `json:"kernel_time_ns"`
-	TransferTimeNS int64 `json:"transfer_time_ns"`
-	Kernels        int   `json:"kernels"`
-}
-
-// jsonDist is the per-rank comm/compute breakdown of a -ranks run.
-type jsonDist struct {
-	Ranks         int           `json:"ranks"`
-	VirtualShards int           `json:"virtual_shards"`
-	Rounds        int           `json:"rounds"`
-	WallNS        int64         `json:"wall_ns"`
-	CommTimeNS    int64         `json:"comm_time_ns"`
-	CommBytes     int64         `json:"comm_bytes"`
-	CommMsgs      int64         `json:"comm_msgs"`
-	Efficiency    float64       `json:"efficiency"`
-	Faults        string        `json:"faults,omitempty"`
-	Recovery      *jsonRecovery `json:"recovery,omitempty"`
-	PerRank       []jsonRank    `json:"per_rank"`
-}
-
-// jsonRecovery reports the fault-recovery counters of a -faults run.
-type jsonRecovery struct {
-	ExchangeRetries int   `json:"exchange_retries"`
-	RetryTimeNS     int64 `json:"retry_time_ns"`
-	Evictions       int   `json:"evictions"`
-	RecoveredBytes  int64 `json:"recovered_bytes"`
-	DeviceFallbacks int   `json:"device_fallbacks"`
-	BatchResplits   int   `json:"batch_resplits"`
-	Stragglers      int   `json:"stragglers"`
-}
-
-type jsonRank struct {
-	Rank      int   `json:"rank"`
-	Alive     bool  `json:"alive"`
-	BusyNS    int64 `json:"busy_ns"`
-	CommNS    int64 `json:"comm_ns"`
-	IdleNS    int64 `json:"idle_ns"`
-	BytesSent int64 `json:"bytes_sent"`
-	BytesRecv int64 `json:"bytes_recv"`
-	Msgs      int64 `json:"msgs"`
-	PCIeH2D   int64 `json:"pcie_h2d_bytes"`
-	PCIeD2H   int64 `json:"pcie_d2h_bytes"`
-	Kernels   int   `json:"kernels"`
-	Contigs   int   `json:"contigs"`
-}
-
-// buildJSONReport assembles the report; rep may be nil (single-process run).
-func buildJSONReport(res *pipeline.Result, rep *dist.Report) *jsonReport {
-	jr := &jsonReport{
-		StagesNS: make(map[string]int64, int(pipeline.NumStages)),
-		TotalNS:  int64(res.Timings.Total()),
-		Assembly: computeAssemblyStats(res),
-	}
-	for s := pipeline.Stage(0); s < pipeline.NumStages; s++ {
-		jr.StagesNS[s.String()] = int64(res.Timings.Wall[s])
-	}
-	for _, b := range res.Bins {
-		jr.Bins = append(jr.Bins, jsonBins{K: b.K, Zero: b.Zero, Small: b.Small, Large: b.Large})
-	}
-	if len(res.Work.GPUKernels) > 0 {
-		jr.GPU = &jsonGPU{
-			KernelTimeNS:   int64(res.Work.GPUKernelTime),
-			TransferTimeNS: int64(res.Work.GPUTransferTime),
-			Kernels:        len(res.Work.GPUKernels),
-		}
-	}
-	if rep != nil {
-		jd := &jsonDist{
-			Ranks:         rep.Ranks,
-			VirtualShards: rep.VirtualShards,
-			Rounds:        rep.Rounds,
-			WallNS:        int64(rep.Wall),
-			CommTimeNS:    int64(rep.CommTime),
-			CommBytes:     res.Work.CommBytes,
-			CommMsgs:      res.Work.CommMsgs,
-			Efficiency:    rep.Efficiency(),
-		}
-		if rep.Recovery.Any() {
-			jd.Faults = rep.Faults
-			jd.Recovery = &jsonRecovery{
-				ExchangeRetries: rep.Recovery.ExchangeRetries,
-				RetryTimeNS:     int64(rep.Recovery.RetryTime),
-				Evictions:       rep.Recovery.Evictions,
-				RecoveredBytes:  rep.Recovery.RecoveredBytes,
-				DeviceFallbacks: rep.Recovery.DeviceFallbacks,
-				BatchResplits:   rep.Recovery.BatchResplits,
-				Stragglers:      rep.Recovery.Stragglers,
-			}
-		}
-		for _, rs := range rep.PerRank {
-			jd.PerRank = append(jd.PerRank, jsonRank{
-				Rank:      rs.Rank,
-				Alive:     rs.Alive,
-				BusyNS:    int64(rs.Busy),
-				CommNS:    int64(rs.Comm),
-				IdleNS:    int64(rs.Idle),
-				BytesSent: rs.BytesSent,
-				BytesRecv: rs.BytesRecv,
-				Msgs:      rs.Msgs,
-				PCIeH2D:   rs.PCIeH2D,
-				PCIeD2H:   rs.PCIeD2H,
-				Kernels:   rs.Kernels,
-				Contigs:   rs.Contigs,
-			})
-		}
-		jr.Dist = jd
-	}
-	return jr
-}
-
-// writeJSONReport writes the report to path as indented JSON.
+// writeJSONReport writes the machine-readable run summary for -json. The
+// schema lives in internal/report and is shared verbatim with the daemon's
+// result endpoint (mhm2d), so the two outputs cannot drift.
 func writeJSONReport(path string, res *pipeline.Result, rep *dist.Report) error {
-	b, err := json.MarshalIndent(buildJSONReport(res, rep), "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return report.Build(res, rep).WriteFile(path)
 }

@@ -32,17 +32,19 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"mhm2sim/internal/dist"
 	"mhm2sim/internal/dna"
@@ -52,6 +54,7 @@ import (
 	"mhm2sim/internal/pipeline"
 	"mhm2sim/internal/preprocess"
 	"mhm2sim/internal/quality"
+	"mhm2sim/internal/report"
 	"mhm2sim/internal/synth"
 )
 
@@ -165,12 +168,20 @@ func resolveEngine(opts *options) (string, error) {
 // 2 (usage errors) so chaos harnesses can tell the outcomes apart.
 const exitFault = 3
 
+// exitCanceled is the exit status of a run stopped by SIGINT/SIGTERM
+// before completing — checkpoints written so far remain valid for resume.
+const exitCanceled = 4
+
 // runErrorLine classifies a run error into one structured stderr line and a
 // process exit status. Unrecoverable injected faults get their own status
-// and a greppable prefix instead of a stack trace.
+// and a greppable prefix instead of a stack trace; so do signal-canceled
+// runs (the line names the resume mechanism).
 func runErrorLine(err error) (string, int) {
 	if errors.Is(err, dist.ErrUnrecoverable) {
 		return fmt.Sprintf("unrecoverable-fault: %v", err), exitFault
+	}
+	if errors.Is(err, context.Canceled) {
+		return fmt.Sprintf("canceled: %v (completed rounds are checkpointed when -checkpoint is set)", err), exitCanceled
 	}
 	return err.Error(), 1
 }
@@ -255,6 +266,12 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	// SIGINT/SIGTERM cancel the run at the next stage boundary instead of
+	// killing it mid-write; with -checkpoint, completed rounds survive and
+	// a rerun resumes past them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	engine, err := resolveEngine(opts)
 	if err != nil {
 		log.Fatal(err)
@@ -276,9 +293,9 @@ func main() {
 			dcfg.Faults = plan
 			fmt.Printf("injecting faults (seed %d): %s\n", opts.faultSeed, plan)
 		}
-		res, rep, err = dist.Run(pairs, dcfg)
+		res, rep, err = dist.RunContext(ctx, pairs, dcfg)
 	} else {
-		res, err = pipeline.Run(pairs, cfg)
+		res, err = pipeline.RunContext(ctx, pairs, cfg)
 	}
 	if err != nil {
 		line, code := runErrorLine(err)
@@ -378,16 +395,9 @@ func loadPairs(readsPath, presetName string) ([]dna.PairedRead, [][]byte, error)
 		return nil, nil, err
 	}
 	defer f.Close()
-	reads, err := dna.ReadFASTQ(f)
+	pairs, err := dna.ReadInterleavedPairs(f)
 	if err != nil {
 		return nil, nil, err
-	}
-	if len(reads)%2 != 0 {
-		return nil, nil, fmt.Errorf("FASTQ holds %d reads; expected interleaved pairs", len(reads))
-	}
-	pairs := make([]dna.PairedRead, len(reads)/2)
-	for i := range pairs {
-		pairs[i] = dna.PairedRead{Fwd: reads[2*i], Rev: reads[2*i+1]}
 	}
 	return pairs, nil, nil
 }
@@ -410,43 +420,11 @@ func printBreakdown(res *pipeline.Result) {
 	}
 }
 
-// assemblyStats summarizes the contig set (lengths sorted descending).
-type assemblyStats struct {
-	Contigs   int   `json:"contigs"`
-	Bases     int   `json:"bases"`
-	N50       int   `json:"n50"`
-	Longest   int   `json:"longest"`
-	Scaffolds int   `json:"scaffolds"`
-	lens      []int // descending, for the histogram
-}
-
-func computeAssemblyStats(res *pipeline.Result) assemblyStats {
-	st := assemblyStats{Contigs: len(res.Contigs), Scaffolds: len(res.Scaffolds)}
-	st.lens = make([]int, 0, len(res.Contigs))
-	for _, c := range res.Contigs {
-		st.lens = append(st.lens, len(c.Seq))
-		st.Bases += len(c.Seq)
-	}
-	sort.Sort(sort.Reverse(sort.IntSlice(st.lens)))
-	run := 0
-	for _, l := range st.lens {
-		run += l
-		if run >= st.Bases/2 {
-			st.N50 = l
-			break
-		}
-	}
-	if len(st.lens) > 0 {
-		st.Longest = st.lens[0]
-	}
-	return st
-}
-
 func printAssemblyStats(res *pipeline.Result) {
-	st := computeAssemblyStats(res)
+	st := report.ComputeAssembly(res)
 	fmt.Printf("\nassembly: %d contigs, %d bases, N50 %d, longest %d; %d scaffolds\n",
 		st.Contigs, st.Bases, st.N50, st.Longest, st.Scaffolds)
-	fmt.Print(histo.FromValues("contig length distribution:", st.lens).Render(40))
+	fmt.Print(histo.FromValues("contig length distribution:", st.Lens).Render(40))
 }
 
 func printGPUStats(res *pipeline.Result) {

@@ -15,6 +15,7 @@ import (
 	"mhm2sim/internal/faults"
 	"mhm2sim/internal/locassm"
 	"mhm2sim/internal/pipeline"
+	"mhm2sim/internal/report"
 	"mhm2sim/internal/synth"
 )
 
@@ -205,9 +206,12 @@ func TestJSONReportRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var jr jsonReport
+	var jr report.Report
 	if err := json.Unmarshal(data, &jr); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if jr.Schema != report.SchemaVersion {
+		t.Errorf("report schema %q, want %q", jr.Schema, report.SchemaVersion)
 	}
 	if jr.Assembly.Contigs == 0 || jr.TotalNS <= 0 {
 		t.Errorf("assembly summary empty: %+v", jr.Assembly)
@@ -266,7 +270,7 @@ func TestJSONReportRecoverySection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	jr := buildJSONReport(res, rep)
+	jr := report.Build(res, rep)
 	if jr.Dist == nil || jr.Dist.Recovery == nil {
 		t.Fatal("recovery section missing from faulted run JSON")
 	}

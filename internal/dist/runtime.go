@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	goruntime "runtime"
@@ -474,6 +475,14 @@ func allgatherMatrix(ctgs []*locassm.CtgWithReads, results []locassm.Result, dea
 // Work.CommTime, the way the simt device folds modeled PCIe time into
 // Work.GPUTransferTime.
 func Run(pairs []dna.PairedRead, cfg Config) (*pipeline.Result, *Report, error) {
+	return RunContext(context.Background(), pairs, cfg)
+}
+
+// RunContext is Run with cancellation, forwarded to the pipeline stage
+// driver: a canceled distributed run stops at the next stage boundary
+// (fabric exchanges in flight complete first, since they execute inside
+// the local-assembly stage).
+func RunContext(ctx context.Context, pairs []dna.PairedRead, cfg Config) (*pipeline.Result, *Report, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
@@ -488,7 +497,7 @@ func Run(pairs []dna.PairedRead, cfg Config) (*pipeline.Result, *Report, error) 
 
 	pcfg := cfg.Pipeline
 	pcfg.Engine = locassm.EngineSpec{Name: locassm.EngineDist, Instance: rt}
-	res, err := pipeline.Run(pairs, pcfg)
+	res, err := pipeline.RunContext(ctx, pairs, pcfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -37,6 +37,24 @@ func ReadFASTQ(r io.Reader) ([]Read, error) {
 	}
 }
 
+// ReadInterleavedPairs parses an interleaved paired FASTQ (fwd, rev, fwd,
+// rev, …) into pairs — the input format of mhm2sim -reads and of service
+// jobs with a reads_path.
+func ReadInterleavedPairs(r io.Reader) ([]PairedRead, error) {
+	reads, err := ReadFASTQ(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(reads)%2 != 0 {
+		return nil, fmt.Errorf("dna: FASTQ holds %d reads; expected interleaved pairs", len(reads))
+	}
+	pairs := make([]PairedRead, len(reads)/2)
+	for i := range pairs {
+		pairs[i] = PairedRead{Fwd: reads[2*i], Rev: reads[2*i+1]}
+	}
+	return pairs, nil
+}
+
 func readFASTQRecord(sc *bufio.Scanner, line *int) (Read, error) {
 	// Header line.
 	hdr, err := nextLine(sc, line)

@@ -35,8 +35,11 @@ func saveRound(dir string, k int, ctgs []dbg.Contig) (int64, error) {
 	seqs := make([][]byte, len(ctgs))
 	for i := range ctgs {
 		// Depth rides inside the name token: FASTA readers keep only the
-		// first whitespace-separated field.
-		names[i] = fmt.Sprintf("contig_%d|depth=%.4f", ctgs[i].ID, ctgs[i].Depth)
+		// first whitespace-separated field. The shortest round-trip float
+		// form keeps a resumed run's contig depths bit-identical to the
+		// uninterrupted run's (a fixed precision would truncate them).
+		names[i] = "contig_" + strconv.FormatInt(ctgs[i].ID, 10) +
+			"|depth=" + strconv.FormatFloat(ctgs[i].Depth, 'g', -1, 64)
 		seqs[i] = ctgs[i].Seq
 	}
 	if err := dna.WriteFASTA(f, names, seqs, 80); err != nil {

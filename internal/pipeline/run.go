@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -20,6 +21,16 @@ import (
 // substrate — host, GPU, multi-GPU node, distributed ranks — flows through
 // the same loop.
 func Run(pairs []dna.PairedRead, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), pairs, cfg)
+}
+
+// RunContext is Run with cancellation: the stage driver checks ctx at
+// every stage boundary, so a canceled run stops after the stage in flight
+// instead of running to completion. Combined with CheckpointDir this is
+// the eviction contract of the service scheduler (internal/service): a
+// canceled job has checkpoints for every completed round and a rerun
+// resumes exactly where it stopped. The returned error wraps ctx.Err().
+func RunContext(ctx context.Context, pairs []dna.PairedRead, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -36,7 +47,7 @@ func Run(pairs []dna.PairedRead, cfg Config) (*Result, error) {
 		cfg: &cfg, res: res, eng: eng,
 		workers: par.Workers(cfg.Workers), pairs: pairs,
 	}
-	d := &stageDriver{res: res, obs: cfg.Observer}
+	d := &stageDriver{ctx: ctx, res: res, obs: cfg.Observer}
 
 	if err := d.exec(outerEvent(StageMergeReads), false, st.mergeReads); err != nil {
 		return nil, err

@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"context"
+	"fmt"
 	"time"
 )
 
@@ -52,8 +54,11 @@ func roundEvent(s Stage, ri, k int) StageEvent {
 // stageDriver executes stage bodies sequentially. It owns the clock: the
 // measured wall time of each body is credited to the event's timing
 // category, and Observer deltas are computed from Timings/WorkRecord
-// snapshots around the body.
+// snapshots around the body. It also owns cancellation: the context is
+// checked once per stage boundary, so a canceled run never starts another
+// stage (checkpoints written by completed stages stay valid).
 type stageDriver struct {
+	ctx context.Context
 	res *Result
 	obs Observer // nil = no observer
 }
@@ -62,6 +67,9 @@ type stageDriver struct {
 // body splits its own wall time across two categories; for every other
 // stage the driver bills the measured wall time to ev.Stage itself.
 func (d *stageDriver) exec(ev StageEvent, selfTimed bool, body func() error) error {
+	if err := d.ctx.Err(); err != nil {
+		return fmt.Errorf("pipeline: canceled before %s stage: %w", ev.Name, err)
+	}
 	timingsBefore := d.res.Timings
 	workBefore := d.res.Work
 	if d.obs != nil {

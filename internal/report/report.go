@@ -1,0 +1,233 @@
+// Package report is the one machine-readable run summary of this codebase:
+// the schema behind `mhm2sim -json` and the daemon's result endpoint
+// (internal/service). Both producers share this encoder so the two outputs
+// cannot drift; the Schema field versions the format for consumers.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"mhm2sim/internal/dist"
+	"mhm2sim/internal/pipeline"
+)
+
+// SchemaVersion identifies the report format. Bump the suffix on any
+// incompatible change (renamed/removed fields, changed units).
+const SchemaVersion = "mhm2sim-report/v1"
+
+// Report is the machine-readable run summary. All durations are
+// nanoseconds.
+type Report struct {
+	Schema   string           `json:"schema"`
+	StagesNS map[string]int64 `json:"stages_ns"`
+	TotalNS  int64            `json:"total_ns"`
+	Assembly Assembly         `json:"assembly"`
+	Bins     []Bins           `json:"bins"`
+	GPU      *GPU             `json:"gpu,omitempty"`
+	Dist     *Dist            `json:"dist,omitempty"`
+}
+
+// Assembly summarizes the contig set (lengths sorted descending).
+type Assembly struct {
+	Contigs   int `json:"contigs"`
+	Bases     int `json:"bases"`
+	N50       int `json:"n50"`
+	Longest   int `json:"longest"`
+	Scaffolds int `json:"scaffolds"`
+	// Lens holds the contig lengths, descending — for histograms, not
+	// serialized.
+	Lens []int `json:"-"`
+}
+
+// Bins is the §3.1 bin distribution of one contigging round (Fig 3).
+type Bins struct {
+	K     int `json:"k"`
+	Zero  int `json:"bin1_zero"`
+	Small int `json:"bin2_small"`
+	Large int `json:"bin3_large"`
+}
+
+// GPU summarizes the device local-assembly kernels of the run.
+type GPU struct {
+	KernelTimeNS   int64 `json:"kernel_time_ns"`
+	TransferTimeNS int64 `json:"transfer_time_ns"`
+	Kernels        int   `json:"kernels"`
+}
+
+// Dist is the per-rank comm/compute breakdown of a multi-rank run.
+type Dist struct {
+	Ranks         int       `json:"ranks"`
+	VirtualShards int       `json:"virtual_shards"`
+	Rounds        int       `json:"rounds"`
+	WallNS        int64     `json:"wall_ns"`
+	CommTimeNS    int64     `json:"comm_time_ns"`
+	CommBytes     int64     `json:"comm_bytes"`
+	CommMsgs      int64     `json:"comm_msgs"`
+	Efficiency    float64   `json:"efficiency"`
+	Faults        string    `json:"faults,omitempty"`
+	Recovery      *Recovery `json:"recovery,omitempty"`
+	PerRank       []Rank    `json:"per_rank"`
+}
+
+// Recovery reports the fault-recovery counters of a chaos run.
+type Recovery struct {
+	ExchangeRetries int   `json:"exchange_retries"`
+	RetryTimeNS     int64 `json:"retry_time_ns"`
+	Evictions       int   `json:"evictions"`
+	RecoveredBytes  int64 `json:"recovered_bytes"`
+	DeviceFallbacks int   `json:"device_fallbacks"`
+	BatchResplits   int   `json:"batch_resplits"`
+	Stragglers      int   `json:"stragglers"`
+}
+
+// Rank is one rank's row of the strong-scaling breakdown.
+type Rank struct {
+	Rank      int   `json:"rank"`
+	Alive     bool  `json:"alive"`
+	BusyNS    int64 `json:"busy_ns"`
+	CommNS    int64 `json:"comm_ns"`
+	IdleNS    int64 `json:"idle_ns"`
+	BytesSent int64 `json:"bytes_sent"`
+	BytesRecv int64 `json:"bytes_recv"`
+	Msgs      int64 `json:"msgs"`
+	PCIeH2D   int64 `json:"pcie_h2d_bytes"`
+	PCIeD2H   int64 `json:"pcie_d2h_bytes"`
+	Kernels   int   `json:"kernels"`
+	Contigs   int   `json:"contigs"`
+}
+
+// ComputeAssembly derives the assembly summary from a pipeline result.
+func ComputeAssembly(res *pipeline.Result) Assembly {
+	st := Assembly{Contigs: len(res.Contigs), Scaffolds: len(res.Scaffolds)}
+	st.Lens = make([]int, 0, len(res.Contigs))
+	for _, c := range res.Contigs {
+		st.Lens = append(st.Lens, len(c.Seq))
+		st.Bases += len(c.Seq)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(st.Lens)))
+	run := 0
+	for _, l := range st.Lens {
+		run += l
+		if run >= st.Bases/2 {
+			st.N50 = l
+			break
+		}
+	}
+	if len(st.Lens) > 0 {
+		st.Longest = st.Lens[0]
+	}
+	return st
+}
+
+// Build assembles the report; rep may be nil (single-process run).
+func Build(res *pipeline.Result, rep *dist.Report) *Report {
+	r := &Report{
+		Schema:   SchemaVersion,
+		StagesNS: make(map[string]int64, int(pipeline.NumStages)),
+		TotalNS:  int64(res.Timings.Total()),
+		Assembly: ComputeAssembly(res),
+	}
+	for s := pipeline.Stage(0); s < pipeline.NumStages; s++ {
+		r.StagesNS[s.String()] = int64(res.Timings.Wall[s])
+	}
+	for _, b := range res.Bins {
+		r.Bins = append(r.Bins, Bins{K: b.K, Zero: b.Zero, Small: b.Small, Large: b.Large})
+	}
+	if len(res.Work.GPUKernels) > 0 {
+		r.GPU = &GPU{
+			KernelTimeNS:   int64(res.Work.GPUKernelTime),
+			TransferTimeNS: int64(res.Work.GPUTransferTime),
+			Kernels:        len(res.Work.GPUKernels),
+		}
+	}
+	if rep != nil {
+		jd := &Dist{
+			Ranks:         rep.Ranks,
+			VirtualShards: rep.VirtualShards,
+			Rounds:        rep.Rounds,
+			WallNS:        int64(rep.Wall),
+			CommTimeNS:    int64(rep.CommTime),
+			CommBytes:     res.Work.CommBytes,
+			CommMsgs:      res.Work.CommMsgs,
+			Efficiency:    rep.Efficiency(),
+		}
+		if rep.Recovery.Any() {
+			jd.Faults = rep.Faults
+			jd.Recovery = &Recovery{
+				ExchangeRetries: rep.Recovery.ExchangeRetries,
+				RetryTimeNS:     int64(rep.Recovery.RetryTime),
+				Evictions:       rep.Recovery.Evictions,
+				RecoveredBytes:  rep.Recovery.RecoveredBytes,
+				DeviceFallbacks: rep.Recovery.DeviceFallbacks,
+				BatchResplits:   rep.Recovery.BatchResplits,
+				Stragglers:      rep.Recovery.Stragglers,
+			}
+		}
+		for _, rs := range rep.PerRank {
+			jd.PerRank = append(jd.PerRank, Rank{
+				Rank:      rs.Rank,
+				Alive:     rs.Alive,
+				BusyNS:    int64(rs.Busy),
+				CommNS:    int64(rs.Comm),
+				IdleNS:    int64(rs.Idle),
+				BytesSent: rs.BytesSent,
+				BytesRecv: rs.BytesRecv,
+				Msgs:      rs.Msgs,
+				PCIeH2D:   rs.PCIeH2D,
+				PCIeD2H:   rs.PCIeD2H,
+				Kernels:   rs.Kernels,
+				Contigs:   rs.Contigs,
+			})
+		}
+		r.Dist = jd
+	}
+	return r
+}
+
+// Encode writes the report to w as indented JSON with a trailing newline.
+func (r *Report) Encode(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// WriteFile writes the report to path (atomically: write + rename).
+func (r *Report) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := r.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a report back and checks the schema — the daemon uses this to
+// serve persisted results without re-deriving them.
+func Load(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("report: corrupt %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("report: %s has schema %q, want %q", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mhm2sim/internal/pipeline"
+)
+
+// Metrics aggregates per-tenant and per-stage counters for the /metrics
+// endpoint, in the Prometheus text exposition format (hand-rendered — no
+// client library dependency). Stage timings arrive through the pipeline's
+// Observer seam; queue and device figures from the scheduler and pool.
+type Metrics struct {
+	mu      sync.Mutex
+	tenants map[string]*tenantMetrics
+	stages  map[string]int64 // stage name → Σ wall ns across all jobs
+	retries int64            // job-level retries on unrecoverable faults
+	resumes int64            // pipeline runs that started from a checkpoint
+}
+
+type tenantMetrics struct {
+	submitted   int64
+	byState     map[State]int64
+	rejectQueue int64 // admission rejections: queue full
+	rejectQuota int64 // admission rejections: tenant over quota
+	queueWaitNS int64
+	runNS       int64
+}
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{tenants: make(map[string]*tenantMetrics), stages: make(map[string]int64)}
+}
+
+func (m *Metrics) tenant(name string) *tenantMetrics {
+	t := m.tenants[name]
+	if t == nil {
+		t = &tenantMetrics{byState: make(map[State]int64)}
+		m.tenants[name] = t
+	}
+	return t
+}
+
+// Submitted counts an admitted job.
+func (m *Metrics) Submitted(tenant string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tenant(tenant).submitted++
+}
+
+// Rejected counts an admission rejection (reason: "queue_full" or "quota").
+func (m *Metrics) Rejected(tenant, reason string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.tenant(tenant)
+	if reason == "quota" {
+		t.rejectQuota++
+	} else {
+		t.rejectQueue++
+	}
+}
+
+// Finished counts a job reaching a terminal state, with its waits.
+func (m *Metrics) Finished(tenant string, state State, queueWait, run time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.tenant(tenant)
+	t.byState[state]++
+	t.queueWaitNS += int64(queueWait)
+	t.runNS += int64(run)
+}
+
+// Retried counts a job-level retry after an unrecoverable injected fault.
+func (m *Metrics) Retried() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retries++
+}
+
+// Resumed counts a pipeline execution that skipped checkpointed rounds.
+func (m *Metrics) Resumed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.resumes++
+}
+
+// StageObserver returns a pipeline.Observer accumulating per-stage wall
+// time into the registry and, when job is non-nil, into the job's own
+// per-stage map. One observer per pipeline execution.
+func (m *Metrics) StageObserver(stages map[string]int64) pipeline.Observer {
+	return &metricObserver{m: m, stages: stages}
+}
+
+type metricObserver struct {
+	m      *Metrics
+	stages map[string]int64 // per-job accumulation (may be nil)
+}
+
+func (o *metricObserver) StageStart(pipeline.StageEvent) {}
+
+func (o *metricObserver) StageFinish(ev pipeline.StageEvent, wall time.Duration, _ pipeline.Timings, _ pipeline.WorkRecord) {
+	o.m.mu.Lock()
+	o.m.stages[ev.Name] += int64(wall)
+	o.m.mu.Unlock()
+	if o.stages != nil {
+		o.stages[ev.Name] += int64(wall)
+	}
+}
+
+// metricName sanitizes a label value ("local assembly" → "local_assembly").
+func metricName(s string) string {
+	return strings.NewReplacer(" ", "_", "-", "_", "/", "_").Replace(s)
+}
+
+// Render writes the Prometheus text exposition. queueDepth/running are
+// live gauges supplied by the scheduler; pool is the device pool snapshot.
+func (m *Metrics) Render(w io.Writer, queueDepth, running int, pool PoolStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# TYPE mhm2d_queue_depth gauge\nmhm2d_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "# TYPE mhm2d_jobs_running gauge\nmhm2d_jobs_running %d\n", running)
+	fmt.Fprintf(w, "# TYPE mhm2d_devices gauge\nmhm2d_devices %d\n", pool.Size)
+	fmt.Fprintf(w, "# TYPE mhm2d_devices_leased gauge\nmhm2d_devices_leased %d\n", pool.Leased)
+	fmt.Fprintf(w, "# TYPE mhm2d_device_leases_total counter\nmhm2d_device_leases_total %d\n", pool.Leases)
+	fmt.Fprintf(w, "# TYPE mhm2d_device_busy_seconds_total counter\nmhm2d_device_busy_seconds_total %g\n", float64(pool.BusyNS)/1e9)
+	fmt.Fprintf(w, "# TYPE mhm2d_device_wait_seconds_total counter\nmhm2d_device_wait_seconds_total %g\n", float64(pool.WaitNS)/1e9)
+	fmt.Fprintf(w, "# TYPE mhm2d_job_retries_total counter\nmhm2d_job_retries_total %d\n", m.retries)
+	fmt.Fprintf(w, "# TYPE mhm2d_job_resumes_total counter\nmhm2d_job_resumes_total %d\n", m.resumes)
+
+	names := make([]string, 0, len(m.tenants))
+	for n := range m.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "# TYPE mhm2d_jobs_submitted_total counter\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "mhm2d_jobs_submitted_total{tenant=%q} %d\n", n, m.tenants[n].submitted)
+	}
+	fmt.Fprintf(w, "# TYPE mhm2d_jobs_finished_total counter\n")
+	for _, n := range names {
+		t := m.tenants[n]
+		states := make([]string, 0, len(t.byState))
+		for s := range t.byState {
+			states = append(states, string(s))
+		}
+		sort.Strings(states)
+		for _, s := range states {
+			fmt.Fprintf(w, "mhm2d_jobs_finished_total{tenant=%q,state=%q} %d\n", n, s, t.byState[State(s)])
+		}
+	}
+	fmt.Fprintf(w, "# TYPE mhm2d_jobs_rejected_total counter\n")
+	for _, n := range names {
+		t := m.tenants[n]
+		if t.rejectQueue > 0 {
+			fmt.Fprintf(w, "mhm2d_jobs_rejected_total{tenant=%q,reason=\"queue_full\"} %d\n", n, t.rejectQueue)
+		}
+		if t.rejectQuota > 0 {
+			fmt.Fprintf(w, "mhm2d_jobs_rejected_total{tenant=%q,reason=\"quota\"} %d\n", n, t.rejectQuota)
+		}
+	}
+	fmt.Fprintf(w, "# TYPE mhm2d_queue_wait_seconds_total counter\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "mhm2d_queue_wait_seconds_total{tenant=%q} %g\n", n, float64(m.tenants[n].queueWaitNS)/1e9)
+	}
+	fmt.Fprintf(w, "# TYPE mhm2d_run_seconds_total counter\n")
+	for _, n := range names {
+		fmt.Fprintf(w, "mhm2d_run_seconds_total{tenant=%q} %g\n", n, float64(m.tenants[n].runNS)/1e9)
+	}
+
+	stageNames := make([]string, 0, len(m.stages))
+	for s := range m.stages {
+		stageNames = append(stageNames, s)
+	}
+	sort.Strings(stageNames)
+	fmt.Fprintf(w, "# TYPE mhm2d_stage_seconds_total counter\n")
+	for _, s := range stageNames {
+		fmt.Fprintf(w, "mhm2d_stage_seconds_total{stage=%q} %g\n", metricName(s), float64(m.stages[s])/1e9)
+	}
+}

@@ -1,0 +1,649 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"mhm2sim/internal/dist"
+	"mhm2sim/internal/locassm"
+	"mhm2sim/internal/pipeline"
+	"mhm2sim/internal/report"
+	"mhm2sim/internal/simt"
+)
+
+// Admission errors — the HTTP layer maps both to 429 Too Many Requests.
+var (
+	// ErrQueueFull: the bounded job queue is at capacity (backpressure).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrQuotaExceeded: the tenant already has its maximum jobs admitted.
+	ErrQuotaExceeded = errors.New("service: tenant quota exceeded")
+	// ErrDraining: the scheduler is shutting down (HTTP 503).
+	ErrDraining = errors.New("service: scheduler is draining")
+	// ErrNotFound: no such job.
+	ErrNotFound = errors.New("service: no such job")
+	// ErrNotReady: the job has no result yet (HTTP 409).
+	ErrNotReady = errors.New("service: job has no result yet")
+)
+
+// Config parameterizes the scheduler.
+type Config struct {
+	// DataDir is the persistence root (specs, checkpoints, results). It is
+	// created if missing; a restart over the same directory resumes
+	// unfinished jobs from their checkpoints.
+	DataDir string
+	// Workers is the number of concurrently executing jobs (default 4).
+	Workers int
+	// QueueDepth bounds the jobs waiting for a worker; submissions beyond
+	// it are rejected with ErrQueueFull (default 64).
+	QueueDepth int
+	// TenantMaxActive caps one tenant's admitted-but-unfinished jobs
+	// (queued + running); 0 means no quota.
+	TenantMaxActive int
+	// Devices is the shared GPU pool size (default 4).
+	Devices int
+	// DeviceConfig describes the pooled devices (zero Name = simt.V100()).
+	DeviceConfig simt.DeviceConfig
+	// JobRetries is how many times a job failing with dist.ErrUnrecoverable
+	// (an injected-chaos budget exhaustion) is retried under a reseeded
+	// fault plan before being marked failed (default 1).
+	JobRetries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Devices < 0 {
+		c.Devices = 0
+	} else if c.Devices == 0 {
+		c.Devices = 4
+	}
+	if c.JobRetries == 0 {
+		c.JobRetries = 1
+	}
+	return c
+}
+
+// job is the scheduler's internal record. Mutable fields are guarded by
+// the scheduler mutex.
+type job struct {
+	id   string
+	spec JobSpec // defaulted
+
+	state      State
+	errMsg     string
+	attempts   int
+	resumes    int
+	submitTime time.Time
+	startTime  time.Time
+	finishTime time.Time
+	queueWait  time.Duration
+	deviceWait time.Duration
+	deviceHeld time.Duration
+	devices    int
+	stagesNS   map[string]int64 // installed after a run completes
+
+	cancel context.CancelFunc // non-nil while running
+}
+
+// Scheduler is the job scheduler over the engine registry: a bounded queue
+// feeding a fixed worker pool, with a shared device pool and per-tenant
+// accounting. See the package comment for the architecture.
+type Scheduler struct {
+	cfg  Config
+	pool *DevicePool
+	met  *Metrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string       // submission order, for List
+	active   map[string]int // tenant → queued+running
+	queued   int            // jobs admitted but not yet picked by a worker
+	running  int
+	nextID   int
+	draining bool
+
+	queue chan *job
+	wg    sync.WaitGroup
+}
+
+// New builds a scheduler over cfg.DataDir, loading persisted jobs:
+// finished jobs are served from their terminal status, unfinished ones are
+// re-queued to resume from their checkpoints. Call Start to begin
+// executing.
+func New(cfg Config) (*Scheduler, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("service: Config.DataDir is required")
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.DataDir, jobsDir), 0o755); err != nil {
+		return nil, err
+	}
+	loaded, next, err := loadJobs(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:        cfg,
+		pool:       NewDevicePool(cfg.Devices, cfg.DeviceConfig),
+		met:        NewMetrics(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*job),
+		active:     make(map[string]int),
+		nextID:     next,
+		// Capacity covers the configured depth plus every re-queued job, so
+		// startup re-admission can never block or drop.
+		queue: make(chan *job, cfg.QueueDepth+len(loaded)),
+	}
+	for _, lj := range loaded {
+		j := &job{id: lj.ID, spec: lj.Spec.withDefaults(), submitTime: time.Now()}
+		if lj.Done != nil {
+			j.state = lj.Done.State
+			j.errMsg = lj.Done.Error
+			j.attempts = lj.Done.Attempts
+			j.resumes = lj.Done.Resumes
+			j.submitTime = lj.Done.SubmitTime
+			j.startTime = lj.Done.StartTime
+			j.finishTime = lj.Done.FinishTime
+			j.queueWait = time.Duration(lj.Done.QueueWaitNS)
+			j.stagesNS = lj.Done.StagesNS
+		} else {
+			j.state = StateQueued
+			s.active[j.spec.Tenant]++
+			s.queued++
+			s.queue <- j
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+	return s, nil
+}
+
+// Resumable returns how many loaded jobs were re-queued at startup.
+func (s *Scheduler) Resumable() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// Start launches the worker pool.
+func (s *Scheduler) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				select {
+				case <-s.baseCtx.Done():
+					return
+				case j := <-s.queue:
+					s.runJob(j)
+				}
+			}
+		}()
+	}
+}
+
+// Submit admits a job: it validates the spec, enforces the tenant quota
+// and the bounded queue, persists the spec, and enqueues. The returned ID
+// is stable across daemon restarts.
+func (s *Scheduler) Submit(spec JobSpec) (string, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	if d := spec.DeviceDemand(); d > s.pool.Size() {
+		return "", fmt.Errorf("service: job needs %d devices, pool has %d", d, s.pool.Size())
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return "", ErrDraining
+	}
+	if s.cfg.TenantMaxActive > 0 && s.active[spec.Tenant] >= s.cfg.TenantMaxActive {
+		s.mu.Unlock()
+		s.met.Rejected(spec.Tenant, "quota")
+		return "", fmt.Errorf("%w: tenant %q has %d active jobs (max %d)",
+			ErrQuotaExceeded, spec.Tenant, s.cfg.TenantMaxActive, s.cfg.TenantMaxActive)
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		s.met.Rejected(spec.Tenant, "queue_full")
+		return "", fmt.Errorf("%w: %d jobs queued (max %d)", ErrQueueFull, s.cfg.QueueDepth, s.cfg.QueueDepth)
+	}
+	id := formatJobID(s.nextID)
+	s.nextID++
+	j := &job{id: id, spec: spec, state: StateQueued, submitTime: time.Now()}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.active[spec.Tenant]++
+	s.queued++
+	s.mu.Unlock()
+
+	if err := saveSpec(s.cfg.DataDir, id, spec); err != nil {
+		// Roll the admission back: a job we cannot persist cannot be
+		// resumed, so refuse it outright.
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.order = s.order[:len(s.order)-1]
+		s.active[spec.Tenant]--
+		s.queued--
+		s.mu.Unlock()
+		return "", err
+	}
+	s.met.Submitted(spec.Tenant)
+	s.queue <- j
+	return id, nil
+}
+
+// Status snapshots one job.
+func (s *Scheduler) Status(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return j.snapshot(), nil
+}
+
+// snapshot builds the external view (caller holds the scheduler mutex).
+func (j *job) snapshot() Status {
+	st := Status{
+		ID:           j.id,
+		Spec:         j.spec,
+		State:        j.state,
+		Error:        j.errMsg,
+		Attempts:     j.attempts,
+		Resumes:      j.resumes,
+		SubmitTime:   j.submitTime,
+		StartTime:    j.startTime,
+		FinishTime:   j.finishTime,
+		QueueWaitNS:  int64(j.queueWait),
+		DeviceWaitNS: int64(j.deviceWait),
+		DeviceHeldNS: int64(j.deviceHeld),
+		Devices:      j.devices,
+		StagesNS:     j.stagesNS,
+	}
+	return st
+}
+
+// List snapshots all jobs in submission order.
+func (s *Scheduler) List() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].snapshot())
+	}
+	return out
+}
+
+// Result loads a finished job's persisted report.
+func (s *Scheduler) Result(id string) (*report.Report, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var state State
+	if ok {
+		state = j.state
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if state != StateSucceeded {
+		return nil, fmt.Errorf("%w (state %s)", ErrNotReady, state)
+	}
+	return report.Load(filepath.Join(jobDir(s.cfg.DataDir, id), resultFile))
+}
+
+// OutputPath returns the finished job's FASTA path.
+func (s *Scheduler) OutputPath(id string) (string, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var state State
+	if ok {
+		state = j.state
+	}
+	s.mu.Unlock()
+	if !ok {
+		return "", ErrNotFound
+	}
+	if state != StateSucceeded {
+		return "", fmt.Errorf("%w (state %s)", ErrNotReady, state)
+	}
+	return filepath.Join(jobDir(s.cfg.DataDir, id), outputFile), nil
+}
+
+// Cancel cancels a job: queued jobs are marked canceled and skipped when
+// dequeued; running jobs have their context canceled and stop at the next
+// stage boundary. Canceling a finished job is a no-op.
+func (s *Scheduler) Cancel(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		s.finishLocked(j, StateCanceled, "canceled while queued")
+		st := j.snapshot()
+		s.mu.Unlock()
+		s.persistTerminal(st)
+		return nil
+	case StateRunning:
+		cancel := j.cancel
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	default:
+		s.mu.Unlock()
+		return nil
+	}
+}
+
+// finishLocked moves a job to a terminal state (caller holds the mutex and
+// persists the terminal status afterwards, outside the lock). A job
+// canceled while queued keeps its queue slot counted until a worker drains
+// the stale channel entry — otherwise the admission counter and the
+// channel occupancy diverge and a later Submit blocks on a full channel.
+func (s *Scheduler) finishLocked(j *job, state State, errMsg string) {
+	j.state = state
+	j.errMsg = errMsg
+	j.finishTime = time.Now()
+	s.active[j.spec.Tenant]--
+	s.met.Finished(j.spec.Tenant, state, j.queueWait, j.runDuration())
+}
+
+func (j *job) runDuration() time.Duration {
+	if j.startTime.IsZero() {
+		return 0
+	}
+	return time.Since(j.startTime)
+}
+
+// persistTerminal writes the terminal status file (best effort: the job
+// outcome is already visible in memory; a write failure only costs the
+// record across a restart, where the job would re-run).
+func (s *Scheduler) persistTerminal(st Status) {
+	_ = saveStatus(s.cfg.DataDir, st)
+}
+
+// runJob executes one dequeued job: lease devices, run the pipeline with
+// per-job checkpointing, persist the result, and account everything.
+func (s *Scheduler) runJob(j *job) {
+	// Claim the job before touching the device pool: once it is
+	// StateRunning, every cancellation — client or shutdown — flows through
+	// the job context, including a cancel that lands while we are still
+	// blocked waiting for devices.
+	s.mu.Lock()
+	if j.state != StateQueued { // canceled while queued: drain the slot
+		s.queued--
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	j.cancel = cancel
+	j.state = StateRunning
+	s.queued--
+	s.running++
+	demand := j.spec.DeviceDemand()
+	s.mu.Unlock()
+
+	tAcq := time.Now()
+	lease, err := s.pool.Acquire(ctx, demand)
+	if err != nil {
+		s.settle(j, nil, nil, err)
+		return
+	}
+	defer lease.Release()
+
+	s.mu.Lock()
+	// The device lease is part of queue wait: the job's own work has not
+	// started until it holds its devices.
+	j.startTime = time.Now()
+	j.queueWait = j.startTime.Sub(j.submitTime)
+	j.deviceWait = j.startTime.Sub(tAcq)
+	j.devices = demand
+	s.mu.Unlock()
+
+	res, rep, runErr := s.executeWithRetry(ctx, j, lease)
+	s.mu.Lock()
+	j.deviceHeld = time.Since(j.startTime)
+	s.mu.Unlock()
+	s.settle(j, res, rep, runErr)
+}
+
+// settle moves a finished (or interrupted) execution to its final state
+// and persists the outcome.
+func (s *Scheduler) settle(j *job, res *pipeline.Result, rep *dist.Report, runErr error) {
+	s.mu.Lock()
+	j.cancel = nil
+	s.running--
+	s.mu.Unlock()
+
+	switch {
+	case runErr == nil:
+		if err := s.persistResult(j, res, rep); err != nil {
+			runErr = err
+		}
+	case errors.Is(runErr, context.Canceled):
+		if s.baseCtx.Err() != nil {
+			// Daemon shutdown, not a client cancel: leave the job
+			// non-terminal so a restart re-queues and resumes it.
+			s.interrupted(j, runErr)
+			return
+		}
+		s.mu.Lock()
+		s.finishLocked(j, StateCanceled, runErr.Error())
+		st := j.snapshot()
+		s.mu.Unlock()
+		s.persistTerminal(st)
+		return
+	}
+
+	s.mu.Lock()
+	if runErr == nil {
+		s.finishLocked(j, StateSucceeded, "")
+	} else {
+		s.finishLocked(j, StateFailed, runErr.Error())
+	}
+	st := j.snapshot()
+	s.mu.Unlock()
+	s.persistTerminal(st)
+}
+
+// interrupted handles a job stopped by daemon shutdown (or a lease aborted
+// by it): the job stays conceptually queued — its spec is persisted and a
+// restart resumes it from checkpoints. A client cancel that raced shutdown
+// is indistinguishable here and also resumes, which is the safe direction.
+// The caller has already settled the running counter; only the state and
+// queued count move here.
+func (s *Scheduler) interrupted(j *job, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.cancel = nil
+	if j.state == StateRunning {
+		j.state = StateQueued
+		s.queued++
+	}
+	j.errMsg = fmt.Sprintf("interrupted (will resume on restart): %v", err)
+}
+
+// executeWithRetry runs the pipeline, retrying jobs killed by an
+// unrecoverable injected fault under a reseeded plan — the job-level
+// recovery tier above internal/faults' in-run recovery. Each attempt
+// resumes from the job's checkpoint directory, so completed rounds are
+// never recomputed.
+func (s *Scheduler) executeWithRetry(ctx context.Context, j *job, lease *Lease) (*pipeline.Result, *dist.Report, error) {
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.JobRetries; attempt++ {
+		res, rep, err := s.execute(ctx, j, lease, attempt)
+		if err == nil || !errors.Is(err, dist.ErrUnrecoverable) || ctx.Err() != nil {
+			return res, rep, err
+		}
+		lastErr = err
+		if attempt < s.cfg.JobRetries {
+			s.met.Retried()
+		}
+	}
+	return nil, nil, lastErr
+}
+
+// execute runs one pipeline attempt for the job.
+func (s *Scheduler) execute(ctx context.Context, j *job, lease *Lease, attempt int) (*pipeline.Result, *dist.Report, error) {
+	pairs, cfg, err := BuildInput(j.spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	ckpt := filepath.Join(jobDir(s.cfg.DataDir, j.id), ckptDir)
+	cfg.CheckpointDir = ckpt
+	if resumed, err := hasCheckpoint(ckpt); err != nil {
+		return nil, nil, err
+	} else if resumed {
+		s.met.Resumed()
+		s.mu.Lock()
+		j.resumes++
+		s.mu.Unlock()
+	}
+	stages := make(map[string]int64)
+	cfg.Observer = s.met.StageObserver(stages)
+
+	s.mu.Lock()
+	j.attempts++
+	s.mu.Unlock()
+
+	var res *pipeline.Result
+	var rep *dist.Report
+	if j.spec.Engine == locassm.EngineDist {
+		dcfg, derr := distConfig(j.spec, cfg)
+		if derr != nil {
+			return nil, nil, derr
+		}
+		if dcfg.Faults != nil && attempt > 0 {
+			// Deterministic plans fail deterministically: a retry must draw
+			// a fresh schedule, as a real rerun lands on different timing.
+			dcfg.Faults, derr = dcfg.Faults.Reseed(j.spec.FaultSeed + int64(attempt))
+			if derr != nil {
+				return nil, nil, derr
+			}
+		}
+		res, rep, err = dist.RunContext(ctx, pairs, dcfg)
+	} else {
+		if j.spec.Engine == locassm.EngineGPU {
+			// The leased pool device: N simulated GPUs multiplex across
+			// concurrent gpu-engine jobs through EngineSpec.
+			cfg.Engine.Device = lease.Devices[0]
+		}
+		res, err = pipeline.RunContext(ctx, pairs, cfg)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	s.mu.Lock()
+	j.stagesNS = stages
+	s.mu.Unlock()
+	return res, rep, nil
+}
+
+// hasCheckpoint reports whether the checkpoint directory holds any round.
+func hasCheckpoint(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "contigs-k") && strings.HasSuffix(e.Name(), ".fasta") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// persistResult writes the job's report and FASTA output atomically.
+func (s *Scheduler) persistResult(j *job, res *pipeline.Result, rep *dist.Report) error {
+	dir := jobDir(s.cfg.DataDir, j.id)
+	if err := report.Build(res, rep).WriteFile(filepath.Join(dir, resultFile)); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, outputFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := pipeline.WriteFASTAOutputs(f, res); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, outputFile))
+}
+
+// QueueDepth returns the current number of queued jobs.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// Running returns the current number of executing jobs.
+func (s *Scheduler) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// RenderMetrics writes the /metrics exposition.
+func (s *Scheduler) RenderMetrics(w io.Writer) {
+	s.mu.Lock()
+	queued, running := s.queued, s.running
+	s.mu.Unlock()
+	s.met.Render(w, queued, running, s.pool.Stats())
+}
+
+// Shutdown stops the scheduler: no new admissions, running jobs are
+// canceled at their next stage boundary (their checkpoints survive), and
+// workers are joined. Queued and interrupted jobs stay persisted as
+// unfinished, so a new Scheduler over the same DataDir resumes them.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.baseCancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: shutdown timed out: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,272 @@
+// Package service turns the assembly pipeline into a schedulable workload:
+// a long-running job scheduler (the core of the mhm2d daemon) that accepts
+// many concurrent assembly jobs, admits them against a bounded queue and
+// per-tenant quotas, leases simulated GPUs to them from a shared device
+// pool through locassm.EngineSpec, checkpoints every job so a killed or
+// evicted job resumes from its last completed round, and exports per-job /
+// per-tenant metrics. The pipeline becomes a callee: pipeline.RunContext is
+// invoked by workers, never by a CLI main.
+//
+// Determinism carries over unchanged from the batch path: a job's contigs
+// and scaffolds are bit-identical to a standalone mhm2sim run of the same
+// spec, regardless of queueing, device multiplexing, restarts, or retries.
+package service
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"mhm2sim/internal/dist"
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/faults"
+	"mhm2sim/internal/locassm"
+	"mhm2sim/internal/pipeline"
+	"mhm2sim/internal/synth"
+)
+
+// JobSpec describes one assembly job, as submitted over the HTTP API. The
+// input is named declaratively — a synth preset plus overrides, or a FASTQ
+// path readable by the daemon — so the spec is small, persistable, and
+// sufficient to reproduce the job bit-identically (the determinism the
+// stress tests assert against standalone runs).
+type JobSpec struct {
+	// Tenant attributes the job for quotas and metrics ("" = "default").
+	Tenant string `json:"tenant,omitempty"`
+	// Preset names the synthetic community ("" = "arcticsynth"); ignored
+	// when ReadsPath is set.
+	Preset string `json:"preset,omitempty"`
+	// Seed overrides the preset's community seed (0 keeps the preset's).
+	Seed int64 `json:"seed,omitempty"`
+	// Genomes / MinGenomeLen / MaxGenomeLen / Depth override the preset's
+	// community shape when > 0 — how tests make jobs small and distinct.
+	Genomes      int     `json:"genomes,omitempty"`
+	MinGenomeLen int     `json:"min_genome_len,omitempty"`
+	MaxGenomeLen int     `json:"max_genome_len,omitempty"`
+	Depth        float64 `json:"depth,omitempty"`
+	// ReadsPath is an interleaved paired FASTQ on the daemon's filesystem.
+	ReadsPath string `json:"reads_path,omitempty"`
+	// Rounds lists the contigging k values (nil = the pipeline default).
+	Rounds []int `json:"rounds,omitempty"`
+	// Engine selects the local-assembly substrate: cpu (default), gpu,
+	// multigpu, or dist.
+	Engine string `json:"engine,omitempty"`
+	// GPUs is the multigpu engine's device demand (0 = 2 at service scale).
+	GPUs int `json:"gpus,omitempty"`
+	// Ranks is the dist engine's rank count (engine=dist requires ≥ 2).
+	Ranks int `json:"ranks,omitempty"`
+	// Faults injects a seeded chaos schedule (dist engine only). A job
+	// whose schedule exhausts the runtime's retry budgets fails with
+	// dist.ErrUnrecoverable and is retried by the scheduler under a
+	// reseeded plan (see Config.JobRetries).
+	Faults    string `json:"faults,omitempty"`
+	FaultSeed int64  `json:"fault_seed,omitempty"`
+}
+
+// withDefaults fills the defaulted fields.
+func (s JobSpec) withDefaults() JobSpec {
+	if s.Tenant == "" {
+		s.Tenant = "default"
+	}
+	if s.Preset == "" {
+		s.Preset = "arcticsynth"
+	}
+	if s.Engine == "" {
+		s.Engine = locassm.EngineCPU
+	}
+	if s.Engine == locassm.EngineMultiGPU && s.GPUs <= 0 {
+		// At service scale a whole six-GPU Summit node per job would
+		// monopolize the default pool; two devices keeps jobs multiplexing.
+		s.GPUs = 2
+	}
+	if s.FaultSeed == 0 {
+		s.FaultSeed = 42
+	}
+	return s
+}
+
+// Validate checks the (defaulted) spec.
+func (s *JobSpec) Validate() error {
+	switch s.Engine {
+	case locassm.EngineCPU, locassm.EngineGPU, locassm.EngineMultiGPU:
+		if s.Ranks > 1 {
+			return fmt.Errorf("service: engine %q conflicts with ranks %d (multi-rank jobs use engine=dist)", s.Engine, s.Ranks)
+		}
+	case locassm.EngineDist:
+		if s.Ranks < 2 {
+			return fmt.Errorf("service: engine=dist requires ranks ≥ 2, got %d", s.Ranks)
+		}
+	default:
+		return fmt.Errorf("service: unknown engine %q (cpu|gpu|multigpu|dist)", s.Engine)
+	}
+	if s.Faults != "" {
+		if s.Engine != locassm.EngineDist {
+			return fmt.Errorf("service: faults require engine=dist")
+		}
+		if _, err := faults.ParseSpec(s.Faults); err != nil {
+			return err
+		}
+	}
+	if s.ReadsPath == "" {
+		if _, err := synth.PresetByName(s.Preset); err != nil {
+			return err
+		}
+	}
+	if s.Depth < 0 || s.Genomes < 0 || s.MinGenomeLen < 0 || s.MaxGenomeLen < 0 {
+		return fmt.Errorf("service: negative community override")
+	}
+	prev := 0
+	for _, k := range s.Rounds {
+		if k <= prev {
+			return fmt.Errorf("service: rounds must be strictly increasing, got %v", s.Rounds)
+		}
+		prev = k
+	}
+	return nil
+}
+
+// DeviceDemand is how many pool devices the job leases for its lifetime:
+// one for the gpu engine, GPUs for multigpu, Ranks for dist (each simulated
+// rank owns a device unless the job is CPU-only), zero for cpu.
+func (s *JobSpec) DeviceDemand() int {
+	switch s.Engine {
+	case locassm.EngineGPU:
+		return 1
+	case locassm.EngineMultiGPU:
+		return s.GPUs
+	case locassm.EngineDist:
+		return s.Ranks
+	}
+	return 0
+}
+
+// BuildInput materializes the job's reads and pipeline configuration —
+// the exact code path a standalone run of the same spec takes, which is
+// what makes service results bit-identical to batch results. The returned
+// config has no checkpoint dir, observer, or engine instance; the
+// scheduler attaches those per attempt.
+func BuildInput(spec JobSpec) ([]dna.PairedRead, pipeline.Config, error) {
+	spec = spec.withDefaults()
+	cfg := pipeline.DefaultConfig()
+	// Match the mhm2sim CLI's defaults (-estimate-insert=true), so a
+	// daemon job and a default standalone run of the same spec produce
+	// byte-identical output.
+	cfg.EstimateInsert = true
+	if len(spec.Rounds) > 0 {
+		cfg.Rounds = append([]int(nil), spec.Rounds...)
+	}
+	if spec.Engine != locassm.EngineDist {
+		cfg.Engine.Name = spec.Engine
+		cfg.Engine.GPUs = spec.GPUs
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, pipeline.Config{}, err
+	}
+
+	var pairs []dna.PairedRead
+	if spec.ReadsPath != "" {
+		f, err := os.Open(spec.ReadsPath)
+		if err != nil {
+			return nil, pipeline.Config{}, err
+		}
+		defer f.Close()
+		pairs, err = dna.ReadInterleavedPairs(f)
+		if err != nil {
+			return nil, pipeline.Config{}, err
+		}
+	} else {
+		preset, err := synth.PresetByName(spec.Preset)
+		if err != nil {
+			return nil, pipeline.Config{}, err
+		}
+		if spec.Seed != 0 {
+			preset.Seed = spec.Seed
+		}
+		if spec.Genomes > 0 {
+			preset.Com.NumGenomes = spec.Genomes
+		}
+		if spec.MinGenomeLen > 0 {
+			preset.Com.MinGenomeLen = spec.MinGenomeLen
+		}
+		if spec.MaxGenomeLen > 0 {
+			preset.Com.MaxGenomeLen = spec.MaxGenomeLen
+		}
+		if spec.Depth > 0 {
+			preset.Reads.Depth = spec.Depth
+		}
+		_, pairs, err = preset.Build()
+		if err != nil {
+			return nil, pipeline.Config{}, err
+		}
+	}
+	return pairs, cfg, nil
+}
+
+// distConfig builds the dist runtime configuration for a dist-engine job.
+func distConfig(spec JobSpec, cfg pipeline.Config) (dist.Config, error) {
+	dcfg := dist.DefaultConfig(spec.Ranks)
+	dcfg.Pipeline = cfg
+	if spec.Faults != "" {
+		plan, err := faults.NewPlan(spec.Faults, spec.FaultSeed, spec.Ranks, len(cfg.Rounds))
+		if err != nil {
+			return dist.Config{}, err
+		}
+		dcfg.Faults = plan
+	}
+	return dcfg, nil
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	// StateQueued: admitted, waiting for a worker (or for devices).
+	StateQueued State = "queued"
+	// StateRunning: a worker holds the job's device lease and is executing
+	// the pipeline.
+	StateRunning State = "running"
+	// StateSucceeded: result and contigs are persisted.
+	StateSucceeded State = "succeeded"
+	// StateFailed: the pipeline returned a non-cancellation error (after
+	// exhausting job-level retries, for unrecoverable injected faults).
+	StateFailed State = "failed"
+	// StateCanceled: canceled by the client. A daemon shutdown does NOT
+	// cancel jobs — interrupted jobs stay queued and resume from their
+	// checkpoints on restart.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// Status is the externally visible snapshot of a job — what GET
+// /v1/jobs/{id} returns and what the store persists for finished jobs.
+type Status struct {
+	ID    string  `json:"id"`
+	Spec  JobSpec `json:"spec"`
+	State State   `json:"state"`
+	Error string  `json:"error,omitempty"`
+	// Attempts counts pipeline executions (> 1 only after job-level
+	// retries on unrecoverable injected faults).
+	Attempts int `json:"attempts,omitempty"`
+	// Resumes counts pipeline executions that started from a non-empty
+	// checkpoint — daemon restarts and retries that skipped completed
+	// rounds.
+	Resumes    int       `json:"resumes,omitempty"`
+	SubmitTime time.Time `json:"submit_time"`
+	StartTime  time.Time `json:"start_time,omitempty"`
+	FinishTime time.Time `json:"finish_time,omitempty"`
+	// QueueWaitNS is submission → execution start, including any wait for
+	// the device lease.
+	QueueWaitNS int64 `json:"queue_wait_ns,omitempty"`
+	// DeviceWaitNS is the part of the queue wait spent waiting on the
+	// device pool; DeviceHeldNS is how long the lease was held.
+	DeviceWaitNS int64 `json:"device_wait_ns,omitempty"`
+	DeviceHeldNS int64 `json:"device_held_ns,omitempty"`
+	Devices      int   `json:"devices,omitempty"`
+	// StagesNS are the per-stage wall times of the (last) pipeline
+	// execution, from the Observer seam.
+	StagesNS map[string]int64 `json:"stages_ns,omitempty"`
+}
