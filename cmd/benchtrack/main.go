@@ -1,17 +1,19 @@
 // Command benchtrack runs the repository's key benchmarks and serializes the
-// results to a JSON trajectory file (BENCH_PR6.json at the repo root), so the
+// results to a JSON trajectory file (BENCH_PR8.json at the repo root), so the
 // performance of the simulator hot path is tracked across PRs instead of
 // living only in commit messages.
 //
 // It shells out to `go test -bench` per package, parses the standard
-// benchmark output lines (name, iterations, ns/op, and with -benchmem B/op
-// and allocs/op), and writes one record per benchmark. With -gate, it exits
-// nonzero if any BenchmarkLaunchOverhead series reports a nonzero allocs/op
-// — the steady-state launch path must stay allocation-free.
+// benchmark output lines (name, iterations, ns/op, with -benchmem B/op and
+// allocs/op, plus any custom b.ReportMetric units — the dist comm-volume
+// benchmarks report remote/local byte counts that way), and writes one
+// record per benchmark. With -gate, it exits nonzero if any
+// BenchmarkLaunchOverhead series reports a nonzero allocs/op — the
+// steady-state launch path must stay allocation-free.
 //
 // Usage:
 //
-//	benchtrack [-out BENCH_PR6.json] [-benchtime 1x] [-gate] [-quick]
+//	benchtrack [-out BENCH_PR8.json] [-benchtime 1x] [-gate] [-quick]
 package main
 
 import (
@@ -38,22 +40,27 @@ type suite struct {
 
 // suites is the tracked benchmark set: the simt interpreter micro-benchmarks
 // (coalesce, bulk load/store, launch overhead — the PR 6 fast paths), the
-// locassm driver staging path, the host flat-table engine, and the headline
-// modeled-GPU figure sweep.
+// locassm driver staging path, the host flat-table engine, the dist
+// component-pass and comm-volume benchmarks (the PR 8 sharding work), and
+// the headline modeled-GPU figure sweep.
 var suites = []suite{
 	{Pkg: "./internal/simt", Pattern: "BenchmarkCoalesce|BenchmarkLoadGlobalContiguous|BenchmarkStoreGlobalContiguous|BenchmarkLoadGlobalLane0|BenchmarkLoadLocalUniform|BenchmarkLaunchOverhead|BenchmarkLaunchHashProbe"},
 	{Pkg: "./internal/locassm", Pattern: "BenchmarkDriverStaging|BenchmarkFlatTableBuild|BenchmarkFlatWalk"},
+	{Pkg: "./internal/dist", Pattern: "BenchmarkComponentPass|BenchmarkCommVolume", Slow: true},
 	{Pkg: ".", Pattern: "BenchmarkFigureSweepGPU", Slow: true},
 }
 
-// Record is one benchmark measurement.
+// Record is one benchmark measurement. Extra carries custom b.ReportMetric
+// series keyed by their unit (e.g. "remote-B/op" from the dist comm-volume
+// benchmarks).
 type Record struct {
-	Name        string  `json:"name"`
-	Package     string  `json:"package"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Package     string             `json:"package"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // File is the serialized trajectory: environment header plus measurements.
@@ -67,10 +74,13 @@ type File struct {
 	Benchmarks []Record `json:"benchmarks"`
 }
 
-// benchLine matches one `go test -bench -benchmem` result line, e.g.
+// benchLine matches the head of one `go test -bench` result line; the
+// remaining (value, unit) metric pairs — ns/op, B/op, allocs/op, and any
+// custom b.ReportMetric units — are parsed generically from the tail, e.g.
 //
 //	BenchmarkCoalesce/contiguous4-8  12345678  96.1 ns/op  0 B/op  0 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+//	BenchmarkCommVolume/hash-8  1  2.1e9 ns/op  12345 remote-B/op  678 local-B/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
 func parse(pkg, out string) []Record {
 	var recs []Record
@@ -80,19 +90,28 @@ func parse(pkg, out string) []Record {
 			continue
 		}
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		var bpo, apo int64
-		if m[4] != "" {
-			bpo, _ = strconv.ParseInt(m[4], 10, 64)
-			apo, _ = strconv.ParseInt(m[5], 10, 64)
+		rec := Record{Name: m[1], Package: pkg, Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				rec.NsPerOp = val
+			case "B/op":
+				rec.BytesPerOp = int64(val)
+			case "allocs/op":
+				rec.AllocsPerOp = int64(val)
+			default:
+				if rec.Extra == nil {
+					rec.Extra = make(map[string]float64)
+				}
+				rec.Extra[unit] = val
+			}
 		}
-		recs = append(recs, Record{
-			Name:       m[1],
-			Package:    pkg,
-			Iterations: iters,
-			NsPerOp:    ns,
-			BytesPerOp: bpo, AllocsPerOp: apo,
-		})
+		recs = append(recs, rec)
 	}
 	return recs
 }
@@ -106,7 +125,7 @@ func run(pkg, pattern, benchtime string) (string, error) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR8.json", "output JSON path")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	gate := flag.Bool("gate", false, "fail if LaunchOverhead reports nonzero allocs/op")
 	quick := flag.Bool("quick", false, "skip slow suites (the figure sweep)")

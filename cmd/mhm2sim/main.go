@@ -19,10 +19,17 @@
 //	mhm2sim -reads reads.fastq -engine gpu
 //	mhm2sim -engine multigpu -gpus 6
 //	mhm2sim -engine dist -ranks 4 -gpu -json run.json
+//	mhm2sim -preset soil -ranks 8 -shard component
 //	mhm2sim -ranks 8 -faults rank-crash=1,oom=2 -fault-seed 42
 //
 // (-gpu is the legacy spelling of -engine=gpu; -ranks N > 1 without an
 // explicit -engine keeps selecting the distributed runtime.)
+//
+// -shard selects the dist engine's contig → virtual-shard map: hash (the
+// default MetaHipMer-style deal) or component, which runs a per-round
+// connected-components pass and co-locates whole de Bruijn components so
+// most exchange and allgather traffic stays rank-local (DESIGN.md §14).
+// Either policy produces bit-identical contigs and scaffolds.
 //
 // -faults injects a seeded chaos schedule into the distributed runtime
 // (rank crashes, device faults, kernel aborts, fabric drops/corruption/
@@ -68,6 +75,7 @@ type options struct {
 	gpuAln       bool
 	rounds       string
 	ranks        int
+	shard        string
 	faultSpec    string
 	faultSeed    int64
 	jsonPath     string
@@ -97,6 +105,7 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.BoolVar(&opts.gpuAln, "gpualn", false, "run the alignment SW kernel on the device (ADEPT role)")
 	fs.StringVar(&opts.rounds, "rounds", "21,33,55", "comma-separated contigging k values")
 	fs.IntVar(&opts.ranks, "ranks", 1, "simulated ranks for -engine=dist (>1 implies dist under -engine=auto)")
+	fs.StringVar(&opts.shard, "shard", dist.ShardHash, "contig → shard map for the dist engine: hash|component (component co-locates whole dBG components)")
 	fs.StringVar(&opts.faultSpec, "faults", "", "inject a seeded fault schedule, e.g. rank-crash=1,oom=2,drop=1 (requires the dist engine)")
 	fs.Int64Var(&opts.faultSeed, "fault-seed", 42, "seed of the injected fault schedule")
 	fs.StringVar(&opts.jsonPath, "json", "", "write a machine-readable run report to this path")
@@ -112,24 +121,44 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	if err := validateOpts(opts); err != nil {
+		// fs.Parse prints its own errors; these post-parse checks must
+		// print too, or the exit-2 path is silent.
+		fmt.Fprintln(stderr, "mhm2sim:", err)
+		return nil, err
+	}
+	return opts, nil
+}
+
+// validateOpts holds the cross-flag checks that flag.Parse can't express.
+func validateOpts(opts *options) error {
 	if opts.ranks < 1 {
-		return nil, fmt.Errorf("-ranks must be ≥ 1, got %d", opts.ranks)
+		return fmt.Errorf("-ranks must be ≥ 1, got %d", opts.ranks)
 	}
 	if opts.gpus < 1 {
-		return nil, fmt.Errorf("-gpus must be ≥ 1, got %d", opts.gpus)
+		return fmt.Errorf("-gpus must be ≥ 1, got %d", opts.gpus)
 	}
 	if _, err := resolveEngine(opts); err != nil {
-		return nil, err
+		return err
 	}
 	if opts.faultSpec != "" {
 		if eng, _ := resolveEngine(opts); eng != locassm.EngineDist {
-			return nil, fmt.Errorf("-faults requires the dist engine (-engine=dist or -ranks > 1)")
+			return fmt.Errorf("-faults requires the dist engine (-engine=dist or -ranks > 1)")
 		}
 		if _, err := faults.ParseSpec(opts.faultSpec); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return opts, nil
+	switch opts.shard {
+	case dist.ShardHash:
+	case dist.ShardComponent:
+		if eng, _ := resolveEngine(opts); eng != locassm.EngineDist {
+			return fmt.Errorf("-shard=%s requires the dist engine (-engine=dist or -ranks > 1)", opts.shard)
+		}
+	default:
+		return fmt.Errorf("unknown -shard %q (%s|%s)", opts.shard, dist.ShardHash, dist.ShardComponent)
+	}
+	return nil
 }
 
 // resolveEngine collapses the engine flags into one registered engine
@@ -281,6 +310,7 @@ func main() {
 	if engine == locassm.EngineDist {
 		dcfg := dist.DefaultConfig(opts.ranks)
 		dcfg.Pipeline = cfg
+		dcfg.ShardPolicy = opts.shard
 		// Without -gpu the ranks assemble on the host flat-table engine,
 		// mirroring the single-rank CPU path.
 		dcfg.CPUAssembly = !opts.gpu

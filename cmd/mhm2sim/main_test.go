@@ -100,6 +100,32 @@ func TestParseFlagsFaults(t *testing.T) {
 	}
 }
 
+func TestParseFlagsShard(t *testing.T) {
+	var stderr bytes.Buffer
+	opts, err := parseFlags([]string{"-ranks", "8", "-shard", "component"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.shard != dist.ShardComponent {
+		t.Errorf("shard flag wrong: %+v", opts)
+	}
+	if opts, err := parseFlags([]string{"-ranks", "4"}, &stderr); err != nil || opts.shard != dist.ShardHash {
+		t.Errorf("default shard policy: %v, %+v", err, opts)
+	}
+	// Component sharding targets the distributed runtime.
+	if _, err := parseFlags([]string{"-shard", "component"}, &stderr); err == nil {
+		t.Error("-shard component without the dist engine accepted")
+	}
+	stderr.Reset()
+	if _, err := parseFlags([]string{"-ranks", "4", "-shard", "zigzag"}, &stderr); err == nil {
+		t.Error("unknown shard policy accepted")
+	}
+	// The exit-2 path must diagnose, not fail silently.
+	if !strings.Contains(stderr.String(), `unknown -shard "zigzag"`) {
+		t.Errorf("rejection printed nothing useful: %q", stderr.String())
+	}
+}
+
 // TestRunErrorLine pins the exhausted-retries exit contract: a distinct
 // nonzero status and one structured, greppable line — not a stack trace.
 func TestRunErrorLine(t *testing.T) {

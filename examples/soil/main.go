@@ -1,0 +1,83 @@
+// Soil example: demonstrate component-partitioned sharding on the
+// workload it was built for — a many-organism "soil metagenome" community
+// whose de Bruijn graph decomposes into disconnected components, roughly
+// one per organism.
+//
+// The example runs the same 8-rank distributed assembly twice, once under
+// the classic contig-ID-hash shard map and once with `-shard component`
+// semantics (whole components co-located via affinity-aware LPT packing),
+// verifies the two assemblies are bit-identical, and prints the per-stage
+// local-vs-remote traffic split showing the remote comm-volume drop.
+//
+// Run with: go run ./examples/soil
+package main
+
+import (
+	"fmt"
+	"log"
+	"reflect"
+	"strings"
+
+	"mhm2sim/internal/dist"
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/pipeline"
+	"mhm2sim/internal/synth"
+)
+
+const ranks = 8
+
+func run(pairs []dna.PairedRead, policy string) (*pipeline.Result, *dist.Report) {
+	cfg := dist.DefaultConfig(ranks)
+	cfg.ShardPolicy = policy
+	cfg.CPUAssembly = true
+	res, rep, err := dist.Run(pairs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res, rep
+}
+
+// relevant sums the remote bytes of the stages the shard map controls: the
+// per-round read exchange and contig allgather (the initial read scatter is
+// policy-independent).
+func relevant(rep *dist.Report) (remote, local int64) {
+	for i := range rep.Stages {
+		st := &rep.Stages[i]
+		if strings.HasPrefix(st.Stage, "read exchange") || strings.HasPrefix(st.Stage, "contig allgather") {
+			remote += st.TotalBytes()
+			local += st.TotalLocalBytes()
+		}
+	}
+	return remote, local
+}
+
+func main() {
+	preset := synth.SoilPreset()
+	com, pairs, err := preset.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("soil community: %d organisms, %d read pairs\n\n", len(com.Genomes), len(pairs))
+
+	fmt.Printf("running %d-rank assembly under -shard hash...\n", ranks)
+	hashRes, hashRep := run(pairs, dist.ShardHash)
+	fmt.Printf("running %d-rank assembly under -shard component...\n\n", ranks)
+	compRes, compRep := run(pairs, dist.ShardComponent)
+
+	if !reflect.DeepEqual(hashRes.Contigs, compRes.Contigs) ||
+		!reflect.DeepEqual(hashRes.Scaffolds, compRes.Scaffolds) {
+		log.Fatal("shard policies produced different assemblies — determinism broken")
+	}
+	fmt.Printf("assemblies bit-identical: %d contigs, %d scaffolds under both shard maps\n\n",
+		len(hashRes.Contigs), len(hashRes.Scaffolds))
+
+	fmt.Printf("components per round: %v (pass time %v)\n\n",
+		compRep.Components, compRep.ComponentPassTime.Round(1e6))
+
+	hr, hl := relevant(hashRep)
+	cr, cl := relevant(compRep)
+	fmt.Printf("%-12s %14s %14s %10s\n", "shard map", "remote bytes", "local bytes", "locality")
+	fmt.Printf("%-12s %14d %14d %9.1f%%\n", dist.ShardHash, hr, hl, 100*float64(hl)/float64(hl+hr))
+	fmt.Printf("%-12s %14d %14d %9.1f%%\n", dist.ShardComponent, cr, cl, 100*float64(cl)/float64(cl+cr))
+	fmt.Printf("\nremote exchange+allgather reduction: %.1fx\n", float64(hr)/float64(cr))
+}

@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mhm2sim/internal/dna"
+	"mhm2sim/internal/synth"
+)
+
+// BenchmarkComponentPass times the per-round connected-components pass plus
+// LPT packing — the compute the component policy adds to every round. The
+// workload shape (hundreds of linked groups) matches a contigging round of
+// a many-organism community.
+func BenchmarkComponentPass(b *testing.B) {
+	rng := rand.New(rand.NewSource(47))
+	ctgs := componentWorkload(rng, 400, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := newComponentShardMap(21, ctgs, DefaultVirtualShards)
+		if m.count == 0 {
+			b.Fatal("no components")
+		}
+	}
+}
+
+// benchSoilPairs builds the scaled-down soil community shared by the
+// comm-volume benchmarks.
+func benchSoilPairs(b *testing.B) []dna.PairedRead {
+	b.Helper()
+	p := synth.SoilPreset()
+	p.Com.NumGenomes = 12
+	_, pairs, err := p.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pairs
+}
+
+// benchCommVolume runs the soil community at N=8 under one shard policy
+// and reports the remote and local byte volumes of the read-exchange and
+// contig-allgather stages as custom metrics, so the BENCH trajectory
+// tracks the comm-volume win of component sharding across PRs.
+func benchCommVolume(b *testing.B, policy string) {
+	pairs := benchSoilPairs(b)
+	cfg := DefaultConfig(8)
+	cfg.Pipeline.Rounds = []int{21, 33}
+	cfg.ShardPolicy = policy
+	cfg.CPUAssembly = true
+	b.ResetTimer()
+	var remote, local, passNS int64
+	for i := 0; i < b.N; i++ {
+		_, rep, err := Run(pairs, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		remote, local = 0, 0
+		for j := range rep.Stages {
+			st := &rep.Stages[j]
+			if strings.HasPrefix(st.Stage, "read exchange") || strings.HasPrefix(st.Stage, "contig allgather") {
+				remote += st.TotalBytes()
+				local += st.TotalLocalBytes()
+			}
+		}
+		passNS = rep.ComponentPassTime.Nanoseconds()
+	}
+	b.ReportMetric(float64(remote), "remote-B/op")
+	b.ReportMetric(float64(local), "local-B/op")
+	if policy == ShardComponent {
+		b.ReportMetric(float64(passNS), "comp-pass-ns/op")
+	}
+}
+
+func BenchmarkCommVolumeHash(b *testing.B)      { benchCommVolume(b, ShardHash) }
+func BenchmarkCommVolumeComponent(b *testing.B) { benchCommVolume(b, ShardComponent) }

@@ -167,6 +167,26 @@ func (st *StageTraffic) TotalMsgs() int64 {
 	return n
 }
 
+// TotalLocalBytes sums the rank-local (src == dst) bytes of the exchange —
+// data that moved through shared memory, never the wire.
+func (st *StageTraffic) TotalLocalBytes() int64 {
+	var n int64
+	for _, b := range st.LocalBytes {
+		n += b
+	}
+	return n
+}
+
+// Locality is the fraction of the exchange's bytes that stayed rank-local,
+// in [0,1]. A stage that moved nothing at all reports 1 (fully local).
+func (st *StageTraffic) Locality() float64 {
+	local, remote := st.TotalLocalBytes(), st.TotalBytes()
+	if local+remote == 0 {
+		return 1
+	}
+	return float64(local) / float64(local+remote)
+}
+
 // Fabric is the simulated interconnect between ranks: it executes modeled
 // all-to-all exchanges and accumulates per-stage, per-rank traffic and
 // time. Safe for concurrent use.
@@ -442,6 +462,17 @@ func (f *Fabric) TotalBytes() int64 {
 	var n int64
 	for _, st := range f.stages {
 		n += st.TotalBytes()
+	}
+	return n
+}
+
+// TotalLocalBytes sums rank-local bytes across every exchange.
+func (f *Fabric) TotalLocalBytes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var n int64
+	for _, st := range f.stages {
+		n += st.TotalLocalBytes()
 	}
 	return n
 }

@@ -51,7 +51,7 @@ func TestShardAssignmentIsPartition(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	ctgs := randomWorkload(rng, 500)
 	for _, n := range []int{1, 2, 3, 8} {
-		byShard, idx := shardContigs(ctgs, DefaultVirtualShards)
+		byShard, idx := shardContigs(ctgs, hashShardMap{DefaultVirtualShards}, DefaultVirtualShards)
 		seen := make(map[int64]int)
 		total := 0
 		for v := range byShard {
@@ -123,7 +123,7 @@ func TestReadExchangeConservesReads(t *testing.T) {
 	}
 
 	for _, n := range []int{1, 2, 3, 8} {
-		matrix := readExchangeMatrix(ctgs, newShardDeal(DefaultVirtualShards, liveAll(n)), n)
+		matrix := readExchangeMatrix(ctgs, hashShardMap{DefaultVirtualShards}, newShardDeal(DefaultVirtualShards, liveAll(n)), n)
 		var got int64
 		for src := range matrix {
 			for _, b := range matrix[src] {
@@ -167,7 +167,7 @@ func TestAllgatherMatrixCoversAllRanks(t *testing.T) {
 		ctgBytes += int64(len(c.Seq) + recordOverheadBytes)
 	}
 	for _, n := range []int{1, 2, 3, 8} {
-		matrix := allgatherMatrix(ctgs, make([]locassm.Result, len(ctgs)), newShardDeal(DefaultVirtualShards, liveAll(n)), n)
+		matrix := allgatherMatrix(ctgs, make([]locassm.Result, len(ctgs)), hashShardMap{DefaultVirtualShards}, newShardDeal(DefaultVirtualShards, liveAll(n)), n)
 		var total int64
 		for src := range matrix {
 			for dst, b := range matrix[src] {

@@ -64,6 +64,15 @@ type Report struct {
 	Ranks         int
 	VirtualShards int
 	Rounds        int
+	// ShardPolicy is the contig → shard map the run used ("hash" or
+	// "component").
+	ShardPolicy string
+	// Components is the per-round connected-component count (empty under
+	// the hash policy, which never runs the pass).
+	Components []int
+	// ComponentPassTime is the accumulated wall time of the per-round
+	// connected-components passes (zero under the hash policy).
+	ComponentPassTime time.Duration
 	// Wall is the modeled distributed wall clock: per-round slowest-rank
 	// compute plus every collective exchange.
 	Wall time.Duration
@@ -81,13 +90,16 @@ type Report struct {
 // report assembles the Report after the pipeline has finished.
 func (rt *runtime) report() *Report {
 	rep := &Report{
-		Ranks:         rt.cfg.Ranks,
-		VirtualShards: rt.cfg.VirtualShards,
-		Rounds:        rt.rounds,
-		CommTime:      rt.fabric.TotalTime(),
-		Stages:        rt.fabric.Stages(),
-		Faults:        rt.cfg.Faults.String(),
-		Recovery:      rt.rec,
+		Ranks:             rt.cfg.Ranks,
+		VirtualShards:     rt.cfg.VirtualShards,
+		Rounds:            rt.rounds,
+		ShardPolicy:       rt.cfg.ShardPolicy,
+		Components:        rt.components,
+		ComponentPassTime: rt.compPass,
+		CommTime:          rt.fabric.TotalTime(),
+		Stages:            rt.fabric.Stages(),
+		Faults:            rt.cfg.Faults.String(),
+		Recovery:          rt.rec,
 	}
 	rep.Recovery.ExchangeRetries, rep.Recovery.RetryTime = rt.fabric.Retries()
 	rep.Wall = rt.compWall + rep.CommTime
@@ -132,12 +144,46 @@ func (r *Report) Efficiency() float64 {
 	return float64(busy) / (float64(r.Wall) * float64(r.Ranks))
 }
 
+// RemoteBytes, LocalBytes, and Locality aggregate the local-vs-remote byte
+// split across every fabric stage. Locality is the fraction of all moved
+// bytes that stayed rank-local — the number component sharding exists to
+// drive up.
+func (r *Report) RemoteBytes() int64 {
+	var n int64
+	for i := range r.Stages {
+		n += r.Stages[i].TotalBytes()
+	}
+	return n
+}
+
+// LocalBytes sums rank-local bytes across every fabric stage.
+func (r *Report) LocalBytes() int64 {
+	var n int64
+	for i := range r.Stages {
+		n += r.Stages[i].TotalLocalBytes()
+	}
+	return n
+}
+
+// Locality is the run-wide rank-local fraction of moved bytes, in [0,1].
+func (r *Report) Locality() float64 {
+	local, remote := r.LocalBytes(), r.RemoteBytes()
+	if local+remote == 0 {
+		return 1
+	}
+	return float64(local) / float64(local+remote)
+}
+
 // String renders the per-rank breakdown and per-stage fabric traffic.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "distributed run: %d ranks, %d virtual shards, %d rounds; modeled wall %v (comm %v, efficiency %.1f%%)\n",
-		r.Ranks, r.VirtualShards, r.Rounds, r.Wall.Round(time.Microsecond),
+	fmt.Fprintf(&b, "distributed run: %d ranks, %d virtual shards (%s), %d rounds; modeled wall %v (comm %v, efficiency %.1f%%)\n",
+		r.Ranks, r.VirtualShards, r.ShardPolicy, r.Rounds, r.Wall.Round(time.Microsecond),
 		r.CommTime.Round(time.Microsecond), 100*r.Efficiency())
+	if r.ShardPolicy == ShardComponent {
+		fmt.Fprintf(&b, "  components per round: %v (pass time %v)\n",
+			r.Components, r.ComponentPassTime.Round(time.Microsecond))
+	}
 	fmt.Fprintf(&b, "  %-5s %12s %12s %12s %10s %10s %6s %8s %7s\n",
 		"rank", "busy", "comm", "idle", "sent", "recv", "msgs", "kernels", "ctgs")
 	for _, rs := range r.PerRank {
@@ -150,15 +196,18 @@ func (r *Report) String() string {
 			rs.Idle.Round(time.Microsecond), fmtBytes(rs.BytesSent), fmtBytes(rs.BytesRecv),
 			rs.Msgs, rs.Kernels, rs.Contigs, mark)
 	}
-	fmt.Fprintf(&b, "  fabric stages:\n")
+	fmt.Fprintf(&b, "  fabric stages (remote / local, %% local):\n")
 	for _, st := range r.Stages {
 		retry := ""
 		if st.Retries > 0 {
 			retry = fmt.Sprintf("  (%d retries, +%v)", st.Retries, st.RetryTime.Round(time.Microsecond))
 		}
-		fmt.Fprintf(&b, "    %-24s %10s in %4d msgs, %v%s\n",
-			st.Stage, fmtBytes(st.TotalBytes()), st.TotalMsgs(), st.Time.Round(time.Microsecond), retry)
+		fmt.Fprintf(&b, "    %-24s %10s / %10s (%5.1f%% local) in %4d msgs, %v%s\n",
+			st.Stage, fmtBytes(st.TotalBytes()), fmtBytes(st.TotalLocalBytes()),
+			100*st.Locality(), st.TotalMsgs(), st.Time.Round(time.Microsecond), retry)
 	}
+	fmt.Fprintf(&b, "  traffic total: %s remote, %s local (%.1f%% local)\n",
+		fmtBytes(r.RemoteBytes()), fmtBytes(r.LocalBytes()), 100*r.Locality())
 	if r.Recovery.Any() {
 		rec := r.Recovery
 		fmt.Fprintf(&b, "  fault recovery (%s): %d exchange retries (+%v), %d evictions (%s re-dealt), %d device fallbacks, %d batch re-splits, %d stragglers\n",

@@ -45,6 +45,13 @@ type Config struct {
 	// (0 = DefaultVirtualShards). It must not change between runs that
 	// are expected to produce identical kernel launch lists.
 	VirtualShards int
+	// ShardPolicy selects the contig → virtual-shard map: ShardHash
+	// (default, "") hashes contig IDs; ShardComponent runs a per-round
+	// connected-components pass and assigns whole de Bruijn components to
+	// shards with LPT bin packing, turning most exchange and allgather
+	// traffic rank-local. Either policy yields bit-identical contigs and
+	// scaffolds for any rank count.
+	ShardPolicy string
 	// Fabric models the interconnect (zero value = DefaultFabricConfig).
 	Fabric FabricConfig
 	// Device is the per-rank GPU (zero value = simt.V100()).
@@ -92,6 +99,9 @@ func (c Config) withDefaults() Config {
 	if c.VirtualShards == 0 {
 		c.VirtualShards = DefaultVirtualShards
 	}
+	if c.ShardPolicy == "" {
+		c.ShardPolicy = ShardHash
+	}
 	c.Fabric = c.Fabric.withDefaults()
 	if c.Device.Name == "" {
 		c.Device = simt.V100()
@@ -107,6 +117,10 @@ func (c *Config) Validate() error {
 	if c.VirtualShards < c.Ranks {
 		return fmt.Errorf("dist: %d virtual shards cannot cover %d ranks (ranks would idle)",
 			c.VirtualShards, c.Ranks)
+	}
+	if c.ShardPolicy != ShardHash && c.ShardPolicy != ShardComponent {
+		return fmt.Errorf("dist: unknown shard policy %q (%s|%s)",
+			c.ShardPolicy, ShardHash, ShardComponent)
 	}
 	if err := c.Fabric.Validate(); err != nil {
 		return err
@@ -143,6 +157,13 @@ type runtime struct {
 	rec      RecoveryStats
 	compWall time.Duration // Σ over rounds of the slowest rank's busy time
 	rounds   int
+
+	// Component-policy state: the current residence rank of every routed
+	// read (reads live with their component between rounds), the per-round
+	// component counts, and the accumulated component-pass wall time.
+	readRank   map[string]int
+	components []int
+	compPass   time.Duration
 }
 
 func newRuntime(cfg Config) (*runtime, error) {
@@ -160,6 +181,7 @@ func newRuntime(cfg Config) (*runtime, error) {
 		owned:    make([]int, cfg.Ranks),
 		alive:    make([]bool, cfg.Ranks),
 		deviceOK: make([]bool, cfg.Ranks),
+		readRank: make(map[string]int),
 	}
 	fabric.UseInjector(rt.inj)
 	for r := range rt.devs {
@@ -188,10 +210,13 @@ func (rt *runtime) deal() *shardDeal {
 
 // evictCrashed applies the round's scheduled rank crashes: crashed ranks
 // leave the collective and their virtual shards are re-dealt to the
-// survivors. Contig state is replicated by the allgather, so survivors
-// adopt local copies; the bytes whose ownership moves are accounted as
-// recovered.
-func (rt *runtime) evictCrashed(round int, ctgs []*locassm.CtgWithReads) error {
+// survivors. Contig state is replicated by the allgather (or held
+// component-local with a scatter-home replica under component sharding),
+// so survivors adopt local copies; the bytes whose ownership moves are
+// accounted as recovered. Because the re-deal moves shards — and a shard
+// holds whole components under the component policy — recovery never
+// splits a component.
+func (rt *runtime) evictCrashed(round int, ctgs []*locassm.CtgWithReads, smap ShardMap) error {
 	crashes := rt.inj.CrashesAt(round)
 	if len(crashes) == 0 {
 		return nil
@@ -211,7 +236,7 @@ func (rt *runtime) evictCrashed(round int, ctgs []*locassm.CtgWithReads) error {
 	}
 	after := rt.deal()
 	for _, c := range ctgs {
-		s := VirtualShard(c.ID, rt.cfg.VirtualShards)
+		s := smap.Shard(c.ID)
 		if before.rankOf(s) != after.rankOf(s) {
 			rt.rec.RecoveredBytes += int64(len(c.Seq) + recordOverheadBytes)
 		}
@@ -281,11 +306,24 @@ func (rt *runtime) Assemble(k int, ctgs []*locassm.CtgWithReads) ([]locassm.Resu
 	round := rt.rounds // 0-based, for the injector
 	rt.rounds++
 
+	// Shard map for the round: the hash policy is stateless; the component
+	// policy runs the (timed) connected-components pass over the global
+	// workload and packs whole components onto the virtual shards. Either
+	// way the map is a pure function of (k, ctgs), never of N.
+	var smap ShardMap = hashShardMap{v}
+	if rt.cfg.ShardPolicy == ShardComponent {
+		start := time.Now()
+		cm := newComponentShardMap(k, ctgs, v)
+		rt.compPass += time.Since(start)
+		rt.components = append(rt.components, cm.count)
+		smap = cm
+	}
+
 	// Round boundary — apply scheduled rank crashes and re-deal the dead
 	// ranks' virtual shards over the survivors, then poison any device
 	// scheduled to fail this round (its rank discovers the loss at first
 	// launch and degrades to the host engine).
-	if err := rt.evictCrashed(round, ctgs); err != nil {
+	if err := rt.evictCrashed(round, ctgs, smap); err != nil {
 		return nil, locassm.Stats{}, err
 	}
 	deal := rt.deal()
@@ -297,16 +335,25 @@ func (rt *runtime) Assemble(k int, ctgs []*locassm.CtgWithReads) ([]locassm.Resu
 		}
 	}
 
-	// Phase 1 — all-to-all read exchange: every rank routes the candidate
-	// reads its alignments produced to the rank owning the hit contig
-	// (MHM2's aggregating stores ahead of local assembly).
+	// Phase 1 — read exchange. Hash policy: all-to-all, every rank routes
+	// the candidate reads its alignments produced to the rank owning the
+	// hit contig (MHM2's aggregating stores ahead of local assembly).
+	// Component policy: reads live with their component, so only reads
+	// whose component ownership moved travel — one migration per read,
+	// mostly rank-local once residences settle.
 	for r := range rt.owned {
 		rt.owned[r] = 0
 	}
 	for _, c := range ctgs {
-		rt.owned[deal.ownerRank(c.ID)]++
+		rt.owned[deal.rankOf(smap.Shard(c.ID))]++
 	}
-	if _, err := rt.fabric.Exchange(fmt.Sprintf("read exchange k=%d", k), readExchangeMatrix(ctgs, deal, n)); err != nil {
+	var exchange [][]int64
+	if rt.cfg.ShardPolicy == ShardComponent {
+		exchange = migrationMatrix(ctgs, smap, deal, n, rt.readRank, rt.alive)
+	} else {
+		exchange = readExchangeMatrix(ctgs, smap, deal, n)
+	}
+	if _, err := rt.fabric.Exchange(fmt.Sprintf("read exchange k=%d", k), exchange); err != nil {
 		return nil, locassm.Stats{}, err
 	}
 
@@ -314,7 +361,7 @@ func (rt *runtime) Assemble(k int, ctgs []*locassm.CtgWithReads) ([]locassm.Resu
 	// shards concurrently with every other rank, through a registry
 	// engine — its own device's batch driver or, under CPUAssembly or
 	// after a device fault, the host flat-table engine.
-	byShard, shardIdx := shardContigs(ctgs, v)
+	byShard, shardIdx := shardContigs(ctgs, smap, v)
 	cpuWorkers := rt.cfg.CPUWorkers
 	if cpuWorkers < 1 {
 		cpuWorkers = goruntime.GOMAXPROCS(0) / n
@@ -416,8 +463,17 @@ func (rt *runtime) Assemble(k int, ctgs []*locassm.CtgWithReads) ([]locassm.Resu
 	// so every live rank holds the replicated alignment index for the next
 	// round (and the final outputs). The extensions are not applied here
 	// (the pipeline stage does that), so the matrix accounts the extended
-	// lengths from the results.
-	_, err := rt.fabric.Exchange(fmt.Sprintf("contig allgather k=%d", k), allgatherMatrix(ctgs, results, deal, n))
+	// lengths from the results. Under component sharding the replicated
+	// index collapses to a component-local one — there are no
+	// cross-component contigs to broadcast — so every byte stays
+	// rank-local.
+	var gather [][]int64
+	if rt.cfg.ShardPolicy == ShardComponent {
+		gather = localIndexMatrix(ctgs, results, smap, deal, n)
+	} else {
+		gather = allgatherMatrix(ctgs, results, smap, deal, n)
+	}
+	_, err := rt.fabric.Exchange(fmt.Sprintf("contig allgather k=%d", k), gather)
 	return results, stats, err
 }
 
@@ -430,14 +486,16 @@ func newMatrix(n int) [][]int64 {
 }
 
 // readExchangeMatrix builds the all-to-all byte matrix of the per-round
-// read routing: every candidate read travels from its home rank to the
-// live rank owning the contig it aligned to, once per (contig, side) it is
-// a candidate for — exactly as MHM2 routes one aggregated record per
-// alignment. Rows and columns of evicted ranks stay zero.
-func readExchangeMatrix(ctgs []*locassm.CtgWithReads, deal *shardDeal, ranks int) [][]int64 {
+// read routing under the hash policy: every candidate read travels from
+// its home rank to the live rank owning the contig it aligned to, once per
+// (contig, side) it is a candidate for — exactly as MHM2 routes one
+// aggregated record per alignment. Rows and columns of evicted ranks stay
+// zero. Self-destined records (read home == contig owner) count as
+// rank-local bytes in the fabric, never wire traffic.
+func readExchangeMatrix(ctgs []*locassm.CtgWithReads, smap ShardMap, deal *shardDeal, ranks int) [][]int64 {
 	matrix := newMatrix(ranks)
 	for _, c := range ctgs {
-		owner := deal.ownerRank(c.ID)
+		owner := deal.rankOf(smap.Shard(c.ID))
 		for i := range c.LeftReads {
 			matrix[deal.readHome(c.LeftReads[i].ID)][owner] += readMsgBytes(&c.LeftReads[i])
 		}
@@ -449,13 +507,13 @@ func readExchangeMatrix(ctgs []*locassm.CtgWithReads, deal *shardDeal, ranks int
 }
 
 // allgatherMatrix builds the byte matrix of the post-round contig
-// broadcast: each owner ships every contig it owns — at its post-assembly
-// extended length, computed from the round's results — to all other live
-// ranks.
-func allgatherMatrix(ctgs []*locassm.CtgWithReads, results []locassm.Result, deal *shardDeal, ranks int) [][]int64 {
+// broadcast under the hash policy: each owner ships every contig it owns —
+// at its post-assembly extended length, computed from the round's results —
+// to all other live ranks.
+func allgatherMatrix(ctgs []*locassm.CtgWithReads, results []locassm.Result, smap ShardMap, deal *shardDeal, ranks int) [][]int64 {
 	matrix := newMatrix(ranks)
 	for i, c := range ctgs {
-		owner := deal.ownerRank(c.ID)
+		owner := deal.rankOf(smap.Shard(c.ID))
 		extended := len(results[i].LeftExt) + len(c.Seq) + len(results[i].RightExt)
 		bytes := int64(extended + recordOverheadBytes)
 		for _, d := range deal.live {

@@ -8,18 +8,54 @@ import (
 	"mhm2sim/internal/murmur"
 )
 
-// Sharding is two-level, MetaHipMer-style: a contig hashes to one of V
+// Sharding is two-level, MetaHipMer-style: a contig maps to one of V
 // virtual shards (V fixed, independent of the rank count), and virtual
 // shard v lives on rank v mod N. The virtual shard — not the rank — is the
 // unit of batch planning and kernel launch, which is what makes the kernel
 // launch list independent of N: changing the rank count only re-deals the
 // same shards (and therefore the same batches, in the same canonical
 // order) onto more or fewer devices. See DESIGN.md §8.
+//
+// The contig → shard half of the mapping is pluggable (ShardMap): the
+// default hashes contig IDs, and the component policy co-locates whole de
+// Bruijn components (DESIGN.md §14). The shard → rank half (shardDeal)
+// stays common to both, including the re-deal over survivors after an
+// eviction.
 
 // DefaultVirtualShards is the default virtual-shard count. It bounds the
 // useful rank count and fixes the batch granularity of the distributed
 // local assembly.
 const DefaultVirtualShards = 32
+
+// Shard-map policies: how contigs are assigned to virtual shards.
+const (
+	// ShardHash is the classic two-level MetaHipMer deal: contig ID hashes
+	// to a virtual shard, shard v lives on rank v mod N.
+	ShardHash = "hash"
+	// ShardComponent runs a connected-components pass over the round's
+	// contig graph and assigns whole components to virtual shards with LPT
+	// bin packing, so contigs that exchange reads or adjoin in the de
+	// Bruijn graph are co-located (see components.go).
+	ShardComponent = "component"
+)
+
+// ShardMap assigns contigs to virtual shards. Implementations must be pure
+// functions of the round's global workload (never of the rank count or any
+// per-rank state): the shard — not the rank — is the unit of batch
+// planning, and a ShardMap independent of N is what keeps contigs,
+// scaffolds, and kernel launch lists bit-identical for every rank count.
+type ShardMap interface {
+	// Shard returns the virtual shard of a contig in [0, shards).
+	Shard(ctgID int64) int
+	// Policy names the mapping ("hash" or "component").
+	Policy() string
+}
+
+// hashShardMap is the stateless hash policy.
+type hashShardMap struct{ shards int }
+
+func (m hashShardMap) Shard(id int64) int { return VirtualShard(id, m.shards) }
+func (m hashShardMap) Policy() string     { return ShardHash }
 
 // Seeds for the two hash spaces, chosen once so placement is stable across
 // processes and runs.
@@ -91,14 +127,15 @@ func (d *shardDeal) readHome(id string) int {
 	return d.live[ReadHomeRank(id, len(d.live))]
 }
 
-// shardContigs partitions the round's contigs into virtual shards,
-// preserving input order inside each shard. The returned index slices map
-// each shard's contigs back to their global positions.
-func shardContigs(ctgs []*locassm.CtgWithReads, shards int) (byShard [][]*locassm.CtgWithReads, idx [][]int) {
+// shardContigs partitions the round's contigs into virtual shards under
+// the given shard map, preserving input order inside each shard. The
+// returned index slices map each shard's contigs back to their global
+// positions.
+func shardContigs(ctgs []*locassm.CtgWithReads, smap ShardMap, shards int) (byShard [][]*locassm.CtgWithReads, idx [][]int) {
 	byShard = make([][]*locassm.CtgWithReads, shards)
 	idx = make([][]int, shards)
 	for i, c := range ctgs {
-		v := VirtualShard(c.ID, shards)
+		v := smap.Shard(c.ID)
 		byShard[v] = append(byShard[v], c)
 		idx[v] = append(idx[v], i)
 	}

@@ -60,17 +60,39 @@ type GPU struct {
 
 // Dist is the per-rank comm/compute breakdown of a multi-rank run.
 type Dist struct {
-	Ranks         int       `json:"ranks"`
-	VirtualShards int       `json:"virtual_shards"`
-	Rounds        int       `json:"rounds"`
-	WallNS        int64     `json:"wall_ns"`
-	CommTimeNS    int64     `json:"comm_time_ns"`
-	CommBytes     int64     `json:"comm_bytes"`
-	CommMsgs      int64     `json:"comm_msgs"`
-	Efficiency    float64   `json:"efficiency"`
-	Faults        string    `json:"faults,omitempty"`
-	Recovery      *Recovery `json:"recovery,omitempty"`
-	PerRank       []Rank    `json:"per_rank"`
+	Ranks         int    `json:"ranks"`
+	VirtualShards int    `json:"virtual_shards"`
+	Rounds        int    `json:"rounds"`
+	ShardPolicy   string `json:"shard_policy,omitempty"`
+	// Components is the per-round connected-component count (component
+	// policy only); ComponentPassNS the accumulated pass wall time.
+	Components      []int `json:"components,omitempty"`
+	ComponentPassNS int64 `json:"component_pass_ns,omitempty"`
+	WallNS          int64 `json:"wall_ns"`
+	CommTimeNS      int64 `json:"comm_time_ns"`
+	// CommBytes is remote (wire) bytes; LocalBytes the rank-local bytes
+	// that never left their rank; Locality = local/(local+remote).
+	CommBytes  int64     `json:"comm_bytes"`
+	LocalBytes int64     `json:"local_bytes"`
+	Locality   float64   `json:"locality"`
+	CommMsgs   int64     `json:"comm_msgs"`
+	Efficiency float64   `json:"efficiency"`
+	Faults     string    `json:"faults,omitempty"`
+	Recovery   *Recovery `json:"recovery,omitempty"`
+	PerRank    []Rank    `json:"per_rank"`
+	// Stages is the per-exchange local-vs-remote byte split in execution
+	// order — the Fig 9-style comm breakdown.
+	Stages []StageComm `json:"stages,omitempty"`
+}
+
+// StageComm is one fabric exchange's traffic split.
+type StageComm struct {
+	Stage       string  `json:"stage"`
+	RemoteBytes int64   `json:"remote_bytes"`
+	LocalBytes  int64   `json:"local_bytes"`
+	Msgs        int64   `json:"msgs"`
+	TimeNS      int64   `json:"time_ns"`
+	Locality    float64 `json:"locality"`
 }
 
 // Recovery reports the fault-recovery counters of a chaos run.
@@ -146,14 +168,30 @@ func Build(res *pipeline.Result, rep *dist.Report) *Report {
 	}
 	if rep != nil {
 		jd := &Dist{
-			Ranks:         rep.Ranks,
-			VirtualShards: rep.VirtualShards,
-			Rounds:        rep.Rounds,
-			WallNS:        int64(rep.Wall),
-			CommTimeNS:    int64(rep.CommTime),
-			CommBytes:     res.Work.CommBytes,
-			CommMsgs:      res.Work.CommMsgs,
-			Efficiency:    rep.Efficiency(),
+			Ranks:           rep.Ranks,
+			VirtualShards:   rep.VirtualShards,
+			Rounds:          rep.Rounds,
+			ShardPolicy:     rep.ShardPolicy,
+			Components:      rep.Components,
+			ComponentPassNS: int64(rep.ComponentPassTime),
+			WallNS:          int64(rep.Wall),
+			CommTimeNS:      int64(rep.CommTime),
+			CommBytes:       res.Work.CommBytes,
+			LocalBytes:      rep.LocalBytes(),
+			Locality:        rep.Locality(),
+			CommMsgs:        res.Work.CommMsgs,
+			Efficiency:      rep.Efficiency(),
+		}
+		for i := range rep.Stages {
+			st := &rep.Stages[i]
+			jd.Stages = append(jd.Stages, StageComm{
+				Stage:       st.Stage,
+				RemoteBytes: st.TotalBytes(),
+				LocalBytes:  st.TotalLocalBytes(),
+				Msgs:        st.TotalMsgs(),
+				TimeNS:      int64(st.Time),
+				Locality:    st.Locality(),
+			})
 		}
 		if rep.Recovery.Any() {
 			jd.Faults = rep.Faults

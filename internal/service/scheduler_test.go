@@ -440,3 +440,63 @@ func TestSchedulerRestartResume(t *testing.T) {
 		t.Fatalf("finished job after second restart: %+v, %v", st3, err)
 	}
 }
+
+// TestSchedulerShardPolicy: JobSpec.Shard is validated at admission and a
+// component-shard dist job's persisted output is bit-identical to both the
+// standalone run and the hash-policy job — the shard map relocates work,
+// never changes it.
+func TestSchedulerShardPolicy(t *testing.T) {
+	dataDir := t.TempDir()
+	s, err := New(Config{DataDir: dataDir, Workers: 2, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	// Component sharding targets the dist engine; unknown policies bounce.
+	bad := tinySpec(9)
+	bad.Shard = dist.ShardComponent
+	if _, err := s.Submit(bad); err == nil {
+		t.Error("shard=component without engine=dist accepted")
+	}
+	bad.Engine = "dist"
+	bad.Ranks = 2
+	bad.Shard = "zigzag"
+	if _, err := s.Submit(bad); err == nil {
+		t.Error("unknown shard policy accepted")
+	}
+
+	spec := tinySpec(9)
+	spec.Engine = "dist"
+	spec.Ranks = 4
+	want := standaloneOutput(t, spec)
+	outputs := make(map[string][]byte)
+	for _, policy := range []string{dist.ShardHash, dist.ShardComponent} {
+		spec.Shard = policy
+		id, err := s.Submit(spec)
+		if err != nil {
+			t.Fatalf("shard=%s: %v", policy, err)
+		}
+		if st := waitTerminal(t, s, id, time.Minute); st.State != StateSucceeded {
+			t.Fatalf("shard=%s: job ended %s (%s)", policy, st.State, st.Error)
+		}
+		got, err := os.ReadFile(filepath.Join(jobDir(dataDir, id), outputFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs[policy] = got
+		if !bytes.Equal(got, want) {
+			t.Errorf("shard=%s: output differs from standalone run", policy)
+		}
+	}
+	if !bytes.Equal(outputs[dist.ShardHash], outputs[dist.ShardComponent]) {
+		t.Error("hash and component jobs produced different outputs")
+	}
+}

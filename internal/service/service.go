@@ -61,6 +61,10 @@ type JobSpec struct {
 	// reseeded plan (see Config.JobRetries).
 	Faults    string `json:"faults,omitempty"`
 	FaultSeed int64  `json:"fault_seed,omitempty"`
+	// Shard selects the dist engine's contig → shard map: "hash" (default)
+	// or "component" (co-locate whole dBG components; see DESIGN.md §14).
+	// Either policy yields bit-identical contigs and scaffolds.
+	Shard string `json:"shard,omitempty"`
 }
 
 // withDefaults fills the defaulted fields.
@@ -106,6 +110,15 @@ func (s *JobSpec) Validate() error {
 		if _, err := faults.ParseSpec(s.Faults); err != nil {
 			return err
 		}
+	}
+	switch s.Shard {
+	case "", dist.ShardHash:
+	case dist.ShardComponent:
+		if s.Engine != locassm.EngineDist {
+			return fmt.Errorf("service: shard=%s requires engine=dist", s.Shard)
+		}
+	default:
+		return fmt.Errorf("service: unknown shard policy %q (%s|%s)", s.Shard, dist.ShardHash, dist.ShardComponent)
 	}
 	if s.ReadsPath == "" {
 		if _, err := synth.PresetByName(s.Preset); err != nil {
@@ -206,6 +219,7 @@ func BuildInput(spec JobSpec) ([]dna.PairedRead, pipeline.Config, error) {
 func distConfig(spec JobSpec, cfg pipeline.Config) (dist.Config, error) {
 	dcfg := dist.DefaultConfig(spec.Ranks)
 	dcfg.Pipeline = cfg
+	dcfg.ShardPolicy = spec.Shard
 	if spec.Faults != "" {
 		plan, err := faults.NewPlan(spec.Faults, spec.FaultSeed, spec.Ranks, len(cfg.Rounds))
 		if err != nil {

@@ -188,13 +188,47 @@ func WAPreset() Preset {
 	}
 }
 
-// PresetByName looks up a preset ("arcticsynth" or "WA").
+// SoilPreset is the many-organism "soil metagenome" regime: dozens of
+// small genomes with no conserved sequence shared across organisms
+// (SharedFrac 0) and only light within-genome repeats. Its de Bruijn graph
+// decomposes into many disconnected components — roughly one per organism
+// — which is the workload where component-partitioned sharding
+// (dist.ShardComponent) turns nearly all exchange and allgather traffic
+// rank-local. Mild abundance skew keeps every genome assemblable.
+func SoilPreset() Preset {
+	return Preset{
+		Name: "soil",
+		Com: Config{
+			NumGenomes:     40,
+			MinGenomeLen:   8_000,
+			MaxGenomeLen:   16_000,
+			AbundanceSigma: 0.7,
+			RepeatFrac:     0.01,
+			SharedFrac:     0,
+			RepeatLen:      300,
+		},
+		Reads: ReadConfig{
+			ReadLen:     150,
+			InsertMean:  320,
+			InsertSD:    40,
+			Depth:       14,
+			ErrorRate:   0.004,
+			LowQualFrac: 0.05,
+		},
+		Seed:      2077,
+		ScaleNote: "soil-like community: many small organisms, no cross-organism sequence, disconnected dBG components",
+	}
+}
+
+// PresetByName looks up a preset ("arcticsynth", "WA", or "soil").
 func PresetByName(name string) (Preset, error) {
 	switch name {
 	case "arcticsynth":
 		return ArcticSynthPreset(), nil
 	case "WA", "wa":
 		return WAPreset(), nil
+	case "soil":
+		return SoilPreset(), nil
 	}
 	return Preset{}, fmt.Errorf("synth: unknown preset %q", name)
 }
