@@ -56,6 +56,7 @@ import (
 	"mhm2sim/internal/dist"
 	"mhm2sim/internal/dna"
 	"mhm2sim/internal/faults"
+	"mhm2sim/internal/gpucount"
 	"mhm2sim/internal/histo"
 	"mhm2sim/internal/locassm"
 	"mhm2sim/internal/pipeline"
@@ -86,6 +87,7 @@ type options struct {
 	doPreprocess bool
 	dumpLA       string
 	estInsert    bool
+	memBudget    int64
 	cpuProfile   string
 	memProfile   string
 }
@@ -116,6 +118,7 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.BoolVar(&opts.doPreprocess, "preprocess", false, "adapter/quality-trim and filter reads first")
 	fs.StringVar(&opts.dumpLA, "dump-la", "", "dump the final round's local-assembly workload here (for cmd/locassm)")
 	fs.BoolVar(&opts.estInsert, "estimate-insert", true, "infer the library insert size from proper pairs")
+	fs.Int64Var(&opts.memBudget, "mem-budget", 0, "device-memory byte budget for k-mer counting: 0 = unbounded, otherwise Bloom-prefiltered multi-pass counting under this many bytes")
 	fs.StringVar(&opts.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	fs.StringVar(&opts.memProfile, "memprofile", "", "write a pprof heap profile (after the run) to this path")
 	if err := fs.Parse(args); err != nil {
@@ -148,6 +151,13 @@ func validateOpts(opts *options) error {
 		if _, err := faults.ParseSpec(opts.faultSpec); err != nil {
 			return err
 		}
+	}
+	if opts.memBudget < 0 {
+		return fmt.Errorf("-mem-budget %d is negative (0 disables the budget)", opts.memBudget)
+	}
+	if opts.memBudget > 0 && opts.memBudget < gpucount.MinMemBudget {
+		return fmt.Errorf("-mem-budget %d is below the %d-byte minimum (gpucount.MinMemBudget)",
+			opts.memBudget, int64(gpucount.MinMemBudget))
 	}
 	switch opts.shard {
 	case dist.ShardHash:
@@ -246,6 +256,7 @@ func buildConfig(opts *options) (pipeline.Config, error) {
 		cfg.Engine.GPUs = opts.gpus
 	}
 	cfg.UseGPUAln = opts.gpuAln
+	cfg.MemBudget = opts.memBudget
 	cfg.Workers = opts.workers
 	cfg.CheckpointDir = opts.checkpoint
 	cfg.EstimateInsert = opts.estInsert
@@ -358,6 +369,15 @@ func main() {
 	}
 	if len(res.Work.GPUKernels) > 0 {
 		printGPUStats(res)
+	}
+	if kb := res.Work.KmerBudget; kb.Passes > 0 {
+		fmt.Printf("\nmemory-bounded counting: %d passes (%d planned) under a %d-byte budget (effective %d); Bloom filtered %d singleton occurrences (FP rate %.4f)\n",
+			kb.Passes, kb.PlannedPasses, kb.Configured, kb.Effective,
+			kb.FilteredSingletons, kb.FPRate())
+		if kb.OOMReplans > 0 || kb.SpillReplans > 0 {
+			fmt.Printf("  degradation: %d OOM re-plans, %d spill re-plans, %d extra passes\n",
+				kb.OOMReplans, kb.SpillReplans, kb.SpillPasses)
+		}
 	}
 	if rep != nil {
 		fmt.Printf("\n%s", rep)

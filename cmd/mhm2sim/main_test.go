@@ -128,6 +128,42 @@ func TestParseFlagsShard(t *testing.T) {
 
 // TestRunErrorLine pins the exhausted-retries exit contract: a distinct
 // nonzero status and one structured, greppable line — not a stack trace.
+func TestParseFlagsMemBudget(t *testing.T) {
+	var stderr bytes.Buffer
+	opts, err := parseFlags([]string{"-mem-budget", "8388608"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.memBudget != 8<<20 {
+		t.Errorf("mem-budget flag wrong: %+v", opts)
+	}
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MemBudget != 8<<20 {
+		t.Errorf("budget not threaded into pipeline config: %d", cfg.MemBudget)
+	}
+	if opts, err := parseFlags(nil, &stderr); err != nil || opts.memBudget != 0 {
+		t.Errorf("default mem-budget: %v, %+v", err, opts)
+	}
+	// Bad budgets fail at parse time with a diagnostic, not mid-run.
+	stderr.Reset()
+	if _, err := parseFlags([]string{"-mem-budget", "-5"}, &stderr); err == nil {
+		t.Error("negative -mem-budget accepted")
+	}
+	if !strings.Contains(stderr.String(), "negative") {
+		t.Errorf("rejection printed nothing useful: %q", stderr.String())
+	}
+	stderr.Reset()
+	if _, err := parseFlags([]string{"-mem-budget", "1024"}, &stderr); err == nil {
+		t.Error("sub-minimum -mem-budget accepted")
+	}
+	if !strings.Contains(stderr.String(), "minimum") {
+		t.Errorf("rejection printed nothing useful: %q", stderr.String())
+	}
+}
+
 func TestRunErrorLine(t *testing.T) {
 	wrapped := fmt.Errorf("dist: exchange 3 (read exchange k=21) still failing after 3 of 5 injected failures: %w",
 		dist.ErrUnrecoverable)

@@ -59,6 +59,17 @@ type Table struct {
 	m map[kmer.Kmer]*Info
 }
 
+// NewTable wraps an already-counted canonical-k-mer map in a Table — the
+// GPU budget counter builds its map by merging device passes and hands it
+// over here, so the traversal code sees one table regardless of how it
+// was counted. A nil map yields an empty table.
+func NewTable(k int, m map[kmer.Kmer]*Info) *Table {
+	if m == nil {
+		m = make(map[kmer.Kmer]*Info)
+	}
+	return &Table{K: k, m: m}
+}
+
 // Len returns the number of distinct canonical k-mers.
 func (t *Table) Len() int { return len(t.m) }
 

@@ -216,3 +216,51 @@ func TestFabricPartialDefaults(t *testing.T) {
 		t.Errorf("fully-set config mutated by defaulting: %+v", got)
 	}
 }
+
+// TestChaosBudgetOOMSpill is the budget-mode OOM story: with a memory
+// budget set, an oom fault plan must not poison devices and trigger the
+// device→host fallback — the counting budget shrinks and the pass plan
+// spills instead. Contigs stay bit-identical to the fault-free budget run
+// for every rank count, and the report records the re-plan.
+func TestChaosBudgetOOMSpill(t *testing.T) {
+	pairs := buildPairs(t)
+	budget := testDistConfig(1)
+	budget.Pipeline.MemBudget = 8 << 20
+	base, baseRep, err := Run(pairs, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Contigs) == 0 {
+		t.Fatal("fault-free budget baseline produced no contigs")
+	}
+	if baseRep.Recovery.OOMReplans != 0 || baseRep.Recovery.SpillPasses != 0 {
+		t.Fatalf("fault-free run recorded degradation: %+v", baseRep.Recovery)
+	}
+
+	for _, n := range []int{2, 4, 8} {
+		cfg := chaosConfig(t, n, "oom=2", 42)
+		cfg.Pipeline.MemBudget = 8 << 20
+		res, rep, err := Run(pairs, cfg)
+		if err != nil {
+			t.Fatalf("ranks=%d (%s): %v", n, cfg.Faults, err)
+		}
+		if !reflect.DeepEqual(res.Contigs, base.Contigs) {
+			t.Errorf("ranks=%d: contigs differ from fault-free budget run", n)
+		}
+		if !reflect.DeepEqual(res.Scaffolds, base.Scaffolds) {
+			t.Errorf("ranks=%d: scaffolds differ from fault-free budget run", n)
+		}
+		if rep.Recovery.OOMReplans == 0 {
+			t.Error("oom scheduled but no budget re-plan recorded")
+		}
+		if rep.Recovery.SpillPasses == 0 {
+			t.Error("budget re-plan added no spill passes")
+		}
+		if rep.Recovery.DeviceFallbacks != 0 {
+			t.Errorf("budget mode still fell back device→host (%d fallbacks)", rep.Recovery.DeviceFallbacks)
+		}
+		if !rep.Recovery.Any() {
+			t.Error("recovery counters empty despite absorbed OOM events")
+		}
+	}
+}

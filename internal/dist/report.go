@@ -50,12 +50,19 @@ type RecoveryStats struct {
 	BatchResplits int
 	// Stragglers counts injected per-rank compute slowdowns applied.
 	Stragglers int
+	// OOMReplans counts DeviceOOM events a budget-mode run absorbed by
+	// shrinking the counting budget and re-planning the pass schedule —
+	// the graceful-degradation replacement for DeviceFallbacks.
+	// SpillPasses counts the extra counting passes that degradation
+	// (budget shrinks and in-run spill re-plans) cost.
+	OOMReplans  int
+	SpillPasses int
 }
 
 // Any reports whether any recovery machinery fired.
 func (rs *RecoveryStats) Any() bool {
 	return rs.ExchangeRetries != 0 || rs.Evictions != 0 || rs.DeviceFallbacks != 0 ||
-		rs.BatchResplits != 0 || rs.Stragglers != 0
+		rs.BatchResplits != 0 || rs.Stragglers != 0 || rs.OOMReplans != 0
 }
 
 // Report is the strong-scaling breakdown of one distributed run (the
@@ -214,6 +221,10 @@ func (r *Report) String() string {
 			r.Faults, rec.ExchangeRetries, rec.RetryTime.Round(time.Microsecond),
 			rec.Evictions, fmtBytes(rec.RecoveredBytes), rec.DeviceFallbacks,
 			rec.BatchResplits, rec.Stragglers)
+		if rec.OOMReplans > 0 {
+			fmt.Fprintf(&b, "  memory-budget degradation: %d OOM events absorbed by re-planned spill (+%d passes)\n",
+				rec.OOMReplans, rec.SpillPasses)
+		}
 	}
 	return b.String()
 }

@@ -329,9 +329,14 @@ func (rt *runtime) Assemble(k int, ctgs []*locassm.CtgWithReads) ([]locassm.Resu
 	deal := rt.deal()
 	live := deal.live
 	nl := len(live)
-	for _, r := range live {
-		if rt.deviceOK[r] && rt.inj.DeviceFault(r, round) {
-			rt.devs[r].InjectFault(nil)
+	// In budget mode OOM events never poison devices: the pipeline's
+	// counting budget absorbs them (MemPressure shrinks it and the pass
+	// plan spills), so local assembly keeps its device.
+	if rt.cfg.Pipeline.MemBudget == 0 {
+		for _, r := range live {
+			if rt.deviceOK[r] && rt.inj.DeviceFault(r, round) {
+				rt.devs[r].InjectFault(nil)
+			}
 		}
 	}
 
@@ -555,10 +560,17 @@ func RunContext(ctx context.Context, pairs []dna.PairedRead, cfg Config) (*pipel
 
 	pcfg := cfg.Pipeline
 	pcfg.Engine = locassm.EngineSpec{Name: locassm.EngineDist, Instance: rt}
+	if pcfg.MemBudget > 0 && pcfg.MemPressure == nil {
+		// Chaos OOM events become memory pressure on the counting budget
+		// (graceful spill) instead of device poison pills.
+		pcfg.MemPressure = rt.inj.OOMCount
+	}
 	res, err := pipeline.RunContext(ctx, pairs, pcfg)
 	if err != nil {
 		return nil, nil, err
 	}
+	rt.rec.OOMReplans += res.Work.KmerBudget.OOMReplans
+	rt.rec.SpillPasses += res.Work.KmerBudget.SpillPasses
 
 	commTime := rt.fabric.TotalTime()
 	res.Timings.Add(pipeline.StageComm, commTime)

@@ -308,6 +308,24 @@ func (in *Injector) DeviceFault(rank, round int) bool {
 	return false
 }
 
+// OOMCount returns how many DeviceOOM events (across all ranks) have
+// fired by the given round, sticky like DeviceFault. Budget-mode runs use
+// it as memory pressure: instead of poisoning a device, each event halves
+// the effective counting budget — OOM degrades into a re-planned spill
+// rather than a device→host fallback.
+func (in *Injector) OOMCount(round int) int {
+	if in == nil {
+		return 0
+	}
+	n := 0
+	for _, ev := range in.plan.Events {
+		if ev.Kind == DeviceOOM && ev.Round <= round {
+			n++
+		}
+	}
+	return n
+}
+
 // KernelAborts returns how many batch launches on the rank should abort
 // with a table-full fault during the given round.
 func (in *Injector) KernelAborts(rank, round int) int {

@@ -1,0 +1,517 @@
+package gpucount
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mhm2sim/internal/dbg"
+	"mhm2sim/internal/gpuht"
+	"mhm2sim/internal/kmer"
+	"mhm2sim/internal/simt"
+)
+
+// BudgetStats is the accounting of one memory-bounded counting run (or,
+// via Add, of every budget round of a pipeline run).
+type BudgetStats struct {
+	// Configured is the caller-requested budget in bytes; Effective is
+	// the budget actually applied after OOM degradation shrank it.
+	// CountBudget itself only knows Effective (it is handed the shrunk
+	// value); the pipeline fills Configured and the OOM fields.
+	Configured int64
+	Effective  int64
+	// Passes is the executed partitioned-pass count; PlannedPasses is
+	// the up-front plan at the effective budget. SpillPasses counts the
+	// passes beyond the plan at the *configured* budget — the extra work
+	// graceful degradation (OOM shrink or spill re-plans) cost.
+	Passes        int
+	PlannedPasses int
+	SpillPasses   int
+	// SpillReplans counts in-run re-plans: a pass overflowed its table
+	// (hash-range imbalance beyond the 2x headroom) and the whole count
+	// restarted with doubled passes.
+	SpillReplans int
+	// OOMReplans counts chaos DeviceOOM events absorbed by shrinking the
+	// effective budget instead of falling back to the host path.
+	OOMReplans int
+	// FilteredSingletons counts k-mer occurrences the Bloom prefilter
+	// rejected (their k-mer provably cannot reach MinCount). Inserted
+	// counts distinct k-mers that entered the table; FPInserted is the
+	// subset that were filter false positives (exact count < MinCount),
+	// i.e. wasted slots — the filter's only failure mode.
+	FilteredSingletons int64
+	Inserted           int64
+	FPInserted         int64
+	// TableBytes/BloomBytes are the device footprints of the two
+	// counting structures; their sum is ≤ the effective budget.
+	TableBytes int64
+	BloomBytes int64
+	// Kernels and KernelTime account every counting launch (clear,
+	// filter, passes), kept separate from the local-assembly kernel list
+	// so engine-level reporting is unchanged by budget mode.
+	Kernels    int
+	KernelTime time.Duration
+}
+
+// FPRate returns the filter false-positive rate among inserted k-mers.
+func (s BudgetStats) FPRate() float64 {
+	if s.Inserted == 0 {
+		return 0
+	}
+	return float64(s.FPInserted) / float64(s.Inserted)
+}
+
+// Add accumulates o into s (Configured/Effective keep the most
+// constrained round; footprints keep the peak).
+func (s *BudgetStats) Add(o BudgetStats) {
+	if o.Configured > s.Configured {
+		s.Configured = o.Configured
+	}
+	if s.Effective == 0 || (o.Effective > 0 && o.Effective < s.Effective) {
+		s.Effective = o.Effective
+	}
+	s.Passes += o.Passes
+	s.PlannedPasses += o.PlannedPasses
+	s.SpillPasses += o.SpillPasses
+	s.SpillReplans += o.SpillReplans
+	s.OOMReplans += o.OOMReplans
+	s.FilteredSingletons += o.FilteredSingletons
+	s.Inserted += o.Inserted
+	s.FPInserted += o.FPInserted
+	if o.TableBytes > s.TableBytes {
+		s.TableBytes = o.TableBytes
+	}
+	if o.BloomBytes > s.BloomBytes {
+		s.BloomBytes = o.BloomBytes
+	}
+	s.Kernels += o.Kernels
+	s.KernelTime += o.KernelTime
+}
+
+// CountBudget runs memory-bounded k-mer counting on the device: a
+// counting-Bloom prefilter pass bounds every k-mer's total count from
+// above so occurrences that provably cannot reach MinCount never touch
+// the table, then one counting pass per hash-range partition of
+// canonical-k-mer space counts its partition into a table sized to the
+// budget, and the per-pass tables merge into one exact result. Because
+// partitions are disjoint and per-k-mer counts are exact, the merged
+// table equals the host dbg.Count table up to the k-mers the filter
+// dropped — all of them below MinCount, so after Table.Filter(MinCount)
+// the two are identical. Unlike Count, any k ≤ kmer.MaxK is supported
+// (multi-word keys).
+//
+// If a pass overflows its table despite the 2x headroom (extreme
+// hash-range imbalance), the run restarts with doubled passes — a spill
+// re-plan — rather than failing with ErrTableFull.
+func CountBudget(dev *simt.Device, seqs [][]byte, k int, cfg BudgetConfig) (*dbg.Table, BudgetStats, error) {
+	var st BudgetStats
+	occ := 0
+	for _, s := range seqs {
+		if len(s) >= k {
+			occ += len(s) - k + 1
+		}
+	}
+	plan, err := PlanFor(occ, k, cfg) // validates k and the budget
+	if err != nil {
+		return nil, st, err
+	}
+	st.Effective = cfg.MemBudget
+	st.PlannedPasses = plan.Passes
+
+	// Stage reads contiguously (8-byte slack for vector gathers).
+	total := 0
+	offs := make([]int, len(seqs))
+	for i, s := range seqs {
+		offs[i] = total
+		total += len(s)
+	}
+	seqBase, err := dev.Malloc(int64(total + 8))
+	if err != nil {
+		return nil, st, err
+	}
+	for i, s := range seqs {
+		dev.MemcpyHtoD(seqBase+simt.Ptr(offs[i]), s)
+	}
+
+	words := kmerWords(k)
+	eb := entrySize(words)
+	var bloomBase simt.Ptr
+	if plan.BloomCells > 0 {
+		if bloomBase, err = dev.Malloc(int64(plan.BloomCells) * 4); err != nil {
+			return nil, st, err
+		}
+		st.BloomBytes = int64(plan.BloomCells) * 4
+	}
+	tabBase, err := dev.Malloc(int64(plan.TableSlots) * int64(eb))
+	if err != nil {
+		return nil, st, err
+	}
+	st.TableBytes = int64(plan.TableSlots) * int64(eb)
+
+	warps := len(seqs)
+	if warps > 4096 {
+		warps = 4096
+	}
+	if warps < 1 {
+		warps = 1
+	}
+	launch := func(name string, sequential bool, fn func(w *simt.Warp)) error {
+		res, lerr := dev.Launch(simt.KernelConfig{Name: name, Warps: warps, Sequential: sequential}, fn)
+		if lerr != nil {
+			return lerr
+		}
+		st.Kernels++
+		st.KernelTime += res.Time
+		return nil
+	}
+
+	bc := &budgetCounter{
+		dev: dev, seqs: seqs, offs: offs, seqBase: seqBase,
+		tabBase: tabBase, slots: plan.TableSlots,
+		bloomBase: bloomBase, cells: uint64(plan.BloomCells),
+		k: k, words: words, eb: eb, warps: warps, minCount: cfg.MinCount,
+	}
+
+	// Filter phase: one pass over every occurrence populates the
+	// counting-Bloom (shared cells ⇒ sequential launch, as for the table).
+	if plan.BloomCells > 0 {
+		if err := launch("kmer_bloom_clear", false, func(w *simt.Warp) {
+			clearWords(w, bloomBase, plan.BloomCells/2, warps)
+		}); err != nil {
+			return nil, st, err
+		}
+		if err := launch(fmt.Sprintf("kmer_bloom_k%d", k), true, bc.bloomKernel); err != nil {
+			return nil, st, err
+		}
+	}
+
+	passes := plan.Passes
+	var out map[kmer.Kmer]*dbg.Info
+	var rejected int64
+	for {
+		out, rejected, err = bc.runPasses(passes, launch)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, gpuht.ErrTableFull) && passes <= occ {
+			passes *= 2
+			st.SpillReplans++
+			continue
+		}
+		return nil, st, err
+	}
+	st.Passes = passes
+	st.FilteredSingletons = rejected
+	for _, info := range out {
+		st.Inserted++
+		if cfg.MinCount >= 2 && info.Count < cfg.MinCount {
+			st.FPInserted++
+		}
+	}
+	return dbg.NewTable(k, out), st, nil
+}
+
+// budgetCounter carries the device layout shared by the budget kernels.
+type budgetCounter struct {
+	dev       *simt.Device
+	seqs      [][]byte
+	offs      []int
+	seqBase   simt.Ptr
+	tabBase   simt.Ptr
+	slots     int
+	bloomBase simt.Ptr
+	cells     uint64
+	k         int
+	words     int
+	eb        int
+	warps     int
+	minCount  uint32
+}
+
+// runPasses executes one counting pass per partition against the shared
+// table (cleared between passes) and merges the read-back entries.
+// Partitions are disjoint, so merging is plain map union.
+func (c *budgetCounter) runPasses(passes int, launch func(string, bool, func(*simt.Warp)) error) (map[kmer.Kmer]*dbg.Info, int64, error) {
+	out := make(map[kmer.Kmer]*dbg.Info)
+	rejects := make([]uint64, c.warps)
+	for pass := 0; pass < passes; pass++ {
+		if err := launch("kmer_budget_clear", false, func(w *simt.Warp) {
+			clearWords(w, c.tabBase, c.slots*c.eb/8, c.warps)
+		}); err != nil {
+			return nil, 0, err
+		}
+		kernErrs := make([]error, c.warps)
+		name := fmt.Sprintf("kmer_budget_k%d_p%d.%d", c.k, pass, passes)
+		if err := launch(name, true, func(w *simt.Warp) {
+			if err := forEachBatch(w, c.seqs, c.offs, c.k, c.warps, func(mask simt.Mask, seq []byte, readOff int, positions [simt.WarpSize]int) error {
+				return c.passBatch(w, mask, seq, readOff, positions, pass, passes, &rejects[w.ID])
+			}); err != nil {
+				kernErrs[w.ID] = err
+			}
+		}); err != nil {
+			return nil, 0, err
+		}
+		// Scan in warp order so the reported error is deterministic.
+		for _, kerr := range kernErrs {
+			if kerr != nil {
+				return nil, 0, kerr
+			}
+		}
+		c.readBack(out)
+	}
+	var rejected int64
+	for _, r := range rejects {
+		rejected += int64(r)
+	}
+	return out, rejected, nil
+}
+
+// forEachBatch maps warps to sequences grid-strided and calls fn once per
+// warp-width of k-mer windows — the same work shape as countKernel, with
+// lanes on consecutive k-mers so the gathers coalesce.
+func forEachBatch(w *simt.Warp, seqs [][]byte, offs []int, k, totalWarps int, fn func(mask simt.Mask, seq []byte, readOff int, positions [simt.WarpSize]int) error) error {
+	for si := w.ID; si < len(seqs); si += totalWarps {
+		seq := seqs[si]
+		nk := len(seq) - k + 1
+		if nk <= 0 {
+			continue
+		}
+		for start := 0; start < nk; start += simt.WarpSize {
+			var mask simt.Mask
+			var positions [simt.WarpSize]int
+			for lane := 0; lane < simt.WarpSize && start+lane < nk; lane++ {
+				mask |= simt.LaneMask(lane)
+				positions[lane] = start + lane
+			}
+			if err := fn(mask, seq, offs[si], positions); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// bloomKernel adds every valid canonical k-mer occurrence to both
+// counting-Bloom cells. Cell counts bound the true count from above, so
+// the insert passes can reject below-MinCount k-mers with no false
+// negatives.
+func (c *budgetCounter) bloomKernel(w *simt.Warp) {
+	one := simt.Splat(1)
+	forEachBatch(w, c.seqs, c.offs, c.k, c.warps, func(mask simt.Mask, seq []byte, readOff int, positions [simt.WarpSize]int) error {
+		keys, valid, _, _ := canonBatch(w, mask, seq, readOff, positions, c.seqBase, c.k)
+		if valid == 0 {
+			return nil
+		}
+		w.ExecN(simt.IInt, valid, 4) // two hashes + two mods
+		var a0, a1 simt.Vec
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if !valid.Has(lane) {
+				continue
+			}
+			a0[lane] = uint64(c.bloomBase) + keys[lane].HashK(c.k, bloomSeed0)%c.cells*4
+			a1[lane] = uint64(c.bloomBase) + keys[lane].HashK(c.k, bloomSeed1)%c.cells*4
+		}
+		w.AtomicAdd(valid, &a0, &one, 4)
+		w.AtomicAdd(valid, &a1, &one, 4)
+		return nil
+	})
+}
+
+// passBatch processes one warp-width of k-mers for one partitioned pass:
+// partition filter, Bloom admission, then the same CAS-claim + linear
+// probe protocol as countBatch generalized to multi-word keys.
+func (c *budgetCounter) passBatch(w *simt.Warp, mask simt.Mask, seq []byte, readOff int, positions [simt.WarpSize]int, pass, passes int, reject *uint64) error {
+	keys, valid, lefts, rights := canonBatch(w, mask, seq, readOff, positions, c.seqBase, c.k)
+	if valid == 0 {
+		return nil
+	}
+
+	// Partition filter: each distinct k-mer belongs to exactly one pass.
+	if passes > 1 {
+		w.Exec(simt.IInt, valid) // partition hash + compare
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if valid.Has(lane) && keys[lane].HashK(c.k, partitionSeed)%uint64(passes) != uint64(pass) {
+				valid &^= simt.LaneMask(lane)
+			}
+		}
+		if valid == 0 {
+			return nil
+		}
+	}
+
+	// Bloom admission: estimate = min of the two cells; below MinCount
+	// the k-mer provably cannot survive the error filter.
+	if c.cells > 0 {
+		var a0, a1 simt.Vec
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if !valid.Has(lane) {
+				continue
+			}
+			a0[lane] = uint64(c.bloomBase) + keys[lane].HashK(c.k, bloomSeed0)%c.cells*4
+			a1[lane] = uint64(c.bloomBase) + keys[lane].HashK(c.k, bloomSeed1)%c.cells*4
+		}
+		c0 := w.LoadGlobal(valid, &a0, 4)
+		c1 := w.LoadGlobal(valid, &a1, 4)
+		w.Exec(simt.IInt, valid) // min + compare
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if !valid.Has(lane) {
+				continue
+			}
+			est := c0[lane]
+			if c1[lane] < est {
+				est = c1[lane]
+			}
+			if uint32(est) < c.minCount {
+				valid &^= simt.LaneMask(lane)
+				*reject++
+			}
+		}
+		if valid == 0 {
+			return nil
+		}
+	}
+
+	// Hash and insert into the shared per-pass table.
+	w.ExecN(simt.IInt, valid, 6)
+	var slotsV simt.Vec
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if valid.Has(lane) {
+			slotsV[lane] = keys[lane].HashK(c.k, hashSeed)
+		}
+	}
+	slots := uint64(c.slots)
+	ebase := uint64(c.eb)
+	offL := uint64(8 + 8*c.words)
+	offR := offL + 16
+	pending := valid
+	iters := 0
+	cmp := simt.Splat(stateEmpty)
+	claimVal := simt.Splat(stateFull)
+	one := simt.Splat(1)
+	var entries simt.Vec
+	for guard := 0; pending != 0; guard++ {
+		if guard > c.slots {
+			w.ExecN(simt.ICtrl, mask, iters)
+			return fmt.Errorf("gpucount: pass %d/%d: %w", pass, passes, gpuht.ErrTableFull)
+		}
+		var stateAddrs simt.Vec
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if pending.Has(lane) {
+				entries[lane] = uint64(c.tabBase) + slotsV[lane]%slots*ebase
+				stateAddrs[lane] = entries[lane] + offState
+			}
+		}
+		observed := w.AtomicCAS(pending, &stateAddrs, &cmp, &claimVal, 4)
+
+		var claimed, occupied simt.Mask
+		for lane := 0; lane < simt.WarpSize; lane++ {
+			if !pending.Has(lane) {
+				continue
+			}
+			if observed[lane] == stateEmpty {
+				claimed |= simt.LaneMask(lane)
+			} else {
+				occupied |= simt.LaneMask(lane)
+			}
+		}
+		// Winners write their key, one store per word.
+		if claimed != 0 {
+			var keyAddrs, keyVals simt.Vec
+			for wd := 0; wd < c.words; wd++ {
+				for lane := 0; lane < simt.WarpSize; lane++ {
+					if claimed.Has(lane) {
+						keyAddrs[lane] = entries[lane] + offKey + uint64(8*wd)
+						keyVals[lane] = keys[lane].W[wd]
+					}
+				}
+				w.StoreGlobal(claimed, &keyAddrs, 8, &keyVals)
+			}
+			w.SyncWarp(pending)
+		}
+		// Occupied: compare all stored key words.
+		matched := claimed
+		if occupied != 0 {
+			eq := occupied
+			var keyAddrs simt.Vec
+			for wd := 0; wd < c.words; wd++ {
+				for lane := 0; lane < simt.WarpSize; lane++ {
+					if occupied.Has(lane) {
+						keyAddrs[lane] = entries[lane] + offKey + uint64(8*wd)
+					}
+				}
+				stored := w.LoadGlobal(occupied, &keyAddrs, 8)
+				w.Exec(simt.IInt, occupied)
+				for lane := 0; lane < simt.WarpSize; lane++ {
+					if occupied.Has(lane) && stored[lane] != keys[lane].W[wd] {
+						eq &^= simt.LaneMask(lane)
+					}
+				}
+			}
+			matched |= eq
+		}
+		if matched != 0 {
+			var countAddrs simt.Vec
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				if matched.Has(lane) {
+					countAddrs[lane] = entries[lane] + offCount
+				}
+			}
+			w.AtomicAdd(matched, &countAddrs, &one, 4)
+
+			var lm, rm simt.Mask
+			var la, ra simt.Vec
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				if !matched.Has(lane) {
+					continue
+				}
+				if lefts[lane] >= 0 {
+					lm |= simt.LaneMask(lane)
+					la[lane] = entries[lane] + offL + uint64(4*lefts[lane])
+				}
+				if rights[lane] >= 0 {
+					rm |= simt.LaneMask(lane)
+					ra[lane] = entries[lane] + offR + uint64(4*rights[lane])
+				}
+			}
+			if lm != 0 {
+				w.AtomicAdd(lm, &la, &one, 4)
+			}
+			if rm != 0 {
+				w.AtomicAdd(rm, &ra, &one, 4)
+			}
+		}
+		pending &^= matched
+		if pending != 0 {
+			w.Exec(simt.IInt, pending)
+			for lane := 0; lane < simt.WarpSize; lane++ {
+				if pending.Has(lane) {
+					slotsV[lane]++
+				}
+			}
+		}
+		iters++
+	}
+	w.ExecN(simt.ICtrl, mask, iters)
+	return nil
+}
+
+// readBack merges the table's full entries into out.
+func (c *budgetCounter) readBack(out map[kmer.Kmer]*dbg.Info) {
+	offL := simt.Ptr(8 + 8*c.words)
+	for s := 0; s < c.slots; s++ {
+		e := c.tabBase + simt.Ptr(s*c.eb)
+		if c.dev.ReadU32(e+offState) != stateFull {
+			continue
+		}
+		var km kmer.Kmer
+		for wd := 0; wd < c.words; wd++ {
+			km.W[wd] = c.dev.ReadU64(e + offKey + simt.Ptr(8*wd))
+		}
+		info := &dbg.Info{Count: c.dev.ReadU32(e + offCount)}
+		for b := 0; b < 4; b++ {
+			info.Left[b] = c.dev.ReadU32(e + offL + simt.Ptr(4*b))
+			info.Right[b] = c.dev.ReadU32(e + offL + 16 + simt.Ptr(4*b))
+		}
+		out[km] = info
+	}
+}

@@ -81,6 +81,16 @@ func Count(dev *simt.Device, seqs [][]byte, k int) (map[uint64]*dbg.Info, simt.K
 		}
 	}
 	slots := 2*maxKmers + 1
+	// When the full-size table does not fit in device memory, take every
+	// slot that does fit and let insertion surface gpuht.ErrTableFull once
+	// the table genuinely fills — the caller-visible signal that this input
+	// needs a memory budget (CountBudget).
+	if free := dev.Cfg.GlobalMemBytes - dev.InUse(); int64(slots)*entryBytes > free {
+		slots = int(free / entryBytes)
+		if slots < 1 {
+			return nil, simt.KernelResult{}, fmt.Errorf("gpucount: %w (no device memory for any table slot)", gpuht.ErrTableFull)
+		}
+	}
 	tabBase, err := dev.Malloc(int64(slots) * entryBytes)
 	if err != nil {
 		return nil, simt.KernelResult{}, err
@@ -144,8 +154,12 @@ func Count(dev *simt.Device, seqs [][]byte, k int) (map[uint64]*dbg.Info, simt.K
 
 // clearTable zeroes the table grid-cooperatively (state 0 = empty).
 func clearTable(w *simt.Warp, base simt.Ptr, slots, totalWarps int) {
+	clearWords(w, base, slots*entryBytes/8, totalWarps)
+}
+
+// clearWords zeroes a words×8-byte device region grid-cooperatively.
+func clearWords(w *simt.Warp, base simt.Ptr, words, totalWarps int) {
 	zero := simt.Splat(0)
-	words := slots * entryBytes / 8
 	for first := w.ID * simt.WarpSize; first < words; first += totalWarps * simt.WarpSize {
 		var mask simt.Mask
 		var addrs simt.Vec
@@ -194,13 +208,18 @@ func countKernel(seqs [][]byte, offs []int, seqBase, tabBase simt.Ptr, slots uin
 	}
 }
 
-// countBatch processes one warp-width of k-mers from a single read. It
-// returns gpuht.ErrTableFull if the shared table has no space left.
-func countBatch(w *simt.Warp, mask simt.Mask, seq []byte, readOff int, positions [simt.WarpSize]int, seqBase, tabBase simt.Ptr, slots uint64, k int) error {
+// canonBatch is the shared prologue of every counting kernel: it gathers
+// one warp-width of k-mer windows from a staged read with 8-byte vector
+// loads, gathers the neighbouring bases, packs and canonicalizes each
+// lane's window (skipping windows with ambiguous bases), and derives the
+// extension codes oriented to the canonical strand. Keys are full packed
+// k-mers so callers handle any k ≤ kmer.MaxK; the single-word fast path
+// (Count) reads keys[lane].W[0].
+func canonBatch(w *simt.Warp, mask simt.Mask, seq []byte, readOff int, positions [simt.WarpSize]int, seqBase simt.Ptr, k int) (keys [simt.WarpSize]kmer.Kmer, valid simt.Mask, lefts, rights [simt.WarpSize]int) {
 	// Gather the k-mer bytes: ceil((k+1)/8)+1 vector loads cover the k-mer
 	// plus its neighbours for extension evidence.
 	nblk := (k + 7) / 8
-	var words [simt.WarpSize][4]uint64
+	var words [simt.WarpSize][kmer.MaxK / 8]uint64
 	for b := 0; b < nblk; b++ {
 		var addrs simt.Vec
 		for lane := 0; lane < simt.WarpSize; lane++ {
@@ -237,14 +256,11 @@ func countBatch(w *simt.Warp, mask simt.Mask, seq []byte, readOff int, positions
 
 	// Per lane: pack, canonicalize (ACGT only), derive oriented exts.
 	w.ExecN(simt.IInt, mask, 3*nblk+6) // pack + rc + compare arithmetic
-	var keys simt.Vec
-	var valid simt.Mask
-	var lefts, rights [simt.WarpSize]int
 	for lane := 0; lane < simt.WarpSize; lane++ {
 		if !mask.Has(lane) {
 			continue
 		}
-		var buf [MaxK]byte // k ≤ MaxK, so no per-lane heap allocation
+		var buf [kmer.MaxK]byte // k ≤ kmer.MaxK, so no per-lane heap allocation
 		okAll := true
 		for i := 0; i < k; i++ {
 			b := byte(words[lane][i/8] >> uint(8*(i%8)))
@@ -274,11 +290,24 @@ func countBatch(w *simt.Warp, mask simt.Mask, seq []byte, readOff int, positions
 			left, right = comp(right), comp(left)
 		}
 		valid |= simt.LaneMask(lane)
-		keys[lane] = canon.W[0]
+		keys[lane] = canon
 		lefts[lane], rights[lane] = left, right
 	}
+	return keys, valid, lefts, rights
+}
+
+// countBatch processes one warp-width of k-mers from a single read. It
+// returns gpuht.ErrTableFull if the shared table has no space left.
+func countBatch(w *simt.Warp, mask simt.Mask, seq []byte, readOff int, positions [simt.WarpSize]int, seqBase, tabBase simt.Ptr, slots uint64, k int) error {
+	canon, valid, lefts, rights := canonBatch(w, mask, seq, readOff, positions, seqBase, k)
 	if valid == 0 {
 		return nil
+	}
+	var keys simt.Vec
+	for lane := 0; lane < simt.WarpSize; lane++ {
+		if valid.Has(lane) {
+			keys[lane] = canon[lane].W[0]
+		}
 	}
 
 	// Hash and insert into the shared table.

@@ -19,6 +19,14 @@ var (
 	// without every lane finishing — some lane's table cannot make
 	// progress.
 	ErrNoConverge = errors.New("gpuht: probe loop did not converge")
+
+	// ErrProbeCycle means a visited-set walk probed more slots than the
+	// set's capacity — cycle detection itself ran out of room. It is
+	// deliberately distinct from ErrTableFull: a full k-mer table means
+	// "the data does not fit" (the budget planner answers with another
+	// pass), while a probe cycle means the walk bookkeeping was
+	// undersized. Both stay recoverable by batch re-splitting.
+	ErrProbeCycle = errors.New("gpuht: visited-set probe cycle")
 )
 
 // maxLaneCapacity returns the largest active lane's capacity — the probe

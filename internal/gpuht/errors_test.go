@@ -58,8 +58,11 @@ func TestVisitedFullReturnsError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !errors.Is(visErr, ErrTableFull) {
-		t.Fatalf("overfilled visited table returned %v, want ErrTableFull", visErr)
+	if !errors.Is(visErr, ErrProbeCycle) {
+		t.Fatalf("overfilled visited table returned %v, want ErrProbeCycle", visErr)
+	}
+	if errors.Is(visErr, ErrTableFull) {
+		t.Fatal("visited-set overflow must not alias ErrTableFull (the spill planner treats that as 'needs another pass')")
 	}
 }
 

@@ -88,8 +88,8 @@ func VisitedBytes(slots int) int64 { return int64(slots) * 4 }
 
 // InsertLane records the k-mer starting at walk-buffer offset off, driven
 // by a single lane. It returns true if that k-mer was already present —
-// i.e. the walk has entered a cycle — and ErrTableFull if the walk ran
-// longer than the table was sized for.
+// i.e. the walk has entered a cycle — and ErrProbeCycle if the walk ran
+// longer than the visited set was sized for.
 func (v Visited) InsertLane(w *simt.Warp, lane int, off uint32) (bool, error) {
 	m := simt.LaneMask(lane)
 	var addrs simt.Vec
@@ -104,7 +104,7 @@ func (v Visited) InsertLane(w *simt.Warp, lane int, off uint32) (bool, error) {
 	var rerr error
 	for probes := uint64(0); ; probes++ {
 		if probes > v.Capacity {
-			rerr = ErrTableFull
+			rerr = ErrProbeCycle
 			break
 		}
 		var slotAddr simt.Vec

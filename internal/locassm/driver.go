@@ -222,7 +222,8 @@ const maxResplitDepth = 4
 // per-item footprints sharing the slab, and a fresh launch re-clears every
 // table.
 func recoverableFault(err error) bool {
-	return errors.Is(err, gpuht.ErrTableFull) || errors.Is(err, gpuht.ErrNoConverge)
+	return errors.Is(err, gpuht.ErrTableFull) || errors.Is(err, gpuht.ErrNoConverge) ||
+		errors.Is(err, gpuht.ErrProbeCycle)
 }
 
 // splitBatch rebuilds two half-size batches from a faulting batch's items.

@@ -99,7 +99,17 @@ type EngineSpec struct {
 	DeviceConfig simt.DeviceConfig
 	// GPUs is the multigpu engine's device count (0 = DefaultNodeGPUs).
 	GPUs int
+	// MemBudget is the run-level device memory budget in bytes (the
+	// pipeline's -mem-budget). When set and GPU.MemBudget is not, it caps
+	// the batch driver's footprint too — floored at MinDriverBudget so a
+	// counting-sized budget never shrinks batches below a single item.
+	MemBudget int64
 }
+
+// MinDriverBudget floors the local-assembly driver budget derived from a
+// run-level memory budget: counting budgets go down to 64 KiB, but the
+// driver must always fit one batch item per stream.
+const MinDriverBudget = 4 << 20
 
 // DefaultNodeGPUs is the multigpu engine's default device count — the six
 // V100s of one Summit node (§4.1).
@@ -119,6 +129,12 @@ func (s *EngineSpec) gpuConfig() GPUConfig {
 	gcfg := s.GPU
 	if s.Config != (Config{}) {
 		gcfg.Config = s.Config
+	}
+	if s.MemBudget > 0 && gcfg.MemBudget == 0 {
+		gcfg.MemBudget = s.MemBudget
+		if gcfg.MemBudget < MinDriverBudget {
+			gcfg.MemBudget = MinDriverBudget
+		}
 	}
 	return gcfg
 }

@@ -15,6 +15,7 @@ import (
 
 	"mhm2sim/internal/align"
 	"mhm2sim/internal/dbg"
+	"mhm2sim/internal/gpucount"
 	"mhm2sim/internal/preprocess"
 )
 
@@ -91,6 +92,11 @@ type WorkRecord struct {
 	ScaffoldPairs    int64
 	IOBytes          int64
 	Preprocess       preprocess.Stats
+	// KmerBudget accumulates the memory-bounded counting accounting over
+	// all rounds (zero value when MemBudget is unset). It is deliberately
+	// separate from GPUKernels: budget counting runs on its own device
+	// and must not flip engine-level GPU reporting on or off.
+	KmerBudget gpucount.BudgetStats
 	// CommTime/CommBytes/CommMsgs account the modeled inter-rank fabric
 	// traffic of a distributed run (internal/dist), the way
 	// GPUTransferTime accounts modeled PCIe time. Zero for single-rank
@@ -168,6 +174,21 @@ type Config struct {
 	// metrics layers attach to.
 	Observer Observer
 
+	// MemBudget, when > 0, bounds the device bytes k-mer analysis may
+	// hold at once: counting runs through the gpucount budget planner
+	// (counting-Bloom prefilter + multi-pass partitioned counting on a
+	// dedicated device) instead of the unbounded host map, so inputs
+	// whose k-mer tables outgrow memory still assemble. Must be ≥
+	// gpucount.MinMemBudget. The budget also caps the local-assembly
+	// driver via EngineSpec.MemBudget.
+	MemBudget int64
+	// MemPressure, when set alongside MemBudget, reports how many device
+	// OOM events have fired by the given round (sticky); each one halves
+	// the effective counting budget — the graceful-degradation path the
+	// distributed runtime wires to its chaos injector in place of the
+	// device→host fallback.
+	MemPressure func(round int) int
+
 	// UseGPUAln runs the alignment stage's banded-SW verification on the
 	// device (the ADEPT role, internal/gpualign) instead of the CPU.
 	UseGPUAln bool
@@ -192,6 +213,9 @@ func (c *Config) resolveEngine() (locassm.Engine, error) {
 	spec.Config = c.Locassm
 	spec.GPU = c.GPU
 	spec.GPU.Config = c.Locassm
+	if spec.MemBudget == 0 {
+		spec.MemBudget = c.MemBudget
+	}
 	if spec.Device == nil {
 		spec.Device = c.Device
 	}
@@ -245,6 +269,12 @@ func (c *Config) Validate() error {
 	}
 	if c.MinCount < 1 {
 		return fmt.Errorf("pipeline: MinCount must be ≥ 1")
+	}
+	if c.MemBudget < 0 {
+		return fmt.Errorf("pipeline: MemBudget %d is negative", c.MemBudget)
+	}
+	if c.MemBudget > 0 && c.MemBudget < gpucount.MinMemBudget {
+		return fmt.Errorf("pipeline: MemBudget %d below the %d-byte minimum (gpucount.MinMemBudget)", c.MemBudget, gpucount.MinMemBudget)
 	}
 	if c.MergeMinOverlap < 0 {
 		return fmt.Errorf("pipeline: MergeMinOverlap %d < 0", c.MergeMinOverlap)

@@ -7,9 +7,11 @@ import (
 
 	"mhm2sim/internal/dbg"
 	"mhm2sim/internal/dna"
+	"mhm2sim/internal/gpucount"
 	"mhm2sim/internal/locassm"
 	"mhm2sim/internal/par"
 	"mhm2sim/internal/preprocess"
+	"mhm2sim/internal/simt"
 )
 
 // Run executes the full pipeline over the paired reads as an explicit
@@ -71,6 +73,7 @@ func RunContext(ctx context.Context, pairs []dna.PairedRead, cfg Config) (*Resul
 			continue
 		}
 		st.k = k
+		st.round = ri
 		if err := d.exec(roundEvent(StageKmerAnalysis, ri, k), false, st.kmerAnalysis); err != nil {
 			return nil, err
 		}
@@ -121,11 +124,17 @@ type runState struct {
 	seqs  [][]byte         // merged read sequences
 
 	k         int // current round's k-mer size
+	round     int // current round index (MemPressure is per round)
 	table     *dbg.Table
 	dcfg      dbg.Config
 	ctgs      []dbg.Contig
 	ctgSeqs   [][]byte
 	withReads []*locassm.CtgWithReads
+
+	// Budget-mode state: the counting device (lazily built, reused across
+	// rounds) and the OOM-event count already absorbed into the budget.
+	cdev    *simt.Device
+	seenOOM int
 }
 
 // adoptContigs installs checkpointed contigs as if their rounds had run.
@@ -175,7 +184,13 @@ func (st *runState) kmerAnalysis() error {
 	st.dcfg = dbg.Config{
 		K: st.k, MinCount: st.cfg.MinCount, Workers: st.workers, MinCtgLen: st.k + 10,
 	}
-	table, err := dbg.Count(roundSeqs, st.dcfg)
+	var table *dbg.Table
+	var err error
+	if st.cfg.MemBudget > 0 {
+		table, err = st.countBudget(roundSeqs)
+	} else {
+		table, err = dbg.Count(roundSeqs, st.dcfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -188,6 +203,51 @@ func (st *runState) kmerAnalysis() error {
 	st.res.Work.DistinctKmers += int64(table.Len())
 	st.table = table
 	return nil
+}
+
+// countBudget is kmerAnalysis's memory-bounded path: the round's k-mers
+// are counted on the dedicated budget device under the effective budget —
+// the configured budget halved once per chaos OOM event that has fired by
+// this round (floored at the planner minimum). An OOM therefore degrades
+// into a re-planned spill with more, smaller passes; the counts — and so
+// the contigs — are unchanged, only the pass schedule grows.
+func (st *runState) countBudget(roundSeqs [][]byte) (*dbg.Table, error) {
+	pressure := 0
+	if st.cfg.MemPressure != nil {
+		pressure = st.cfg.MemPressure(st.round)
+	}
+	eff := st.cfg.MemBudget >> uint(pressure)
+	if eff < gpucount.MinMemBudget {
+		eff = gpucount.MinMemBudget
+	}
+	if st.cdev == nil {
+		st.cdev = simt.NewDevice(simt.V100())
+	}
+	st.cdev.FreeAll() // the previous round's structures are dead weight
+	bcfg := gpucount.BudgetConfig{MemBudget: eff, MinCount: st.cfg.MinCount}
+	table, stats, err := gpucount.CountBudget(st.cdev, roundSeqs, st.k, bcfg)
+	if err != nil {
+		return nil, err
+	}
+	stats.Configured = st.cfg.MemBudget
+	if newEvents := pressure - st.seenOOM; newEvents > 0 {
+		stats.OOMReplans = newEvents
+		st.seenOOM = pressure
+	}
+	// Spill passes: everything beyond the plan at the full configured
+	// budget, i.e. the extra passes degradation cost this round.
+	occ := 0
+	for _, s := range roundSeqs {
+		if len(s) >= st.k {
+			occ += len(s) - st.k + 1
+		}
+	}
+	full := gpucount.BudgetConfig{MemBudget: st.cfg.MemBudget, MinCount: st.cfg.MinCount}
+	if planned, perr := gpucount.PlanPasses(occ, st.k, full); perr == nil && stats.Passes > planned {
+		stats.SpillPasses = stats.Passes - planned
+	}
+	st.res.Work.KmerBudget.Add(stats)
+	return table, nil
 }
 
 // contigGen traverses the filtered de Bruijn graph into contigs.

@@ -1,0 +1,62 @@
+package quality
+
+import "fmt"
+
+// FilterImpact quantifies what memory-bounded counting's Bloom prefilter
+// cost an assembly. The prefilter has no false negatives (every k-mer at
+// or above the count threshold survives), but its false positives admit
+// sub-threshold k-mers into the table; the delta between a budget run and
+// the unbounded baseline of the same input is therefore the filter's
+// (and the pass partitioning's) end-to-end contiguity impact.
+type FilterImpact struct {
+	// Baseline is the unbounded run's contiguity; Filtered the budget
+	// run's.
+	Baseline, Filtered ContigStats
+	// N50Delta / NG50Delta are the relative changes
+	// (filtered − baseline) / baseline — negative when the filter cost
+	// contiguity, zero when the baseline statistic is zero.
+	N50Delta  float64
+	NG50Delta float64
+}
+
+// MeasureFilterImpact compares a budget-filtered assembly against the
+// unbounded baseline of the same input. genomeSize may be 0 (no NG50).
+func MeasureFilterImpact(baseline, filtered [][]byte, genomeSize int64) FilterImpact {
+	fi := FilterImpact{
+		Baseline: Stats(baseline, genomeSize),
+		Filtered: Stats(filtered, genomeSize),
+	}
+	fi.N50Delta = relDelta(fi.Baseline.N50, fi.Filtered.N50)
+	fi.NG50Delta = relDelta(fi.Baseline.NG50, fi.Filtered.NG50)
+	return fi
+}
+
+// Within reports whether both contiguity deltas stay inside the tolerance
+// (e.g. 0.01 for the CI gate's "NG50 within 1%").
+func (fi FilterImpact) Within(tol float64) bool {
+	return absFloat(fi.N50Delta) <= tol && absFloat(fi.NG50Delta) <= tol
+}
+
+// String renders the comparison as an aligned summary.
+func (fi FilterImpact) String() string {
+	return fmt.Sprintf(
+		"filter impact: N50 %d → %d (%+.2f%%), NG50 %d → %d (%+.2f%%), contigs %d → %d\n",
+		fi.Baseline.N50, fi.Filtered.N50, 100*fi.N50Delta,
+		fi.Baseline.NG50, fi.Filtered.NG50, 100*fi.NG50Delta,
+		fi.Baseline.Count, fi.Filtered.Count)
+}
+
+// relDelta is (filtered − baseline) / baseline, or 0 with no baseline.
+func relDelta(baseline, filtered int) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return float64(filtered-baseline) / float64(baseline)
+}
+
+func absFloat(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

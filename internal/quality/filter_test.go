@@ -1,0 +1,56 @@
+package quality
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestFilterImpactIdentical(t *testing.T) {
+	seqs := [][]byte{
+		bytes.Repeat([]byte("A"), 700),
+		bytes.Repeat([]byte("C"), 300),
+	}
+	fi := MeasureFilterImpact(seqs, seqs, 900)
+	if fi.N50Delta != 0 || fi.NG50Delta != 0 {
+		t.Errorf("identical assemblies have nonzero deltas: %+v", fi)
+	}
+	if !fi.Within(0) {
+		t.Error("identical assemblies fail a zero-tolerance gate")
+	}
+	if fi.Baseline.NG50 == 0 {
+		t.Error("NG50 not computed despite genome size")
+	}
+}
+
+func TestFilterImpactDegraded(t *testing.T) {
+	baseline := [][]byte{bytes.Repeat([]byte("A"), 1000)}
+	// The filtered run split the contig: N50 drops 1000 → 600.
+	filtered := [][]byte{
+		bytes.Repeat([]byte("A"), 600),
+		bytes.Repeat([]byte("A"), 400),
+	}
+	fi := MeasureFilterImpact(baseline, filtered, 1000)
+	if math.Abs(fi.N50Delta-(-0.4)) > 1e-9 {
+		t.Errorf("N50Delta = %v, want -0.4", fi.N50Delta)
+	}
+	if fi.NG50Delta >= 0 {
+		t.Errorf("NG50Delta = %v, want negative", fi.NG50Delta)
+	}
+	if fi.Within(0.01) {
+		t.Error("40%% degradation passes a 1%% gate")
+	}
+	if fi.Within(0.5) != true {
+		t.Error("40%% degradation fails a 50%% gate")
+	}
+	if s := fi.String(); s == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestFilterImpactNoBaseline(t *testing.T) {
+	fi := MeasureFilterImpact(nil, [][]byte{bytes.Repeat([]byte("A"), 100)}, 0)
+	if fi.N50Delta != 0 || fi.NG50Delta != 0 {
+		t.Errorf("zero baseline must yield zero deltas: %+v", fi)
+	}
+}

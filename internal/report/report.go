@@ -28,6 +28,7 @@ type Report struct {
 	Assembly Assembly         `json:"assembly"`
 	Bins     []Bins           `json:"bins"`
 	GPU      *GPU             `json:"gpu,omitempty"`
+	Kmer     *Kmer            `json:"kmer,omitempty"`
 	Dist     *Dist            `json:"dist,omitempty"`
 }
 
@@ -56,6 +57,26 @@ type GPU struct {
 	KernelTimeNS   int64 `json:"kernel_time_ns"`
 	TransferTimeNS int64 `json:"transfer_time_ns"`
 	Kernels        int   `json:"kernels"`
+}
+
+// Kmer summarizes memory-bounded k-mer counting (present only when the
+// run had a -mem-budget): the pass plan, the Bloom prefilter's work and
+// false-positive rate, and the degradation counters.
+type Kmer struct {
+	MemBudgetBytes     int64   `json:"mem_budget_bytes"`
+	EffectiveBytes     int64   `json:"effective_budget_bytes"`
+	Passes             int     `json:"passes"`
+	PlannedPasses      int     `json:"planned_passes"`
+	SpillPasses        int     `json:"spill_passes,omitempty"`
+	SpillReplans       int     `json:"spill_replans,omitempty"`
+	OOMReplans         int     `json:"oom_replans,omitempty"`
+	FilteredSingletons int64   `json:"filtered_singletons"`
+	Inserted           int64   `json:"inserted_kmers"`
+	FilterFPRate       float64 `json:"filter_fp_rate"`
+	TableBytes         int64   `json:"table_bytes"`
+	BloomBytes         int64   `json:"bloom_bytes"`
+	Kernels            int     `json:"kernels"`
+	KernelTimeNS       int64   `json:"kernel_time_ns"`
 }
 
 // Dist is the per-rank comm/compute breakdown of a multi-rank run.
@@ -104,6 +125,8 @@ type Recovery struct {
 	DeviceFallbacks int   `json:"device_fallbacks"`
 	BatchResplits   int   `json:"batch_resplits"`
 	Stragglers      int   `json:"stragglers"`
+	OOMReplans      int   `json:"oom_replans,omitempty"`
+	SpillPasses     int   `json:"spill_passes,omitempty"`
 }
 
 // Rank is one rank's row of the strong-scaling breakdown.
@@ -166,6 +189,24 @@ func Build(res *pipeline.Result, rep *dist.Report) *Report {
 			Kernels:        len(res.Work.GPUKernels),
 		}
 	}
+	if kb := res.Work.KmerBudget; kb.Passes > 0 {
+		r.Kmer = &Kmer{
+			MemBudgetBytes:     kb.Configured,
+			EffectiveBytes:     kb.Effective,
+			Passes:             kb.Passes,
+			PlannedPasses:      kb.PlannedPasses,
+			SpillPasses:        kb.SpillPasses,
+			SpillReplans:       kb.SpillReplans,
+			OOMReplans:         kb.OOMReplans,
+			FilteredSingletons: kb.FilteredSingletons,
+			Inserted:           kb.Inserted,
+			FilterFPRate:       kb.FPRate(),
+			TableBytes:         kb.TableBytes,
+			BloomBytes:         kb.BloomBytes,
+			Kernels:            kb.Kernels,
+			KernelTimeNS:       int64(kb.KernelTime),
+		}
+	}
 	if rep != nil {
 		jd := &Dist{
 			Ranks:           rep.Ranks,
@@ -203,6 +244,8 @@ func Build(res *pipeline.Result, rep *dist.Report) *Report {
 				DeviceFallbacks: rep.Recovery.DeviceFallbacks,
 				BatchResplits:   rep.Recovery.BatchResplits,
 				Stragglers:      rep.Recovery.Stragglers,
+				OOMReplans:      rep.Recovery.OOMReplans,
+				SpillPasses:     rep.Recovery.SpillPasses,
 			}
 		}
 		for _, rs := range rep.PerRank {

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"mhm2sim/internal/dbg"
+	"mhm2sim/internal/gpucount"
 	"mhm2sim/internal/pipeline"
 	"mhm2sim/internal/scaffold"
 )
@@ -59,6 +60,41 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 	if len(back.Bins) != 1 || back.Bins[0].K != 21 {
 		t.Errorf("bins: %+v", back.Bins)
+	}
+}
+
+// TestReportKmerSection: the kmer section appears exactly when the run
+// counted under a memory budget, and round-trips the budget counters.
+func TestReportKmerSection(t *testing.T) {
+	if r := Build(fakeResult(), nil); r.Kmer != nil {
+		t.Fatal("kmer section present without a budget run")
+	}
+	res := fakeResult()
+	res.Work.KmerBudget = gpucount.BudgetStats{
+		Configured: 8 << 20, Effective: 4 << 20,
+		Passes: 6, PlannedPasses: 3, SpillPasses: 3, OOMReplans: 1,
+		FilteredSingletons: 1234, Inserted: 100, FPInserted: 5,
+	}
+	r := Build(res, nil)
+	if r.Kmer == nil {
+		t.Fatal("kmer section missing for a budget run")
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"passes":6`, `"filtered_singletons":1234`, `"filter_fp_rate":0.05`, `"oom_replans":1`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("serialized report missing %s", key)
+		}
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Kmer == nil || back.Kmer.Passes != 6 || back.Kmer.MemBudgetBytes != 8<<20 ||
+		back.Kmer.EffectiveBytes != 4<<20 || back.Kmer.FilteredSingletons != 1234 {
+		t.Errorf("kmer section did not round-trip: %+v", back.Kmer)
 	}
 }
 

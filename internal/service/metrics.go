@@ -21,6 +21,11 @@ type Metrics struct {
 	stages  map[string]int64 // stage name → Σ wall ns across all jobs
 	retries int64            // job-level retries on unrecoverable faults
 	resumes int64            // pipeline runs that started from a checkpoint
+	// Memory-budget counting totals, accumulated from the WorkRecord of
+	// every succeeded budget-mode job (zero while no job sets MemBudget).
+	kmerPasses     int64 // counting passes executed
+	kmerFiltered   int64 // singleton occurrences dropped by the Bloom prefilter
+	kmerOOMReplans int64 // DeviceOOM events absorbed by budget shrink + re-plan
 }
 
 type tenantMetrics struct {
@@ -89,6 +94,15 @@ func (m *Metrics) Resumed() {
 	m.resumes++
 }
 
+// KmerBudget accumulates a succeeded budget-mode job's counting totals.
+func (m *Metrics) KmerBudget(passes int, filtered int64, oomReplans int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.kmerPasses += int64(passes)
+	m.kmerFiltered += filtered
+	m.kmerOOMReplans += int64(oomReplans)
+}
+
 // StageObserver returns a pipeline.Observer accumulating per-stage wall
 // time into the registry and, when job is non-nil, into the job's own
 // per-stage map. One observer per pipeline execution.
@@ -132,6 +146,9 @@ func (m *Metrics) Render(w io.Writer, queueDepth, running int, pool PoolStats) {
 	fmt.Fprintf(w, "# TYPE mhm2d_device_wait_seconds_total counter\nmhm2d_device_wait_seconds_total %g\n", float64(pool.WaitNS)/1e9)
 	fmt.Fprintf(w, "# TYPE mhm2d_job_retries_total counter\nmhm2d_job_retries_total %d\n", m.retries)
 	fmt.Fprintf(w, "# TYPE mhm2d_job_resumes_total counter\nmhm2d_job_resumes_total %d\n", m.resumes)
+	fmt.Fprintf(w, "# TYPE mhm2d_kmer_budget_passes_total counter\nmhm2d_kmer_budget_passes_total %d\n", m.kmerPasses)
+	fmt.Fprintf(w, "# TYPE mhm2d_kmer_filtered_singletons_total counter\nmhm2d_kmer_filtered_singletons_total %d\n", m.kmerFiltered)
+	fmt.Fprintf(w, "# TYPE mhm2d_kmer_oom_replans_total counter\nmhm2d_kmer_oom_replans_total %d\n", m.kmerOOMReplans)
 
 	names := make([]string, 0, len(m.tenants))
 	for n := range m.tenants {

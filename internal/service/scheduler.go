@@ -444,6 +444,9 @@ func (s *Scheduler) settle(j *job, res *pipeline.Result, rep *dist.Report, runEr
 
 	switch {
 	case runErr == nil:
+		if kb := res.Work.KmerBudget; kb.Passes > 0 {
+			s.met.KmerBudget(kb.Passes, kb.FilteredSingletons, kb.OOMReplans)
+		}
 		if err := s.persistResult(j, res, rep); err != nil {
 			runErr = err
 		}

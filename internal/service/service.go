@@ -20,6 +20,7 @@ import (
 	"mhm2sim/internal/dist"
 	"mhm2sim/internal/dna"
 	"mhm2sim/internal/faults"
+	"mhm2sim/internal/gpucount"
 	"mhm2sim/internal/locassm"
 	"mhm2sim/internal/pipeline"
 	"mhm2sim/internal/synth"
@@ -65,6 +66,11 @@ type JobSpec struct {
 	// or "component" (co-locate whole dBG components; see DESIGN.md §14).
 	// Either policy yields bit-identical contigs and scaffolds.
 	Shard string `json:"shard,omitempty"`
+	// MemBudget, when > 0, runs memory-bounded k-mer counting (Bloom
+	// prefilter + multi-pass spill, see DESIGN.md §15) under this byte
+	// budget. Must be ≥ gpucount.MinMemBudget. With a fault schedule, OOM
+	// events shrink the budget instead of poisoning devices.
+	MemBudget int64 `json:"mem_budget,omitempty"`
 }
 
 // withDefaults fills the defaulted fields.
@@ -128,6 +134,12 @@ func (s *JobSpec) Validate() error {
 	if s.Depth < 0 || s.Genomes < 0 || s.MinGenomeLen < 0 || s.MaxGenomeLen < 0 {
 		return fmt.Errorf("service: negative community override")
 	}
+	if s.MemBudget < 0 {
+		return fmt.Errorf("service: mem_budget %d is negative", s.MemBudget)
+	}
+	if s.MemBudget > 0 && s.MemBudget < gpucount.MinMemBudget {
+		return fmt.Errorf("service: mem_budget %d below the %d-byte minimum", s.MemBudget, gpucount.MinMemBudget)
+	}
 	prev := 0
 	for _, k := range s.Rounds {
 		if k <= prev {
@@ -172,6 +184,7 @@ func BuildInput(spec JobSpec) ([]dna.PairedRead, pipeline.Config, error) {
 		cfg.Engine.Name = spec.Engine
 		cfg.Engine.GPUs = spec.GPUs
 	}
+	cfg.MemBudget = spec.MemBudget
 	if err := cfg.Validate(); err != nil {
 		return nil, pipeline.Config{}, err
 	}
