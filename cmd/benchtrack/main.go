@@ -1,5 +1,5 @@
 // Command benchtrack runs the repository's key benchmarks and serializes the
-// results to a JSON trajectory file (BENCH_PR9.json at the repo root), so the
+// results to a JSON trajectory file (BENCH_PR10.json at the repo root), so the
 // performance of the simulator hot path is tracked across PRs instead of
 // living only in commit messages.
 //
@@ -13,7 +13,7 @@
 //
 // Usage:
 //
-//	benchtrack [-out BENCH_PR9.json] [-benchtime 1x] [-gate] [-quick]
+//	benchtrack [-out BENCH_PR10.json] [-benchtime 1x] [-gate] [-quick]
 package main
 
 import (
@@ -48,6 +48,7 @@ var suites = []suite{
 	{Pkg: "./internal/locassm", Pattern: "BenchmarkDriverStaging|BenchmarkFlatTableBuild|BenchmarkFlatWalk"},
 	{Pkg: "./internal/gpucount", Pattern: "BenchmarkBloomPrefilter|BenchmarkMultiPassCount"},
 	{Pkg: "./internal/dist", Pattern: "BenchmarkComponentPass|BenchmarkCommVolume", Slow: true},
+	{Pkg: "./internal/dist", Pattern: "BenchmarkStealScheduling|BenchmarkMembershipEpoch|BenchmarkShardDealCached|BenchmarkShardDealRebuild"},
 	{Pkg: ".", Pattern: "BenchmarkFigureSweepGPU", Slow: true},
 }
 
@@ -126,7 +127,7 @@ func run(pkg, pattern, benchtime string) (string, error) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR10.json", "output JSON path")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	gate := flag.Bool("gate", false, "fail if LaunchOverhead reports nonzero allocs/op")
 	quick := flag.Bool("quick", false, "skip slow suites (the figure sweep)")

@@ -13,6 +13,13 @@
 //	curl -s localhost:8080/v1/jobs/job-000000
 //	curl -s localhost:8080/v1/jobs/job-000000/result
 //	curl -s localhost:8080/v1/jobs/job-000000/contigs
+//
+// Elastic dist jobs ({"engine":"dist","ranks":4,"elastic":"join@r1:2"})
+// grow their rank set mid-run: each joining rank draws a device from the
+// shared pool without blocking (a pool too contended to grow the job fails
+// it rather than deadlocking the round), and every leased device returns
+// to the pool when the job finishes. The /metrics endpoint exports the
+// accumulated join and work-stealing counters.
 package main
 
 import (

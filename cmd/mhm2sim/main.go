@@ -21,6 +21,7 @@
 //	mhm2sim -engine dist -ranks 4 -gpu -json run.json
 //	mhm2sim -preset soil -ranks 8 -shard component
 //	mhm2sim -ranks 8 -faults rank-crash=1,oom=2 -fault-seed 42
+//	mhm2sim -ranks 4 -elastic join@r1:2,leave@r2:1
 //
 // (-gpu is the legacy spelling of -engine=gpu; -ranks N > 1 without an
 // explicit -engine keeps selecting the distributed runtime.)
@@ -36,6 +37,13 @@
 // delays, stragglers); the run recovers and produces bit-identical output,
 // or exits with status 3 and an "unrecoverable-fault:" line if the retry
 // budget is exhausted.
+//
+// -elastic grows and shrinks the rank set mid-run ("join@r1:2,leave@r2:1"):
+// joins admit fresh ranks at round boundaries with an epoch-versioned
+// re-deal, leaves retire the highest-numbered live rank. Idle ranks steal
+// tail batches from the most-loaded rank every round unless -nosteal is
+// set. Elastic schedules, like fault schedules, never change an output
+// byte (DESIGN.md §16).
 package main
 
 import (
@@ -79,6 +87,8 @@ type options struct {
 	shard        string
 	faultSpec    string
 	faultSeed    int64
+	elastic      string
+	noSteal      bool
 	jsonPath     string
 	out          string
 	workers      int
@@ -110,6 +120,8 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.StringVar(&opts.shard, "shard", dist.ShardHash, "contig → shard map for the dist engine: hash|component (component co-locates whole dBG components)")
 	fs.StringVar(&opts.faultSpec, "faults", "", "inject a seeded fault schedule, e.g. rank-crash=1,oom=2,drop=1 (requires the dist engine)")
 	fs.Int64Var(&opts.faultSeed, "fault-seed", 42, "seed of the injected fault schedule")
+	fs.StringVar(&opts.elastic, "elastic", "", "elastic membership schedule, e.g. join@r1:2,leave@r2:1 (requires the dist engine)")
+	fs.BoolVar(&opts.noSteal, "nosteal", false, "disable intra-round work stealing in the dist engine")
 	fs.StringVar(&opts.jsonPath, "json", "", "write a machine-readable run report to this path")
 	fs.StringVar(&opts.out, "out", "", "write contigs+scaffolds FASTA here")
 	fs.IntVar(&opts.workers, "workers", 0, "CPU worker goroutines (0 = GOMAXPROCS)")
@@ -149,6 +161,18 @@ func validateOpts(opts *options) error {
 			return fmt.Errorf("-faults requires the dist engine (-engine=dist or -ranks > 1)")
 		}
 		if _, err := faults.ParseSpec(opts.faultSpec); err != nil {
+			return err
+		}
+	}
+	if opts.elastic != "" {
+		if eng, _ := resolveEngine(opts); eng != locassm.EngineDist {
+			return fmt.Errorf("-elastic requires the dist engine (-engine=dist or -ranks > 1)")
+		}
+		rounds, err := parseRounds(opts.rounds)
+		if err != nil {
+			return err
+		}
+		if _, err := faults.ParseElastic(opts.elastic, opts.ranks, len(rounds)); err != nil {
 			return err
 		}
 	}
@@ -326,6 +350,11 @@ func main() {
 		// mirroring the single-rank CPU path.
 		dcfg.CPUAssembly = !opts.gpu
 		dcfg.CPUWorkers = opts.workers
+		dcfg.Elastic = opts.elastic
+		dcfg.NoSteal = opts.noSteal
+		if opts.elastic != "" {
+			fmt.Printf("elastic membership schedule: %s\n", opts.elastic)
+		}
 		if opts.faultSpec != "" {
 			plan, perr := faults.NewPlan(opts.faultSpec, opts.faultSeed, opts.ranks, len(cfg.Rounds))
 			if perr != nil {

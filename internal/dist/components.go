@@ -262,7 +262,7 @@ func (m *componentShardMap) Component(id int64) int64 {
 // updated in place so the next round only pays for components whose
 // ownership moved.
 func migrationMatrix(ctgs []*locassm.CtgWithReads, smap ShardMap, deal *shardDeal,
-	ranks int, residence map[string]int, alive []bool) [][]int64 {
+	ranks int, residence map[string]int, mem *Membership) [][]int64 {
 	matrix := newMatrix(ranks)
 	shipped := make(map[string]bool)
 	route := func(r *dna.Read, dst int) {
@@ -272,7 +272,7 @@ func migrationMatrix(ctgs []*locassm.CtgWithReads, smap ShardMap, deal *shardDea
 		}
 		shipped[id] = true
 		src, ok := residence[id]
-		if !ok || src >= len(alive) || !alive[src] {
+		if !ok || !mem.Alive(src) {
 			// First appearance (or the old home crashed): the read comes
 			// from its scatter home among the live ranks, where the
 			// replicated copy survives.

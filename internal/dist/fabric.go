@@ -198,7 +198,9 @@ type Fabric struct {
 	mu         sync.Mutex
 	stages     []*StageTraffic
 	dead       []bool // evicted ranks no longer participate in collectives
+	absent     []bool // reserved join slots not yet admitted to the collective
 	evictRound []int  // round each rank was evicted at (-1 while alive)
+	joinRound  []int  // round each rank joined at (-1 for initial members)
 	failedObs  []int  // failed exchange attempts each live rank observed
 	retries    int
 	retryTime  time.Duration
@@ -209,8 +211,20 @@ type Fabric struct {
 // defaults; latency and bandwidth are validated as given, since a zero
 // bandwidth is a configuration error, not a request for the default.
 func NewFabric(n int, cfg FabricConfig) (*Fabric, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("dist: fabric needs ≥ 1 rank, got %d", n)
+	return NewFabricWithCapacity(n, n, cfg)
+}
+
+// NewFabricWithCapacity creates a fabric sized for an elastic run: ranks
+// 0..initial-1 participate from the start, and slots initial..capacity-1
+// are wired but absent — they observe no collective failures and accrue no
+// exchange time until Join admits them.
+func NewFabricWithCapacity(initial, capacity int, cfg FabricConfig) (*Fabric, error) {
+	n := capacity
+	if initial < 1 {
+		return nil, fmt.Errorf("dist: fabric needs ≥ 1 rank, got %d", initial)
+	}
+	if capacity < initial {
+		return nil, fmt.Errorf("dist: fabric capacity %d below initial rank count %d", capacity, initial)
 	}
 	if cfg.AggBufferBytes == 0 {
 		cfg.AggBufferBytes = DefaultAggBufferBytes
@@ -231,11 +245,15 @@ func NewFabric(n int, cfg FabricConfig) (*Fabric, error) {
 		cfg:        cfg,
 		n:          n,
 		dead:       make([]bool, n),
+		absent:     make([]bool, n),
 		evictRound: make([]int, n),
+		joinRound:  make([]int, n),
 		failedObs:  make([]int, n),
 	}
 	for r := range f.evictRound {
 		f.evictRound[r] = -1
+		f.joinRound[r] = -1
+		f.absent[r] = r >= initial
 	}
 	return f, nil
 }
@@ -260,6 +278,18 @@ func (f *Fabric) Evict(rank, round int) {
 	}
 }
 
+// Join admits a reserved rank slot to the collective as of the given round:
+// from the next exchange on it observes failures and accrues exchange time
+// like any member.
+func (f *Fabric) Join(rank, round int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if rank >= 0 && rank < f.n && f.absent[rank] {
+		f.absent[rank] = false
+		f.joinRound[rank] = round
+	}
+}
+
 // RankHealth is the fabric's view of one rank.
 type RankHealth struct {
 	Rank  int
@@ -267,13 +297,17 @@ type RankHealth struct {
 	// EvictedRound is the 0-based round the rank was evicted at (-1 while
 	// alive).
 	EvictedRound int
+	// JoinedRound is the 0-based round the rank joined the collective at
+	// (-1 for initial members).
+	JoinedRound int
 	// FailedAttempts counts the failed collective attempts the rank
 	// observed while alive (an all-to-all failure is seen by every live
 	// participant).
 	FailedAttempts int
 }
 
-// Health returns the per-rank health tracker state.
+// Health returns the per-rank health tracker state. Reserved slots that
+// never joined report as not alive with JoinedRound -1.
 func (f *Fabric) Health() []RankHealth {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -281,8 +315,9 @@ func (f *Fabric) Health() []RankHealth {
 	for r := range out {
 		out[r] = RankHealth{
 			Rank:           r,
-			Alive:          !f.dead[r],
+			Alive:          !f.dead[r] && !f.absent[r],
 			EvictedRound:   f.evictRound[r],
+			JoinedRound:    f.joinRound[r],
 			FailedAttempts: f.failedObs[r],
 		}
 	}
@@ -402,7 +437,7 @@ func (f *Fabric) Exchange(stage string, matrix [][]int64) (*StageTraffic, error)
 		st.Time += penalty
 		f.mu.Lock()
 		for r := range st.PerRank {
-			if !f.dead[r] {
+			if !f.dead[r] && !f.absent[r] {
 				st.PerRank[r] += penalty
 				f.failedObs[r] += fails
 			}

@@ -5,18 +5,20 @@ import (
 	"testing"
 )
 
-// FuzzShardRedeal drives the survivor re-deal with arbitrary rank counts
-// and death sets: ownership must stay a deterministic, collision-free
-// partition of every virtual shard over the live ranks — no shard dealt to
-// a dead rank, none orphaned, balanced round-robin, and identical to the
-// static deal when nobody died.
+// FuzzShardRedeal drives the survivor re-deal with arbitrary rank counts,
+// death sets, and full elastic membership schedules: ownership must stay a
+// deterministic, collision-free partition of every virtual shard over the
+// live ranks at every epoch — no shard dealt to a dead or absent rank,
+// none orphaned, none double-owned, balanced round-robin, and identical to
+// the static deal when nobody died. opSeq drives a Membership through an
+// arbitrary interleaving of joins and evictions on top of the death set.
 func FuzzShardRedeal(f *testing.F) {
-	f.Add(uint8(8), uint16(0))
-	f.Add(uint8(8), uint16(0b0110))
-	f.Add(uint8(2), uint16(1))
-	f.Add(uint8(16), uint16(0xFFFE))
-	f.Add(uint8(3), uint16(0b101))
-	f.Fuzz(func(t *testing.T, ranks uint8, deadMask uint16) {
+	f.Add(uint8(8), uint16(0), uint8(0), uint32(0))
+	f.Add(uint8(8), uint16(0b0110), uint8(2), uint32(0b1011))
+	f.Add(uint8(2), uint16(1), uint8(4), uint32(0xDEAD))
+	f.Add(uint8(16), uint16(0xFFFE), uint8(1), uint32(1))
+	f.Add(uint8(3), uint16(0b101), uint8(7), uint32(0xCAFEF00D))
+	f.Fuzz(func(t *testing.T, ranks uint8, deadMask uint16, joins uint8, opSeq uint32) {
 		n := int(ranks%16) + 1
 		var live []int
 		for r := 0; r < n; r++ {
@@ -89,6 +91,84 @@ func FuzzShardRedeal(f *testing.F) {
 			if r := deal.readHome(fmt.Sprintf("read%d/1", i)); !liveSet[r] {
 				t.Fatalf("read homed on dead rank %d", r)
 			}
+		}
+
+		// Membership schedule: start from the full initial rank set with
+		// reserved capacity for the fuzzed joins, then replay an arbitrary
+		// opSeq-driven interleaving of joins and evictions. The epoch
+		// invariant must hold after every single change: the cached deal
+		// partitions every shard over exactly the live set.
+		capacity := n + int(joins%8)
+		m, err := NewMembership(n, capacity, DefaultVirtualShards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEpoch := func(step int) {
+			aliveSet := make(map[int]bool)
+			for _, r := range m.Live() {
+				if r < 0 || r >= capacity {
+					t.Fatalf("step %d: live rank %d outside capacity %d", step, r, capacity)
+				}
+				if aliveSet[r] {
+					t.Fatalf("step %d: rank %d listed live twice", step, r)
+				}
+				aliveSet[r] = true
+			}
+			d := m.Deal()
+			per := make(map[int]int)
+			for s := 0; s < DefaultVirtualShards; s++ {
+				owner := d.rankOf(s)
+				if !aliveSet[owner] {
+					t.Fatalf("step %d: shard %d dealt to non-live rank %d (live %v)",
+						step, s, owner, m.Live())
+				}
+				per[owner]++
+			}
+			// Every shard got exactly one owner above (rankOf is total), so
+			// orphan-freedom reduces to the per-rank counts summing to V and
+			// staying balanced.
+			lo := DefaultVirtualShards / len(m.Live())
+			hi := lo
+			if DefaultVirtualShards%len(m.Live()) != 0 {
+				hi++
+			}
+			total := 0
+			for _, r := range m.Live() {
+				c := per[r]
+				total += c
+				if c < lo || c > hi {
+					t.Fatalf("step %d: rank %d holds %d shards, want %d..%d", step, r, c, lo, hi)
+				}
+			}
+			if total != DefaultVirtualShards {
+				t.Fatalf("step %d: %d shards owned, want %d", step, total, DefaultVirtualShards)
+			}
+		}
+		checkEpoch(0)
+
+		nextJoin := n
+		seq := opSeq
+		for step := 1; step <= 16 && seq != 0; step++ {
+			epoch := m.Epoch()
+			if seq&1 == 1 && nextJoin < capacity {
+				if err := m.Join(nextJoin, step); err != nil {
+					t.Fatalf("step %d: join rank %d: %v", step, nextJoin, err)
+				}
+				nextJoin++
+			} else if m.LiveCount() > 1 {
+				// Evict the lowest live rank, deterministically.
+				if err := m.Evict(m.Live()[0], step); err != nil {
+					t.Fatalf("step %d: evict: %v", step, err)
+				}
+			} else {
+				seq >>= 1
+				continue
+			}
+			if m.Epoch() != epoch+1 {
+				t.Fatalf("step %d: epoch went %d → %d, want +1", step, epoch, m.Epoch())
+			}
+			checkEpoch(step)
+			seq >>= 1
 		}
 	})
 }

@@ -21,10 +21,13 @@ type RankStats struct {
 	// Kernels counts kernel launches on the rank's device; Contigs the
 	// contigs the rank owned in the final round.
 	Kernels, Contigs int
-	// Alive is false for ranks evicted by an injected crash; EvictedRound
-	// is the 0-based round of the eviction (-1 while alive).
+	// Alive is false for ranks evicted by an injected crash (or elastic
+	// leave) and for join slots never admitted; EvictedRound is the 0-based
+	// round of the eviction (-1 while alive). JoinedRound is the 0-based
+	// round an elastic rank joined at (-1 for initial members).
 	Alive        bool
 	EvictedRound int
+	JoinedRound  int
 	// FailedAttempts counts the failed collective exchange attempts the
 	// rank observed while alive.
 	FailedAttempts int
@@ -65,10 +68,53 @@ func (rs *RecoveryStats) Any() bool {
 		rs.BatchResplits != 0 || rs.Stragglers != 0 || rs.OOMReplans != 0
 }
 
+// ElasticityStats summarizes the membership and work-stealing activity of a
+// run. Epochs is always ≥ 1 (the initial membership is epoch 0); everything
+// else is zero for a static, balanced run.
+type ElasticityStats struct {
+	// Epochs counts membership versions (1 + joins + evictions); Joins the
+	// ranks admitted mid-run; EpochLive the live-rank count at each epoch.
+	Epochs    int
+	Joins     int
+	EpochLive []int
+	// Steals counts per-round victim→thief flows; StolenBatches the
+	// tail batches (virtual shards) that moved through them; StolenBytes
+	// their modeled payload.
+	Steals        int
+	StolenBatches int
+	StolenBytes   int64
+	// RebalancedBytes is the contig payload the join bootstrap exchanges
+	// shipped to re-dealt owners.
+	RebalancedBytes int64
+	// NoStealWall / StealWall are the run's summed round makespans without
+	// and with stealing, computed in the same pass; their ratio is the
+	// stealing speedup of the modeled compute wall.
+	NoStealWall time.Duration
+	StealWall   time.Duration
+}
+
+// Any reports whether the run was elastic or stole any work.
+func (es *ElasticityStats) Any() bool {
+	return es.Epochs > 1 || es.Steals != 0
+}
+
+// Speedup is the modeled compute-makespan ratio no-steal / steal — 1.0 for
+// a balanced run, > 1 when stealing compressed the round walls.
+func (es *ElasticityStats) Speedup() float64 {
+	if es.StealWall <= 0 {
+		return 1
+	}
+	return float64(es.NoStealWall) / float64(es.StealWall)
+}
+
 // Report is the strong-scaling breakdown of one distributed run (the
 // Fig 9-style busy/comm/idle view the paper uses for scaling studies).
 type Report struct {
+	// Ranks is the initial rank count; Capacity the rank ID ceiling after
+	// scheduled joins (equal to Ranks for a static run). PerRank has
+	// Capacity entries.
 	Ranks         int
+	Capacity      int
 	VirtualShards int
 	Rounds        int
 	// ShardPolicy is the contig → shard map the run used ("hash" or
@@ -89,15 +135,18 @@ type Report struct {
 	// Stages holds every fabric exchange in execution order.
 	Stages []StageTraffic
 	// Faults describes the injected fault schedule ("no faults" without
-	// one); Recovery the recovery work it triggered.
-	Faults   string
-	Recovery RecoveryStats
+	// one); Recovery the recovery work it triggered; Elasticity the
+	// membership and work-stealing activity.
+	Faults     string
+	Recovery   RecoveryStats
+	Elasticity ElasticityStats
 }
 
 // report assembles the Report after the pipeline has finished.
 func (rt *runtime) report() *Report {
 	rep := &Report{
 		Ranks:             rt.cfg.Ranks,
+		Capacity:          rt.mem.Capacity(),
 		VirtualShards:     rt.cfg.VirtualShards,
 		Rounds:            rt.rounds,
 		ShardPolicy:       rt.cfg.ShardPolicy,
@@ -105,16 +154,22 @@ func (rt *runtime) report() *Report {
 		ComponentPassTime: rt.compPass,
 		CommTime:          rt.fabric.TotalTime(),
 		Stages:            rt.fabric.Stages(),
-		Faults:            rt.cfg.Faults.String(),
+		Faults:            rt.plan.String(),
 		Recovery:          rt.rec,
+		Elasticity:        rt.elastic,
 	}
+	rep.Elasticity.Epochs = rt.mem.Epoch() + 1
+	rep.Elasticity.EpochLive = rt.mem.EpochLiveCounts()
 	rep.Recovery.ExchangeRetries, rep.Recovery.RetryTime = rt.fabric.Retries()
 	rep.Wall = rt.compWall + rep.CommTime
-	rep.PerRank = make([]RankStats, rt.cfg.Ranks)
+	rep.PerRank = make([]RankStats, rep.Capacity)
 	health := rt.fabric.Health()
 	for r := range rep.PerRank {
 		comm, sent, recv, msgs := rt.fabric.RankTotals(r)
-		h2d, d2h := rt.devs[r].CumTraffic()
+		var h2d, d2h int64
+		if rt.devs[r] != nil {
+			h2d, d2h = rt.devs[r].CumTraffic()
+		}
 		rs := RankStats{
 			Rank:           r,
 			Busy:           rt.busy[r],
@@ -128,6 +183,7 @@ func (rt *runtime) report() *Report {
 			Contigs:        rt.owned[r],
 			Alive:          health[r].Alive,
 			EvictedRound:   health[r].EvictedRound,
+			JoinedRound:    health[r].JoinedRound,
 			FailedAttempts: health[r].FailedAttempts,
 		}
 		if idle := rep.Wall - rs.Busy - rs.Comm; idle > 0 {
@@ -139,16 +195,21 @@ func (rt *runtime) report() *Report {
 }
 
 // Efficiency is the parallel efficiency of the modeled compute:
-// Σ busy / (ranks × wall). 1.0 means every rank computed the whole time.
+// Σ busy / (ranks × wall), the rank count being the capacity for elastic
+// runs. 1.0 means every rank computed the whole time.
 func (r *Report) Efficiency() float64 {
-	if r.Wall <= 0 || r.Ranks == 0 {
+	n := r.Ranks
+	if r.Capacity > n {
+		n = r.Capacity
+	}
+	if r.Wall <= 0 || n == 0 {
 		return 0
 	}
 	var busy time.Duration
 	for _, rs := range r.PerRank {
 		busy += rs.Busy
 	}
-	return float64(busy) / (float64(r.Wall) * float64(r.Ranks))
+	return float64(busy) / (float64(r.Wall) * float64(n))
 }
 
 // RemoteBytes, LocalBytes, and Locality aggregate the local-vs-remote byte
@@ -195,8 +256,15 @@ func (r *Report) String() string {
 		"rank", "busy", "comm", "idle", "sent", "recv", "msgs", "kernels", "ctgs")
 	for _, rs := range r.PerRank {
 		mark := ""
+		if rs.JoinedRound >= 0 {
+			mark = fmt.Sprintf("  (joined round %d)", rs.JoinedRound)
+		}
 		if !rs.Alive {
-			mark = fmt.Sprintf("  (evicted round %d)", rs.EvictedRound)
+			if rs.EvictedRound >= 0 {
+				mark = fmt.Sprintf("  (evicted round %d)", rs.EvictedRound)
+			} else {
+				mark = "  (never joined)"
+			}
 		}
 		fmt.Fprintf(&b, "  %-5d %12v %12v %12v %10s %10s %6d %8d %7d%s\n",
 			rs.Rank, rs.Busy.Round(time.Microsecond), rs.Comm.Round(time.Microsecond),
@@ -225,6 +293,12 @@ func (r *Report) String() string {
 			fmt.Fprintf(&b, "  memory-budget degradation: %d OOM events absorbed by re-planned spill (+%d passes)\n",
 				rec.OOMReplans, rec.SpillPasses)
 		}
+	}
+	if es := &r.Elasticity; es.Any() {
+		fmt.Fprintf(&b, "  elasticity: %d epochs (live %v), %d joins (%s rebalanced), %d steals moved %d batches (%s) — compute wall %v vs %v no-steal (%.2fx)\n",
+			es.Epochs, es.EpochLive, es.Joins, fmtBytes(es.RebalancedBytes),
+			es.Steals, es.StolenBatches, fmtBytes(es.StolenBytes),
+			es.StealWall.Round(time.Microsecond), es.NoStealWall.Round(time.Microsecond), es.Speedup())
 	}
 	return b.String()
 }

@@ -77,6 +77,25 @@ type Config struct {
 	// exhaust the retry budgets yields bit-identical contigs and scaffolds
 	// to the fault-free run.
 	Faults *faults.Plan
+	// Elastic is an optional membership schedule spec
+	// ("join@r1:2,leave@r3:1", see faults.ParseElastic): joins admit fresh
+	// ranks at round boundaries, leaves retire the highest-numbered live
+	// rank. It merges with Faults into one plan; like any converging fault
+	// schedule, every elastic schedule yields bit-identical contigs and
+	// scaffolds to the fault-free single-rank run.
+	Elastic string
+	// NoSteal disables intra-round work stealing. By default idle ranks
+	// claim tail batches from the most-loaded live rank, which lowers the
+	// modeled round makespan under load imbalance (stragglers, joins)
+	// without changing any output byte.
+	NoSteal bool
+	// DeviceProvider, when set, supplies the device for each joining rank
+	// (the service wires the DevicePool in here so elastic jobs draw real
+	// pool capacity); nil falls back to fresh simt.NewDevice(Device).
+	// DeviceRelease, when set, takes every provider-supplied device back
+	// after the run.
+	DeviceProvider func() (*simt.Device, error)
+	DeviceRelease  func(*simt.Device)
 }
 
 // DefaultConfig returns a distributed configuration over the default
@@ -125,16 +144,35 @@ func (c *Config) Validate() error {
 	if err := c.Fabric.Validate(); err != nil {
 		return err
 	}
-	if c.Faults != nil {
-		if err := c.Faults.Validate(c.Ranks); err != nil {
+	plan, err := c.effectivePlan()
+	if err != nil {
+		return err
+	}
+	if plan != nil {
+		if err := plan.Validate(c.Ranks); err != nil {
 			return err
 		}
-		if c.Faults.Rounds != len(c.Pipeline.Rounds) {
+		if plan.Rounds != len(c.Pipeline.Rounds) {
 			return fmt.Errorf("dist: fault plan built for %d rounds, run has %d",
-				c.Faults.Rounds, len(c.Pipeline.Rounds))
+				plan.Rounds, len(c.Pipeline.Rounds))
 		}
 	}
 	return c.Pipeline.Validate()
+}
+
+// effectivePlan merges the Faults schedule with the parsed Elastic
+// membership schedule into the single plan the runtime consumes. Nil when
+// the run has neither.
+func (c *Config) effectivePlan() (*faults.Plan, error) {
+	plan := c.Faults
+	if c.Elastic == "" {
+		return plan, nil
+	}
+	ep, err := faults.ParseElastic(c.Elastic, c.Ranks, len(c.Pipeline.Rounds))
+	if err != nil {
+		return nil, err
+	}
+	return plan.Merge(ep)
 }
 
 // runtime is the live state of one distributed run. It implements
@@ -144,18 +182,21 @@ func (c *Config) Validate() error {
 // and the contig allgather.
 type runtime struct {
 	cfg    Config
+	plan   *faults.Plan // Faults merged with the parsed Elastic schedule
 	fabric *Fabric
-	devs   []*simt.Device // one per rank
+	mem    *Membership
+	devs   []*simt.Device // one per rank slot, up to capacity
+	pooled []bool         // device came from cfg.DeviceProvider
 	inj    *faults.Injector
 
 	// Accumulated across rounds (written only between concurrent phases).
-	busy     []time.Duration // per-rank modeled GPU busy time
+	busy     []time.Duration // per-rank modeled busy time (own + stolen work)
 	kernels  []int           // per-rank kernel launches
 	owned    []int           // per-rank owned contigs (last round)
-	alive    []bool          // ranks not yet evicted by an injected crash
 	deviceOK []bool          // ranks still assembling on their device
 	rec      RecoveryStats
-	compWall time.Duration // Σ over rounds of the slowest rank's busy time
+	elastic  ElasticityStats
+	compWall time.Duration // Σ over rounds of the round makespans
 	rounds   int
 
 	// Component-policy state: the current residence rank of every routed
@@ -167,49 +208,112 @@ type runtime struct {
 }
 
 func newRuntime(cfg Config) (*runtime, error) {
-	fabric, err := NewFabric(cfg.Ranks, cfg.Fabric)
+	plan, err := cfg.effectivePlan()
+	if err != nil {
+		return nil, err
+	}
+	capacity := cfg.Ranks
+	if c := plan.Capacity(); c > capacity {
+		capacity = c
+	}
+	fabric, err := NewFabricWithCapacity(cfg.Ranks, capacity, cfg.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := NewMembership(cfg.Ranks, capacity, cfg.VirtualShards)
 	if err != nil {
 		return nil, err
 	}
 	rt := &runtime{
 		cfg:      cfg,
+		plan:     plan,
 		fabric:   fabric,
-		devs:     make([]*simt.Device, cfg.Ranks),
-		inj:      faults.NewInjector(cfg.Faults),
-		busy:     make([]time.Duration, cfg.Ranks),
-		kernels:  make([]int, cfg.Ranks),
-		owned:    make([]int, cfg.Ranks),
-		alive:    make([]bool, cfg.Ranks),
-		deviceOK: make([]bool, cfg.Ranks),
+		mem:      mem,
+		devs:     make([]*simt.Device, capacity),
+		pooled:   make([]bool, capacity),
+		inj:      faults.NewInjector(plan),
+		busy:     make([]time.Duration, capacity),
+		kernels:  make([]int, capacity),
+		owned:    make([]int, capacity),
+		deviceOK: make([]bool, capacity),
 		readRank: make(map[string]int),
 	}
 	fabric.UseInjector(rt.inj)
-	for r := range rt.devs {
+	for r := 0; r < cfg.Ranks; r++ {
 		rt.devs[r] = simt.NewDevice(cfg.Device)
-		rt.alive[r] = true
 		rt.deviceOK[r] = true
 	}
 	return rt, nil
 }
 
-// liveRanks returns the ranks not yet evicted, ascending.
-func (rt *runtime) liveRanks() []int {
-	live := make([]int, 0, len(rt.alive))
-	for r, a := range rt.alive {
-		if a {
-			live = append(live, r)
+// releaseDevices hands every provider-supplied device back through
+// cfg.DeviceRelease. Called once after the run (the report reads device
+// traffic first).
+func (rt *runtime) releaseDevices() {
+	if rt.cfg.DeviceRelease == nil {
+		return
+	}
+	for r, dev := range rt.devs {
+		if rt.pooled[r] && dev != nil {
+			rt.cfg.DeviceRelease(dev)
+			rt.devs[r] = nil
+			rt.pooled[r] = false
 		}
 	}
-	return live
 }
 
-// deal returns the current shard→rank mapping over the live ranks.
-func (rt *runtime) deal() *shardDeal {
-	return newShardDeal(rt.cfg.VirtualShards, rt.liveRanks())
+// admitJoins applies the round's scheduled rank joins: each joiner gets a
+// device (from cfg.DeviceProvider when the service wires a pool in, else a
+// fresh simulated one), enters the fabric collective, and bumps the
+// membership epoch. The re-deal hands it whole virtual shards — whole
+// components under the component policy — and the owners it displaces ship
+// it their contig records in one "join bootstrap" exchange, accounted as
+// rebalanced bytes. Joins precede evictions at a boundary, so a round that
+// both grows and shrinks re-deals through the grown set first, exactly as
+// faults.ParseElastic replays it.
+func (rt *runtime) admitJoins(round int, k int, ctgs []*locassm.CtgWithReads, smap ShardMap) error {
+	joins := rt.inj.JoinsAt(round)
+	if len(joins) == 0 {
+		return nil
+	}
+	before := rt.mem.Deal()
+	for _, r := range joins {
+		dev := (*simt.Device)(nil)
+		if rt.cfg.DeviceProvider != nil {
+			d, err := rt.cfg.DeviceProvider()
+			if err != nil {
+				return fmt.Errorf("dist: no device for joining rank %d at round %d: %w", r, round, err)
+			}
+			dev, rt.pooled[r] = d, true
+		} else {
+			dev = simt.NewDevice(rt.cfg.Device)
+		}
+		if err := rt.mem.Join(r, round); err != nil {
+			return err
+		}
+		rt.devs[r] = dev
+		rt.deviceOK[r] = true
+		rt.fabric.Join(r, round)
+		rt.elastic.Joins++
+	}
+	after := rt.mem.Deal()
+	matrix := newMatrix(rt.mem.Capacity())
+	for _, c := range ctgs {
+		s := smap.Shard(c.ID)
+		src, dst := before.rankOf(s), after.rankOf(s)
+		if src != dst {
+			b := int64(len(c.Seq) + recordOverheadBytes)
+			matrix[src][dst] += b
+			rt.elastic.RebalancedBytes += b
+		}
+	}
+	_, err := rt.fabric.Exchange(fmt.Sprintf("join bootstrap k=%d", k), matrix)
+	return err
 }
 
-// evictCrashed applies the round's scheduled rank crashes: crashed ranks
-// leave the collective and their virtual shards are re-dealt to the
+// evictCrashed applies the round's scheduled rank crashes (and elastic
+// leaves, which are crash events with a deterministic victim): crashed
+// ranks leave the collective and their virtual shards are re-dealt to the
 // survivors. Contig state is replicated by the allgather (or held
 // component-local with a scatter-home replica under component sharding),
 // so survivors adopt local copies; the bytes whose ownership moves are
@@ -221,20 +325,22 @@ func (rt *runtime) evictCrashed(round int, ctgs []*locassm.CtgWithReads, smap Sh
 	if len(crashes) == 0 {
 		return nil
 	}
-	before := rt.deal()
+	before := rt.mem.Deal()
 	for _, r := range crashes {
-		if !rt.alive[r] {
+		if !rt.mem.Alive(r) {
 			continue
 		}
-		if len(rt.liveRanks()) == 1 {
+		if rt.mem.LiveCount() == 1 {
 			return fmt.Errorf("dist: rank %d crash at round %d leaves no survivor: %w",
 				r, round, ErrUnrecoverable)
 		}
-		rt.alive[r] = false
+		if err := rt.mem.Evict(r, round); err != nil {
+			return err
+		}
 		rt.fabric.Evict(r, round)
 		rt.rec.Evictions++
 	}
-	after := rt.deal()
+	after := rt.mem.Deal()
 	for _, c := range ctgs {
 		s := smap.Shard(c.ID)
 		if before.rankOf(s) != after.rankOf(s) {
@@ -246,12 +352,12 @@ func (rt *runtime) evictCrashed(round int, ctgs []*locassm.CtgWithReads, smap Sh
 
 // scatterReads models the initial distribution of the input pairs from the
 // I/O rank (rank 0) to each read's home rank — the FASTQ scatter every
-// distributed assembler starts with.
+// distributed assembler starts with. Homes span the initial ranks only:
+// join slots are still absent at scatter time.
 func (rt *runtime) scatterReads(pairs []dna.PairedRead) error {
-	n := rt.cfg.Ranks
-	matrix := newMatrix(n)
+	matrix := newMatrix(rt.mem.Capacity())
 	for i := range pairs {
-		home := ReadHomeRank(pairs[i].Fwd.ID, n)
+		home := ReadHomeRank(pairs[i].Fwd.ID, rt.cfg.Ranks)
 		matrix[0][home] += readMsgBytes(&pairs[i].Fwd) + readMsgBytes(&pairs[i].Rev)
 	}
 	_, err := rt.fabric.Exchange("read scatter", matrix)
@@ -301,7 +407,7 @@ func (rt *runtime) rankEngines(r, round, cpuWorkers int) (gpuEng, cpuEng locassm
 // not mutated; the per-contig results are returned in input order and the
 // caller (the pipeline's local-assembly stage) applies the extensions.
 func (rt *runtime) Assemble(k int, ctgs []*locassm.CtgWithReads) ([]locassm.Result, locassm.Stats, error) {
-	n := rt.cfg.Ranks
+	n := rt.mem.Capacity()
 	v := rt.cfg.VirtualShards
 	round := rt.rounds // 0-based, for the injector
 	rt.rounds++
@@ -319,14 +425,18 @@ func (rt *runtime) Assemble(k int, ctgs []*locassm.CtgWithReads) ([]locassm.Resu
 		smap = cm
 	}
 
-	// Round boundary — apply scheduled rank crashes and re-deal the dead
+	// Round boundary — admit scheduled rank joins (bootstrap exchange,
+	// epoch bump), then apply scheduled rank crashes and re-deal the dead
 	// ranks' virtual shards over the survivors, then poison any device
 	// scheduled to fail this round (its rank discovers the loss at first
 	// launch and degrades to the host engine).
+	if err := rt.admitJoins(round, k, ctgs, smap); err != nil {
+		return nil, locassm.Stats{}, err
+	}
 	if err := rt.evictCrashed(round, ctgs, smap); err != nil {
 		return nil, locassm.Stats{}, err
 	}
-	deal := rt.deal()
+	deal := rt.mem.Deal()
 	live := deal.live
 	nl := len(live)
 	// In budget mode OOM events never poison devices: the pipeline's
@@ -354,7 +464,7 @@ func (rt *runtime) Assemble(k int, ctgs []*locassm.CtgWithReads) ([]locassm.Resu
 	}
 	var exchange [][]int64
 	if rt.cfg.ShardPolicy == ShardComponent {
-		exchange = migrationMatrix(ctgs, smap, deal, n, rt.readRank, rt.alive)
+		exchange = migrationMatrix(ctgs, smap, deal, n, rt.readRank, rt.mem)
 	} else {
 		exchange = readExchangeMatrix(ctgs, smap, deal, n)
 	}
@@ -376,7 +486,7 @@ func (rt *runtime) Assemble(k int, ctgs []*locassm.CtgWithReads) ([]locassm.Resu
 	}
 
 	shardRes := make([]*shardOutcome, v)
-	roundBusy := make([]time.Duration, n)
+	shardBusy := make([]time.Duration, v) // each shard written only by its owner
 	fellBack := make([]bool, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -413,7 +523,7 @@ func (rt *runtime) Assemble(k int, ctgs []*locassm.CtgWithReads) ([]locassm.Resu
 					return
 				}
 				shardRes[s] = &shardOutcome{results: results, stats: stats, onGPU: eng == gpuEng}
-				roundBusy[r] += stats.Busy
+				shardBusy[s] = stats.Busy
 			}
 		}(i, r)
 	}
@@ -423,25 +533,53 @@ func (rt *runtime) Assemble(k int, ctgs []*locassm.CtgWithReads) ([]locassm.Resu
 			return nil, locassm.Stats{}, err
 		}
 	}
+	factor := make([]float64, n)
+	for r := range factor {
+		factor[r] = 1
+	}
 	for _, r := range live {
 		if fellBack[r] {
 			rt.rec.DeviceFallbacks++
 		}
-		// A straggler computes the same work, slower.
+		// A straggler computes the same work, slower — every batch the rank
+		// runs, own or stolen, pays its factor.
 		if f := rt.inj.StragglerFactor(r, round); f != 1 {
 			rt.rec.Stragglers++
-			roundBusy[r] = time.Duration(float64(roundBusy[r]) * f)
+			factor[r] = f
 		}
 	}
 
+	// Steal scheduling — replay the round's batch queues over the per-shard
+	// modeled costs (see steal.go). Output bytes never depend on it: only
+	// the busy accounting and the round makespan do. The stolen batches'
+	// payloads cross the fabric in one "work steal" exchange.
+	shardBytes := make([]int64, v)
+	for s := 0; s < v; s++ {
+		for _, c := range byShard[s] {
+			shardBytes[s] += ctgWeight(c)
+		}
+	}
+	sim := stealSchedule(deal, shardBusy, shardBytes, factor, n, !rt.cfg.NoSteal)
+	if len(sim.steals) > 0 {
+		flows := make(map[[2]int]bool)
+		for _, st := range sim.steals {
+			flows[[2]int{st.victim, st.thief}] = true
+			rt.elastic.StolenBatches++
+			rt.elastic.StolenBytes += st.bytes
+		}
+		rt.elastic.Steals += len(flows)
+		if _, err := rt.fabric.Exchange(fmt.Sprintf("work steal k=%d", k), stealMatrix(sim.steals, n)); err != nil {
+			return nil, locassm.Stats{}, err
+		}
+	}
+	rt.elastic.NoStealWall += sim.noStealMakespan
+	rt.elastic.StealWall += sim.makespan
+
 	// Gather — canonical virtual-shard order, so accounting and kernel
 	// lists are identical for every rank count.
-	var roundMax time.Duration
+	roundMax := sim.makespan
 	for r := 0; r < n; r++ {
-		rt.busy[r] += roundBusy[r]
-		if roundBusy[r] > roundMax {
-			roundMax = roundBusy[r]
-		}
+		rt.busy[r] += sim.busy[r]
 	}
 	rt.compWall += roundMax
 	results := make([]locassm.Result, len(ctgs))
@@ -554,6 +692,7 @@ func RunContext(ctx context.Context, pairs []dna.PairedRead, cfg Config) (*pipel
 	if err != nil {
 		return nil, nil, err
 	}
+	defer rt.releaseDevices()
 	if err := rt.scatterReads(pairs); err != nil {
 		return nil, nil, err
 	}
@@ -577,5 +716,8 @@ func RunContext(ctx context.Context, pairs []dna.PairedRead, cfg Config) (*pipel
 	res.Work.CommTime = commTime
 	res.Work.CommBytes = rt.fabric.TotalBytes()
 	res.Work.CommMsgs = rt.fabric.TotalMsgs()
+	res.Work.Steals = rt.elastic.StolenBatches
+	res.Work.RankJoins = rt.elastic.Joins
+	res.Work.MembershipEpochs = rt.mem.Epoch() + 1
 	return res, rt.report(), nil
 }

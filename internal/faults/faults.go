@@ -44,6 +44,12 @@ const (
 	FabricDelay
 	// Straggler slows one rank's compute for one round by a factor.
 	Straggler
+	// RankJoin adds a fresh rank to the collective at a round boundary: the
+	// membership epoch bumps and the joiner receives whole virtual shards
+	// from the incremental re-deal. Event.Rank is the new rank's ID, always
+	// ≥ the run's initial rank count (joined ranks extend the ID space, they
+	// never reuse an evicted slot).
+	RankJoin
 
 	numKinds
 )
@@ -61,6 +67,7 @@ var specNames = []struct {
 	{"corrupt", FabricCorrupt},
 	{"delay", FabricDelay},
 	{"straggler", Straggler},
+	{"join", RankJoin},
 }
 
 // String names the kind as it appears in spec strings.
@@ -151,6 +158,7 @@ func NewPlan(spec string, seed int64, ranks, rounds int) (*Plan, error) {
 	exchanges := 1 + 2*rounds // scatter + per-round (read exchange, allgather)
 	p := &Plan{Seed: seed, Ranks: ranks, Rounds: rounds}
 	crashed := make(map[int]bool)
+	joins := 0
 	for _, s := range specNames {
 		for i := 0; i < counts[s.kind]; i++ {
 			ev := Event{Kind: s.kind}
@@ -173,6 +181,12 @@ func NewPlan(spec string, seed int64, ranks, rounds int) (*Plan, error) {
 			case Straggler:
 				ev.Rank, ev.Round = rng.Intn(ranks), rng.Intn(rounds)
 				ev.Factor = 1.5 + 2.5*rng.Float64()
+			case RankJoin:
+				// Joined ranks extend the ID space past the initial count,
+				// numbered in generation order so the capacity is the ID
+				// ceiling.
+				ev.Rank, ev.Round = ranks+joins, rng.Intn(rounds)
+				joins++
 			}
 			p.Events = append(p.Events, ev)
 		}
@@ -180,7 +194,147 @@ func NewPlan(spec string, seed int64, ranks, rounds int) (*Plan, error) {
 	return p, nil
 }
 
-// Validate checks the plan is usable for a run of the given shape.
+// Capacity is the rank ID ceiling of the plan: the initial ranks plus every
+// scheduled join. Elastic runtimes size their per-rank state to it.
+func (p *Plan) Capacity() int {
+	if p == nil {
+		return 0
+	}
+	n := p.Ranks
+	for _, ev := range p.Events {
+		if ev.Kind == RankJoin {
+			n++
+		}
+	}
+	return n
+}
+
+// Merge concatenates another plan's events onto this one (both must share
+// the run shape). Either side may be nil; the result is nil only when both
+// are. The CLI uses it to combine an -elastic membership schedule with a
+// random -faults schedule into the single plan the runtime consumes.
+func (p *Plan) Merge(q *Plan) (*Plan, error) {
+	if p == nil {
+		return q, nil
+	}
+	if q == nil {
+		return p, nil
+	}
+	if p.Ranks != q.Ranks || p.Rounds != q.Rounds {
+		return nil, fmt.Errorf("faults: cannot merge plans of shape %d×%d and %d×%d",
+			p.Ranks, p.Rounds, q.Ranks, q.Rounds)
+	}
+	m := &Plan{Seed: p.Seed, Ranks: p.Ranks, Rounds: p.Rounds}
+	m.Events = append(append(m.Events, p.Events...), q.Events...)
+	return m, nil
+}
+
+// ParseElastic materializes a membership schedule spec — comma-separated
+// "join@r<round>:<count>" and "leave@r<round>:<count>" entries, e.g.
+// "join@r1:2,leave@r1:1" — into a plan of RankJoin and RankCrash events for
+// a run of the given initial ranks and rounds. Joins mint fresh rank IDs
+// (ranks, ranks+1, …) in spec order; a leave deterministically retires the
+// highest-numbered rank still live at its round — the autoscaler's
+// scale-down convention — so the whole schedule is a pure function of the
+// spec and the run shape. Joins at a round are applied before leaves at the
+// same round, matching the runtime's round-boundary order. A schedule that
+// would leave no live rank at any round is rejected.
+func ParseElastic(spec string, ranks, rounds int) (*Plan, error) {
+	if ranks < 1 || rounds < 1 {
+		return nil, fmt.Errorf("faults: elastic schedule needs ≥1 rank and ≥1 round, got %d×%d", ranks, rounds)
+	}
+	type entry struct {
+		join         bool
+		round, count int
+	}
+	var entries []entry
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		verb, rest, ok := strings.Cut(field, "@")
+		if !ok {
+			return nil, fmt.Errorf("faults: elastic entry %q is not join@r<round>:<count> or leave@r<round>:<count>", field)
+		}
+		var e entry
+		switch strings.TrimSpace(verb) {
+		case "join":
+			e.join = true
+		case "leave":
+		default:
+			return nil, fmt.Errorf("faults: elastic entry %q: unknown verb %q (join|leave)", field, verb)
+		}
+		at, cnt, ok := strings.Cut(rest, ":")
+		if !ok || !strings.HasPrefix(at, "r") {
+			return nil, fmt.Errorf("faults: elastic entry %q is not %s@r<round>:<count>", field, verb)
+		}
+		round, err := strconv.Atoi(strings.TrimPrefix(at, "r"))
+		if err != nil || round < 0 {
+			return nil, fmt.Errorf("faults: elastic entry %q: bad round %q", field, at)
+		}
+		if round >= rounds {
+			return nil, fmt.Errorf("faults: elastic entry %q targets round %d of a %d-round run", field, round, rounds)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(cnt))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("faults: elastic entry %q: bad count %q", field, cnt)
+		}
+		e.round, e.count = round, n
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("faults: empty elastic schedule %q", spec)
+	}
+	// Replay the schedule in round order (joins before leaves within a
+	// round) to mint join IDs and resolve each leave to a concrete rank.
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].round != entries[j].round {
+			return entries[i].round < entries[j].round
+		}
+		return entries[i].join && !entries[j].join
+	})
+	p := &Plan{Ranks: ranks, Rounds: rounds}
+	live := make([]bool, ranks)
+	for r := range live {
+		live[r] = true
+	}
+	for _, e := range entries {
+		for i := 0; i < e.count; i++ {
+			if e.join {
+				p.Events = append(p.Events, Event{Kind: RankJoin, Rank: len(live), Round: e.round})
+				live = append(live, true)
+				continue
+			}
+			victim := -1
+			for r := len(live) - 1; r >= 0; r-- {
+				if live[r] {
+					victim = r
+					break
+				}
+			}
+			alive := 0
+			for _, a := range live {
+				if a {
+					alive++
+				}
+			}
+			if alive <= 1 {
+				return nil, fmt.Errorf("faults: elastic schedule %q leaves no live rank at round %d", spec, e.round)
+			}
+			live[victim] = false
+			p.Events = append(p.Events, Event{Kind: RankCrash, Rank: victim, Round: e.round})
+		}
+	}
+	return p, nil
+}
+
+// Validate checks the plan is usable for a run of the given shape: every
+// targeted rank must exist within the plan's capacity (initial ranks plus
+// joins), joined rank IDs must be distinct and ≥ the initial count, and a
+// replay of the membership schedule (joins before crashes at each round
+// boundary, the runtime's order) must keep at least one rank live at every
+// round.
 func (p *Plan) Validate(ranks int) error {
 	if p == nil {
 		return nil
@@ -188,23 +342,53 @@ func (p *Plan) Validate(ranks int) error {
 	if p.Ranks != ranks {
 		return fmt.Errorf("faults: plan built for %d ranks, run has %d", p.Ranks, ranks)
 	}
-	crashes := 0
+	capacity := p.Capacity()
+	joined := make(map[int]bool)
+	maxRound := -1
 	for _, ev := range p.Events {
 		if ev.Kind >= numKinds {
 			return fmt.Errorf("faults: unknown event kind %d", ev.Kind)
 		}
-		if ev.Kind == RankCrash {
-			crashes++
-		}
 		switch ev.Kind {
 		case RankCrash, DeviceOOM, KernelAbort, Straggler:
-			if ev.Rank < 0 || ev.Rank >= ranks {
-				return fmt.Errorf("faults: %s targets rank %d of %d", ev.Kind, ev.Rank, ranks)
+			if ev.Rank < 0 || ev.Rank >= capacity {
+				return fmt.Errorf("faults: %s targets rank %d of capacity %d", ev.Kind, ev.Rank, capacity)
 			}
+		case RankJoin:
+			if ev.Rank < ranks || ev.Rank >= capacity {
+				return fmt.Errorf("faults: join mints rank %d outside (%d..%d)", ev.Rank, ranks, capacity-1)
+			}
+			if joined[ev.Rank] {
+				return fmt.Errorf("faults: rank %d joins twice", ev.Rank)
+			}
+			joined[ev.Rank] = true
+		}
+		if ev.Round > maxRound {
+			maxRound = ev.Round
 		}
 	}
-	if crashes >= ranks {
-		return fmt.Errorf("faults: %d crashes would leave no survivor among %d ranks", crashes, ranks)
+	// Replay: the live count must never drop to zero at a round boundary.
+	live := make([]bool, capacity)
+	for r := 0; r < ranks; r++ {
+		live[r] = true
+	}
+	alive := ranks
+	for round := 0; round <= maxRound; round++ {
+		for _, ev := range p.Events {
+			if ev.Kind == RankJoin && ev.Round == round && !live[ev.Rank] {
+				live[ev.Rank] = true
+				alive++
+			}
+		}
+		for _, ev := range p.Events {
+			if ev.Kind == RankCrash && ev.Round == round && live[ev.Rank] {
+				live[ev.Rank] = false
+				alive--
+			}
+		}
+		if alive < 1 {
+			return fmt.Errorf("faults: schedule leaves no live rank at round %d", round)
+		}
 	}
 	return nil
 }
@@ -287,6 +471,23 @@ func (in *Injector) CrashesAt(round int) []int {
 	var ranks []int
 	for _, ev := range in.plan.Events {
 		if ev.Kind == RankCrash && ev.Round == round {
+			ranks = append(ranks, ev.Rank)
+		}
+	}
+	sort.Ints(ranks)
+	return ranks
+}
+
+// JoinsAt returns the rank IDs scheduled to join at the given round
+// boundary, in ascending order. The runtime applies joins before crashes,
+// so a round may both admit ranks and evict them.
+func (in *Injector) JoinsAt(round int) []int {
+	if in == nil {
+		return nil
+	}
+	var ranks []int
+	for _, ev := range in.plan.Events {
+		if ev.Kind == RankJoin && ev.Round == round {
 			ranks = append(ranks, ev.Rank)
 		}
 	}

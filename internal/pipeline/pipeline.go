@@ -104,6 +104,12 @@ type WorkRecord struct {
 	CommTime  time.Duration
 	CommBytes int64
 	CommMsgs  int64
+	// Steals/RankJoins/MembershipEpochs account a distributed run's
+	// elasticity: stolen batches, mid-run rank admissions, and membership
+	// versions (1 for a static multi-rank run, zero for single-rank runs).
+	Steals           int
+	RankJoins        int
+	MembershipEpochs int
 	// EstimatedInsert is the inferred library insert size (0 when
 	// estimation was off or had too few observations).
 	EstimatedInsert int

@@ -81,7 +81,10 @@ type Kmer struct {
 
 // Dist is the per-rank comm/compute breakdown of a multi-rank run.
 type Dist struct {
-	Ranks         int    `json:"ranks"`
+	Ranks int `json:"ranks"`
+	// Capacity is the rank ID ceiling after scheduled joins (equal to
+	// Ranks for a static run); per_rank has Capacity rows.
+	Capacity      int    `json:"capacity,omitempty"`
 	VirtualShards int    `json:"virtual_shards"`
 	Rounds        int    `json:"rounds"`
 	ShardPolicy   string `json:"shard_policy,omitempty"`
@@ -93,14 +96,15 @@ type Dist struct {
 	CommTimeNS      int64 `json:"comm_time_ns"`
 	// CommBytes is remote (wire) bytes; LocalBytes the rank-local bytes
 	// that never left their rank; Locality = local/(local+remote).
-	CommBytes  int64     `json:"comm_bytes"`
-	LocalBytes int64     `json:"local_bytes"`
-	Locality   float64   `json:"locality"`
-	CommMsgs   int64     `json:"comm_msgs"`
-	Efficiency float64   `json:"efficiency"`
-	Faults     string    `json:"faults,omitempty"`
-	Recovery   *Recovery `json:"recovery,omitempty"`
-	PerRank    []Rank    `json:"per_rank"`
+	CommBytes  int64       `json:"comm_bytes"`
+	LocalBytes int64       `json:"local_bytes"`
+	Locality   float64     `json:"locality"`
+	CommMsgs   int64       `json:"comm_msgs"`
+	Efficiency float64     `json:"efficiency"`
+	Faults     string      `json:"faults,omitempty"`
+	Recovery   *Recovery   `json:"recovery,omitempty"`
+	Elasticity *Elasticity `json:"elasticity,omitempty"`
+	PerRank    []Rank      `json:"per_rank"`
 	// Stages is the per-exchange local-vs-remote byte split in execution
 	// order — the Fig 9-style comm breakdown.
 	Stages []StageComm `json:"stages,omitempty"`
@@ -129,20 +133,44 @@ type Recovery struct {
 	SpillPasses     int   `json:"spill_passes,omitempty"`
 }
 
+// Elasticity reports the membership and work-stealing activity of an
+// elastic run (emitted whenever the run changed membership or stole work).
+type Elasticity struct {
+	// Epochs counts membership versions (≥ 1); Joins the mid-run rank
+	// admissions; EpochLive the live-rank count at each epoch.
+	Epochs    int   `json:"epochs"`
+	Joins     int   `json:"joins"`
+	EpochLive []int `json:"epoch_live"`
+	// Steals counts victim→thief flows; StolenBatches the tail batches
+	// moved through them; StolenBytes / RebalancedBytes their payload and
+	// the join bootstrap traffic.
+	Steals          int   `json:"steals"`
+	StolenBatches   int   `json:"stolen_batches"`
+	StolenBytes     int64 `json:"stolen_bytes,omitempty"`
+	RebalancedBytes int64 `json:"rebalanced_bytes,omitempty"`
+	// NoStealWallNS / StealWallNS are the summed round makespans without
+	// and with stealing; their ratio is the stealing speedup.
+	NoStealWallNS int64 `json:"nosteal_wall_ns"`
+	StealWallNS   int64 `json:"steal_wall_ns"`
+}
+
 // Rank is one rank's row of the strong-scaling breakdown.
 type Rank struct {
-	Rank      int   `json:"rank"`
-	Alive     bool  `json:"alive"`
-	BusyNS    int64 `json:"busy_ns"`
-	CommNS    int64 `json:"comm_ns"`
-	IdleNS    int64 `json:"idle_ns"`
-	BytesSent int64 `json:"bytes_sent"`
-	BytesRecv int64 `json:"bytes_recv"`
-	Msgs      int64 `json:"msgs"`
-	PCIeH2D   int64 `json:"pcie_h2d_bytes"`
-	PCIeD2H   int64 `json:"pcie_d2h_bytes"`
-	Kernels   int   `json:"kernels"`
-	Contigs   int   `json:"contigs"`
+	Rank  int  `json:"rank"`
+	Alive bool `json:"alive"`
+	// JoinedRound is the round an elastic rank joined at, -1 for initial
+	// members.
+	JoinedRound int   `json:"joined_round"`
+	BusyNS      int64 `json:"busy_ns"`
+	CommNS      int64 `json:"comm_ns"`
+	IdleNS      int64 `json:"idle_ns"`
+	BytesSent   int64 `json:"bytes_sent"`
+	BytesRecv   int64 `json:"bytes_recv"`
+	Msgs        int64 `json:"msgs"`
+	PCIeH2D     int64 `json:"pcie_h2d_bytes"`
+	PCIeD2H     int64 `json:"pcie_d2h_bytes"`
+	Kernels     int   `json:"kernels"`
+	Contigs     int   `json:"contigs"`
 }
 
 // ComputeAssembly derives the assembly summary from a pipeline result.
@@ -210,6 +238,7 @@ func Build(res *pipeline.Result, rep *dist.Report) *Report {
 	if rep != nil {
 		jd := &Dist{
 			Ranks:           rep.Ranks,
+			Capacity:        rep.Capacity,
 			VirtualShards:   rep.VirtualShards,
 			Rounds:          rep.Rounds,
 			ShardPolicy:     rep.ShardPolicy,
@@ -248,20 +277,34 @@ func Build(res *pipeline.Result, rep *dist.Report) *Report {
 				SpillPasses:     rep.Recovery.SpillPasses,
 			}
 		}
+		if es := &rep.Elasticity; es.Any() {
+			jd.Elasticity = &Elasticity{
+				Epochs:          es.Epochs,
+				Joins:           es.Joins,
+				EpochLive:       es.EpochLive,
+				Steals:          es.Steals,
+				StolenBatches:   es.StolenBatches,
+				StolenBytes:     es.StolenBytes,
+				RebalancedBytes: es.RebalancedBytes,
+				NoStealWallNS:   int64(es.NoStealWall),
+				StealWallNS:     int64(es.StealWall),
+			}
+		}
 		for _, rs := range rep.PerRank {
 			jd.PerRank = append(jd.PerRank, Rank{
-				Rank:      rs.Rank,
-				Alive:     rs.Alive,
-				BusyNS:    int64(rs.Busy),
-				CommNS:    int64(rs.Comm),
-				IdleNS:    int64(rs.Idle),
-				BytesSent: rs.BytesSent,
-				BytesRecv: rs.BytesRecv,
-				Msgs:      rs.Msgs,
-				PCIeH2D:   rs.PCIeH2D,
-				PCIeD2H:   rs.PCIeD2H,
-				Kernels:   rs.Kernels,
-				Contigs:   rs.Contigs,
+				Rank:        rs.Rank,
+				Alive:       rs.Alive,
+				JoinedRound: rs.JoinedRound,
+				BusyNS:      int64(rs.Busy),
+				CommNS:      int64(rs.Comm),
+				IdleNS:      int64(rs.Idle),
+				BytesSent:   rs.BytesSent,
+				BytesRecv:   rs.BytesRecv,
+				Msgs:        rs.Msgs,
+				PCIeH2D:     rs.PCIeH2D,
+				PCIeD2H:     rs.PCIeD2H,
+				Kernels:     rs.Kernels,
+				Contigs:     rs.Contigs,
 			})
 		}
 		r.Dist = jd

@@ -103,6 +103,26 @@ func (p *DevicePool) Acquire(ctx context.Context, n int) (*Lease, error) {
 	}
 }
 
+// TryAcquire leases n devices without blocking: nil (no error) when the
+// pool cannot grant immediately — fewer than n free, or FIFO waiters queued
+// ahead (an elastic join must not jump jobs blocked in Acquire). An elastic
+// dist job's mid-run rank joins use this: a join that cannot get a device
+// is a hard job error, never a silent wait that would deadlock the round
+// barrier against the very jobs holding the devices.
+func (p *DevicePool) TryAcquire(n int) *Lease {
+	if n == 0 {
+		return &Lease{pool: p, t0: time.Now()}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n > p.size || len(p.waiters) > 0 || len(p.free) < n {
+		return nil
+	}
+	devs := p.take(n)
+	p.granted(time.Now())
+	return &Lease{Devices: devs, pool: p, t0: time.Now()}
+}
+
 // take removes n devices from the free list (caller holds mu).
 func (p *DevicePool) take(n int) []*simt.Device {
 	devs := p.free[len(p.free)-n:]

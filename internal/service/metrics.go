@@ -26,6 +26,9 @@ type Metrics struct {
 	kmerPasses     int64 // counting passes executed
 	kmerFiltered   int64 // singleton occurrences dropped by the Bloom prefilter
 	kmerOOMReplans int64 // DeviceOOM events absorbed by budget shrink + re-plan
+	// Elasticity totals, accumulated from every dist job's report.
+	elasticJoins  int64 // ranks admitted mid-run (pool devices drawn by joins)
+	stolenBatches int64 // work-stealing batch moves across all dist jobs
 }
 
 type tenantMetrics struct {
@@ -103,6 +106,14 @@ func (m *Metrics) KmerBudget(passes int, filtered int64, oomReplans int) {
 	m.kmerOOMReplans += int64(oomReplans)
 }
 
+// ElasticRun accumulates a dist job's elasticity counters.
+func (m *Metrics) ElasticRun(joins, stolenBatches int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.elasticJoins += int64(joins)
+	m.stolenBatches += int64(stolenBatches)
+}
+
 // StageObserver returns a pipeline.Observer accumulating per-stage wall
 // time into the registry and, when job is non-nil, into the job's own
 // per-stage map. One observer per pipeline execution.
@@ -149,6 +160,8 @@ func (m *Metrics) Render(w io.Writer, queueDepth, running int, pool PoolStats) {
 	fmt.Fprintf(w, "# TYPE mhm2d_kmer_budget_passes_total counter\nmhm2d_kmer_budget_passes_total %d\n", m.kmerPasses)
 	fmt.Fprintf(w, "# TYPE mhm2d_kmer_filtered_singletons_total counter\nmhm2d_kmer_filtered_singletons_total %d\n", m.kmerFiltered)
 	fmt.Fprintf(w, "# TYPE mhm2d_kmer_oom_replans_total counter\nmhm2d_kmer_oom_replans_total %d\n", m.kmerOOMReplans)
+	fmt.Fprintf(w, "# TYPE mhm2d_elastic_joins_total counter\nmhm2d_elastic_joins_total %d\n", m.elasticJoins)
+	fmt.Fprintf(w, "# TYPE mhm2d_stolen_batches_total counter\nmhm2d_stolen_batches_total %d\n", m.stolenBatches)
 
 	names := make([]string, 0, len(m.tenants))
 	for n := range m.tenants {

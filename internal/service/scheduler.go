@@ -551,7 +551,35 @@ func (s *Scheduler) execute(ctx context.Context, j *job, lease *Lease, attempt i
 				return nil, nil, derr
 			}
 		}
+		if j.spec.Elastic != "" {
+			// Joining ranks draw real pool capacity mid-run. TryAcquire
+			// never blocks: a pool too contended to grow the job is a hard
+			// error (the runtime surfaces it), not a deadlocked round.
+			var joinLeases []*Lease
+			var joinMu sync.Mutex
+			dcfg.DeviceProvider = func() (*simt.Device, error) {
+				l := s.pool.TryAcquire(1)
+				if l == nil {
+					return nil, fmt.Errorf("service: device pool exhausted (size %d)", s.pool.Size())
+				}
+				joinMu.Lock()
+				joinLeases = append(joinLeases, l)
+				joinMu.Unlock()
+				return l.Devices[0], nil
+			}
+			dcfg.DeviceRelease = func(*simt.Device) {}
+			defer func() {
+				joinMu.Lock()
+				defer joinMu.Unlock()
+				for _, l := range joinLeases {
+					l.Release()
+				}
+			}()
+		}
 		res, rep, err = dist.RunContext(ctx, pairs, dcfg)
+		if rep != nil {
+			s.met.ElasticRun(rep.Elasticity.Joins, rep.Elasticity.StolenBatches)
+		}
 	} else {
 		if j.spec.Engine == locassm.EngineGPU {
 			// The leased pool device: N simulated GPUs multiplex across

@@ -71,6 +71,12 @@ type JobSpec struct {
 	// budget. Must be ≥ gpucount.MinMemBudget. With a fault schedule, OOM
 	// events shrink the budget instead of poisoning devices.
 	MemBudget int64 `json:"mem_budget,omitempty"`
+	// Elastic is a membership schedule ("join@r1:2,leave@r2:1", dist engine
+	// only; see DESIGN.md §16): joining ranks draw their devices from the
+	// daemon's pool mid-run and return them when the job finishes. NoSteal
+	// disables intra-round work stealing.
+	Elastic string `json:"elastic,omitempty"`
+	NoSteal bool   `json:"nosteal,omitempty"`
 }
 
 // withDefaults fills the defaulted fields.
@@ -114,6 +120,18 @@ func (s *JobSpec) Validate() error {
 			return fmt.Errorf("service: faults require engine=dist")
 		}
 		if _, err := faults.ParseSpec(s.Faults); err != nil {
+			return err
+		}
+	}
+	if s.Elastic != "" {
+		if s.Engine != locassm.EngineDist {
+			return fmt.Errorf("service: elastic schedule requires engine=dist")
+		}
+		rounds := len(s.Rounds)
+		if rounds == 0 {
+			rounds = len(pipeline.DefaultConfig().Rounds)
+		}
+		if _, err := faults.ParseElastic(s.Elastic, s.Ranks, rounds); err != nil {
 			return err
 		}
 	}
@@ -233,6 +251,8 @@ func distConfig(spec JobSpec, cfg pipeline.Config) (dist.Config, error) {
 	dcfg := dist.DefaultConfig(spec.Ranks)
 	dcfg.Pipeline = cfg
 	dcfg.ShardPolicy = spec.Shard
+	dcfg.Elastic = spec.Elastic
+	dcfg.NoSteal = spec.NoSteal
 	if spec.Faults != "" {
 		plan, err := faults.NewPlan(spec.Faults, spec.FaultSeed, spec.Ranks, len(cfg.Rounds))
 		if err != nil {
